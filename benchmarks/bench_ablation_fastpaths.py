@@ -1,0 +1,121 @@
+"""Ablation benchmarks for FastTrack's design choices (DESIGN.md §5).
+
+Not in the paper as a table, but each knob corresponds to a design decision
+the paper argues for:
+
+* ``enable_fast_paths=False`` — remove the same-epoch O(1) early exits
+  ([FT READ/WRITE SAME EPOCH]) and pay the full rule body on every access;
+* ``demote_on_shared_write=False`` — keep read vector clocks alive after a
+  dominating write instead of demoting to an epoch (`[FT WRITE SHARED]`'s
+  ``R := ⊥e``), which costs memory and later O(n) write checks;
+* ``shared_same_epoch=True`` — the extension the paper measured and found
+  unhelpful ("covers 78% of all reads ... but does not improve performance
+  of our prototype perceptibly").
+
+Every variant must stay *precise* — that is asserted, not assumed.
+"""
+
+import pytest
+
+from repro.core.fasttrack import FastTrack
+from repro.bench.harness import replay
+from repro.bench.workload import WORKLOADS
+from repro.trace.happens_before import racy_variables
+
+BENCH_SCALE = 400
+
+VARIANTS = {
+    "baseline": {},
+    "no-fast-paths": {"enable_fast_paths": False},
+    "no-demotion": {"demote_on_shared_write": False},
+    "shared-same-epoch": {"shared_same_epoch": True},
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+@pytest.mark.parametrize("workload_name", ["crypt", "moldyn", "sparse", "mtrt"])
+def test_ablation_cell(benchmark, workload_name, variant):
+    trace = WORKLOADS[workload_name].trace(scale=BENCH_SCALE)
+
+    def run():
+        detector = FastTrack(**VARIANTS[variant])
+        replay(trace, detector)
+        return detector
+
+    detector = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["vc_ops"] = detector.stats.vc_ops
+    benchmark.extra_info["shadow_words"] = detector.shadow_memory_words()
+
+
+def test_ablations_remain_precise(benchmark):
+    def run():
+        verdicts = {}
+        for name in ("mtrt", "tsp", "hedc", "sor"):
+            trace = WORKLOADS[name].trace(scale=200)
+            oracle = racy_variables(list(trace))
+            for variant, kwargs in VARIANTS.items():
+                tool = FastTrack(**kwargs).process(trace)
+                verdicts[(name, variant)] = (
+                    {w.var for w in tool.warnings},
+                    oracle,
+                )
+        return verdicts
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (name, variant), (warned, oracle) in verdicts.items():
+        assert warned <= oracle, (name, variant)
+
+
+@pytest.mark.parametrize("flush_threshold", [256, 8192, 1 << 20])
+def test_goldilocks_flush_cadence(benchmark, flush_threshold):
+    """The Goldilocks GC surrogate: how often the global synchronization
+    event list is flushed trades peak memory against replay work.  Verdicts
+    are unaffected (property-tested elsewhere); this measures the cost."""
+    from repro.detectors import Goldilocks
+
+    trace = WORKLOADS["raja"].trace(scale=BENCH_SCALE)
+
+    def run():
+        detector = Goldilocks(flush_threshold=flush_threshold)
+        replay(trace, detector)
+        return detector
+
+    detector = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["pending_sync_events"] = len(detector._sync_events)
+    assert len(detector._sync_events) < flush_threshold
+
+
+def test_goldilocks_unsound_extension_speed(benchmark):
+    """What the paper's unsound thread-local extension buys Goldilocks:
+    thread-local traffic skips the record machinery entirely."""
+    from repro.detectors import Goldilocks
+
+    trace = WORKLOADS["montecarlo"].trace(scale=BENCH_SCALE)
+
+    def run():
+        sound = Goldilocks(unsound_thread_local=False)
+        sound_time = replay(trace, sound)
+        unsound = Goldilocks(unsound_thread_local=True)
+        unsound_time = replay(trace, unsound)
+        return sound_time, unsound_time
+
+    sound_time, unsound_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sound_ms"] = round(sound_time * 1000, 2)
+    benchmark.extra_info["unsound_ms"] = round(unsound_time * 1000, 2)
+
+
+def test_no_demotion_costs_memory(benchmark):
+    """What adaptive demotion saves: without it, read VCs accumulate."""
+    trace = WORKLOADS["moldyn"].trace(scale=BENCH_SCALE)
+
+    def run():
+        baseline = FastTrack()
+        replay(trace, baseline)
+        hoarder = FastTrack(demote_on_shared_write=False)
+        replay(trace, hoarder)
+        return baseline, hoarder
+
+    baseline, hoarder = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (
+        hoarder.shadow_memory_words() >= baseline.shadow_memory_words()
+    )

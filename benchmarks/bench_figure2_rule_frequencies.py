@@ -1,0 +1,49 @@
+"""E4 — Figure 2: operation mix and per-rule firing frequencies.
+
+Paper values (fractions of all operations / of reads / of writes):
+
+* reads 82.3%, writes 14.5%, other 3.3%;
+* FT READ SAME EPOCH 63.4%, FT READ SHARED 20.8%, FT READ EXCLUSIVE 15.7%,
+  FT READ SHARE 0.1%;
+* FT WRITE SAME EPOCH 71.0%, FT WRITE EXCLUSIVE 28.9%, FT WRITE SHARED 0.1%;
+* DJIT+ READ SAME EPOCH 78.0%, DJIT+ WRITE SAME EPOCH 71.0%.
+
+The assertions pin the qualitative structure: reads dominate, the
+same-epoch fast paths dominate within each class, and the slow paths
+(READ SHARE / WRITE SHARED — the only O(n) access work FastTrack ever
+does) are rare.
+"""
+
+from repro.bench.harness import run_rule_frequencies
+from repro.bench.reporting import format_rule_frequencies
+
+BENCH_SCALE = 400
+
+
+def test_figure2_frequencies(benchmark):
+    freq = benchmark.pedantic(
+        lambda: run_rule_frequencies(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(format_rule_frequencies(freq))
+
+    mix = freq.mix
+    assert mix["reads"] > 0.60
+    assert mix["writes"] < 0.35
+    assert mix["other"] < 0.10
+
+    read_rules = freq.fasttrack_read_rules
+    assert read_rules["FT READ SAME EPOCH"] > 0.5
+    assert read_rules["FT READ SHARED"] > read_rules["FT READ SHARE"]
+    assert read_rules["FT READ SHARE"] < 0.02  # the only allocating path
+
+    write_rules = freq.fasttrack_write_rules
+    assert write_rules["FT WRITE SAME EPOCH"] > 0.5
+    assert write_rules["FT WRITE SHARED"] < 0.02  # the only O(n) write path
+
+    # DJIT+ fast path: same-epoch reads at least as frequent as FastTrack's
+    # (DJIT+'s per-thread entry check subsumes the epoch check).
+    assert (
+        freq.djit_read_rules["DJIT+ READ SAME EPOCH"]
+        >= read_rules["FT READ SAME EPOCH"]
+    )

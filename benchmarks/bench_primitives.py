@@ -1,0 +1,81 @@
+"""Micro-benchmarks for the core representations (the Section 3 argument).
+
+The whole paper rests on one micro-fact: an epoch comparison is O(1) and a
+vector-clock operation is O(n).  These entries measure the primitives in
+isolation, including how the VC costs scale with thread count (n = 4 vs 32,
+the range between the Java Grande configs and Eclipse's 24 threads).
+"""
+
+import pytest
+
+from repro.core.epoch import epoch_leq_vc, make_epoch
+from repro.core.vectorclock import VectorClock
+
+REPS = 10_000
+
+
+@pytest.mark.parametrize("threads", [4, 32])
+def test_epoch_vs_vc_comparison(benchmark, threads):
+    vc = VectorClock([5] * threads)
+    epoch = make_epoch(5, threads - 1)
+    clocks = vc.clocks
+
+    def run():
+        total = 0
+        for _ in range(REPS):
+            total += epoch_leq_vc(epoch, clocks)
+        return total
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == REPS
+
+
+@pytest.mark.parametrize("threads", [4, 32])
+def test_vc_leq(benchmark, threads):
+    low = VectorClock([5] * threads)
+    high = VectorClock([6] * threads)
+
+    def run():
+        total = 0
+        for _ in range(REPS):
+            total += low.leq(high)
+        return total
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == REPS
+
+
+@pytest.mark.parametrize("threads", [4, 32])
+def test_vc_join(benchmark, threads):
+    left = VectorClock(list(range(threads)))
+    right = VectorClock(list(range(threads, 0, -1)))
+
+    def run():
+        for _ in range(REPS):
+            left.join(right)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("threads", [4, 32])
+def test_vc_copy_allocation(benchmark, threads):
+    vc = VectorClock([7] * threads)
+
+    def run():
+        for _ in range(REPS):
+            vc.copy()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_epoch_write_update(benchmark):
+    """The entire [FT WRITE SAME EPOCH] fast path, inlined."""
+    write_epoch = make_epoch(3, 1)
+    current = make_epoch(3, 1)
+
+    def run():
+        hits = 0
+        for _ in range(REPS):
+            if write_epoch == current:
+                hits += 1
+        return hits
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == REPS

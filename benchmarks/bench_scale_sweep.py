@@ -1,0 +1,58 @@
+"""Linearity check: every tool is O(events) in the trace length.
+
+All the detectors are online with (amortized) constant-or-O(n) work per
+event, so total analysis time must scale linearly with the event count —
+if shadow-state growth ever made per-event cost creep upward (e.g. an
+accidental O(vars) scan on an access path), this sweep would show it as a
+rising per-event time.
+"""
+
+import pytest
+
+from repro.bench.harness import _tool, replay, timed_replay
+from repro.bench.workload import WORKLOADS
+
+SCALES = (150, 600, 2400)
+
+
+@pytest.mark.parametrize("tool_name", ["FastTrack", "DJIT+", "Eraser", "Goldilocks"])
+@pytest.mark.parametrize("scale", SCALES)
+def test_sweep_cell(benchmark, scale, tool_name):
+    trace = WORKLOADS["mtrt"].trace(scale=scale)
+    benchmark.extra_info["events"] = len(trace)
+    benchmark.pedantic(
+        lambda: replay(trace, _tool(tool_name)),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_per_event_cost_is_flat(benchmark):
+    def run():
+        rows = {}
+        for tool_name in ("FastTrack", "DJIT+"):
+            per_event = {}
+            for scale in SCALES:
+                trace = WORKLOADS["mtrt"].trace(scale=scale)
+                seconds, _d = timed_replay(
+                    trace, lambda name=tool_name: _tool(name), repeats=3
+                )
+                per_event[scale] = seconds / len(trace)
+            rows[tool_name] = per_event
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("per-event time (µs) by scale")
+    for tool_name, per_event in rows.items():
+        rendered = "  ".join(
+            f"{scale}:{value * 1e6:.3f}" for scale, value in per_event.items()
+        )
+        print(f"  {tool_name:<10s} {rendered}")
+    for tool_name, per_event in rows.items():
+        small = per_event[SCALES[0]]
+        large = per_event[SCALES[-1]]
+        # 16x more events, per-event cost within 1.6x (cache effects and
+        # timer noise allowed; super-linear blowup is not).
+        assert large < small * 1.6, tool_name

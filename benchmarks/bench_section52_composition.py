@@ -1,0 +1,81 @@
+"""E6 — Section 5.2: analysis composition (prefilter × checker).
+
+Paper slowdowns over the compute-bound benchmarks:
+
+    checker      None   TL    Eraser  DJIT+  FastTrack
+    Atomizer     57.2   16.8  —       17.5   12.6
+    Velodrome    57.9   27.1  14.9    19.6   11.3
+    SingleTrack  104.1  55.4  32.7    19.7   11.7
+
+Each pytest-benchmark entry times one (checker, prefilter) pipeline over a
+representative workload; the report test regenerates the averaged table and
+asserts the headline claim: the FastTrack prefilter gives each checker its
+biggest speedup (paper: 5x for Velodrome, 8x for SingleTrack vs. NONE).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    CHECKERS,
+    PREFILTERS,
+    run_composition,
+)
+from repro.bench.reporting import format_composition
+from repro.bench.workload import WORKLOADS
+
+BENCH_SCALE = 350
+
+
+@pytest.mark.parametrize("filter_name", ["None", "TL", "DJIT+", "FastTrack"])
+@pytest.mark.parametrize("checker_name", ["Atomizer", "Velodrome", "SingleTrack"])
+def test_composition_cell(benchmark, checker_name, filter_name):
+    trace = WORKLOADS["mtrt"].trace(scale=BENCH_SCALE)
+
+    def run():
+        prefilter = PREFILTERS[filter_name]()
+        checker = CHECKERS[checker_name]()
+        keep = prefilter.keep
+        handle = checker.handle
+        for event in trace.events:
+            if keep(event):
+                handle(event)
+        return prefilter
+
+    prefilter = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["pass_fraction"] = round(
+        prefilter.events_out / max(prefilter.events_in, 1), 4
+    )
+
+
+def test_composition_report(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_composition(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(format_composition(table))
+
+    for checker_name, row in table.items():
+        unfiltered = row["None"].slowdown
+        fasttracked = row["FastTrack"].slowdown
+        # The FastTrack prefilter speeds every checker up...
+        assert fasttracked < unfiltered / 1.2, checker_name
+        # ...passes only a sliver of the event stream through...
+        assert row["FastTrack"].pass_fraction < 0.25, checker_name
+        # ...keeps fewer events than the TL filter (it drops race-free
+        # shared accesses that TL must keep)...
+        assert row["FastTrack"].pass_fraction < row["TL"].pass_fraction
+        # ...and is the best of the happens-before-based prefilters.
+        assert fasttracked <= 1.1 * row["DJIT+"].slowdown, checker_name
+        if "Eraser" in row:
+            assert fasttracked <= 1.1 * row["Eraser"].slowdown, checker_name
+
+    # SingleTrack — the heaviest checker — gains the most, as in the paper.
+    gain = {
+        name: row["None"].slowdown / row["FastTrack"].slowdown
+        for name, row in table.items()
+    }
+    assert gain["SingleTrack"] >= gain["Velodrome"] * 0.9
+
+    # Footnote 7: Atomizer×Eraser is not a meaningful composition.
+    assert "Eraser" not in table["Atomizer"]
+    assert "Eraser" in table["Velodrome"]

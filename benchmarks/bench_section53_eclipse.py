@@ -1,0 +1,49 @@
+"""E7 — Section 5.3: checking Eclipse.
+
+Paper: five user-initiated operations checked with up to 24 threads;
+FastTrack "performed quite well on the three most compute-intensive tests
+..., exhibiting performance better than DJIT+ and comparable to ERASER";
+warnings: FastTrack 30 distinct, DJIT+ 28 (scheduling differences),
+Eraser 960.
+"""
+
+import pytest
+
+from repro.bench import eclipse
+from repro.bench.harness import _tool, replay
+from repro.bench.reporting import format_eclipse
+from repro.runtime.scheduler import run_program
+
+BENCH_SCALE = 250
+
+
+@pytest.mark.parametrize("tool_name", list(eclipse.ECLIPSE_TOOLS))
+@pytest.mark.parametrize("op_name", list(eclipse.OPERATIONS))
+def test_eclipse_cell(benchmark, op_name, tool_name):
+    factory, _default = eclipse.OPERATIONS[op_name]
+    trace = run_program(factory(BENCH_SCALE), seed=0)
+    benchmark.extra_info["events"] = len(trace)
+
+    def run():
+        return replay(trace, _tool(tool_name))
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_eclipse_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: eclipse.run(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(format_eclipse(results))
+
+    warnings = results["warnings"]
+    # The paper's warning structure.
+    assert warnings["FastTrack"] == 30
+    assert abs(warnings["DJIT+"] - warnings["FastTrack"]) <= 3
+    assert warnings["Eraser"] > 5 * warnings["FastTrack"]
+
+    # FastTrack no slower than DJIT+ on the compute-intensive operations.
+    for op in ("Import", "CleanSmall", "CleanLarge"):
+        row = results["slowdowns"][op]
+        assert row["FastTrack"].slowdown < 1.25 * row["DJIT+"].slowdown, op

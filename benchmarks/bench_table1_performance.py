@@ -1,0 +1,81 @@
+"""E1 — Table 1: per-tool replay cost on every benchmark workload.
+
+Each pytest-benchmark entry is one (workload, tool) cell of Table 1: the
+time to replay the workload's event stream through the tool.  The
+pytest-benchmark report therefore *is* the slowdown table up to the common
+base-loop factor.  A final report test regenerates the full rendered table
+(warnings included) and asserts the paper's qualitative claims:
+
+* BasicVC is the slowest vector-clock tool; FastTrack the fastest;
+* FastTrack is comparable to Eraser;
+* warning counts match Table 1 exactly (27 / 5 / 8 / 8 / 8 totals).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    TABLE1_ORDER,
+    TABLE1_TOOLS,
+    WARNING_TOOLS,
+    _tool,
+    replay,
+    run_table1,
+)
+from repro.bench.reporting import format_table1
+from repro.bench.workload import WORKLOADS
+
+BENCH_SCALE = 400
+
+
+@pytest.mark.parametrize("tool_name", TABLE1_TOOLS)
+@pytest.mark.parametrize("workload_name", TABLE1_ORDER)
+def test_table1_cell(benchmark, workload_name, tool_name):
+    trace = WORKLOADS[workload_name].trace(scale=BENCH_SCALE)
+    benchmark.extra_info["events"] = len(trace)
+
+    def run():
+        return replay(trace, _tool(tool_name))
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_table1_report(benchmark):
+    """Regenerate the whole table once and check the headline shapes."""
+
+    def run():
+        return run_table1(scale=BENCH_SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table1(results))
+
+    compute_bound = [
+        name for name in results if WORKLOADS[name].compute_bound
+    ]
+
+    def average(tool):
+        return sum(results[n][tool].slowdown for n in compute_bound) / len(
+            compute_bound
+        )
+
+    # Performance shape (ratios are compressed relative to the JVM numbers
+    # — see EXPERIMENTS.md — but the ordering must hold).
+    assert average("FastTrack") < average("DJIT+")
+    assert average("FastTrack") < average("BasicVC")
+    assert average("FastTrack") < average("Goldilocks")
+    assert average("DJIT+") < average("BasicVC")
+    assert average("FastTrack") < 1.35 * average("Eraser")
+
+    # Precision: the Table 1 warning totals, tool for tool.
+    totals = {
+        tool: sum(results[name][tool].warnings for name in results)
+        for tool in WARNING_TOOLS
+    }
+    assert totals == {
+        "Eraser": 27,
+        "MultiRace": 5,
+        "Goldilocks": 4,  # paper shows 3 with lufact/jbb marked "–"
+        "BasicVC": 8,
+        "DJIT+": 8,
+        "FastTrack": 8,
+    }

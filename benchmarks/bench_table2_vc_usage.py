@@ -1,0 +1,54 @@
+"""E2 — Table 2: vector clocks allocated and O(n) VC operations.
+
+The paper's totals: DJIT+ allocated 796,816,918 vector clocks and performed
+5,103,592,958 O(n) operations across the benchmarks; FastTrack allocated
+5,142,120 and performed 71,284,601 — two orders of magnitude fewer.  The
+counters here are architecture-independent, so unlike the timing tables the
+*shape* can be asserted hard: FastTrack must be at least an order of
+magnitude below DJIT+ on both axes, on every compute workload.
+"""
+
+import pytest
+
+from repro.bench.harness import TABLE1_ORDER, run_table2, run_tool
+from repro.bench.reporting import format_table2
+from repro.bench.workload import WORKLOADS
+
+BENCH_SCALE = 400
+
+
+@pytest.mark.parametrize("workload_name", TABLE1_ORDER)
+def test_table2_counters(benchmark, workload_name):
+    workload = WORKLOADS[workload_name]
+
+    def run():
+        dj = run_tool(workload, "DJIT+", scale=BENCH_SCALE, repeats=1)
+        ft = run_tool(workload, "FastTrack", scale=BENCH_SCALE, repeats=1)
+        return dj, ft
+
+    dj, ft = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["djit_vc_allocs"] = dj.vc_allocs
+    benchmark.extra_info["ft_vc_allocs"] = ft.vc_allocs
+    benchmark.extra_info["djit_vc_ops"] = dj.vc_ops
+    benchmark.extra_info["ft_vc_ops"] = ft.vc_ops
+    assert ft.vc_allocs <= dj.vc_allocs
+    assert ft.vc_ops <= dj.vc_ops
+
+
+def test_table2_report(benchmark):
+    def run():
+        return run_table2(scale=BENCH_SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table2(results))
+
+    total_dj_allocs = sum(r["DJIT+"].vc_allocs for r in results.values())
+    total_ft_allocs = sum(r["FastTrack"].vc_allocs for r in results.values())
+    total_dj_ops = sum(r["DJIT+"].vc_ops for r in results.values())
+    total_ft_ops = sum(r["FastTrack"].vc_ops for r in results.values())
+
+    # The paper's two-orders-of-magnitude gap, asserted at one order to be
+    # robust across scales.
+    assert total_ft_allocs * 10 < total_dj_allocs
+    assert total_ft_ops * 10 < total_dj_ops

@@ -1,0 +1,79 @@
+"""The asymptotic claim: O(n) vector clocks vs O(1) epochs.
+
+"if the target program has n threads, then each VC requires O(n) storage
+space and each VC operation requires O(n) time" — so BasicVC's per-event
+cost must grow with the thread count, while FastTrack's stays flat (its
+access fast paths never touch a vector).  This benchmark holds the
+per-thread work constant and sweeps the thread count.
+"""
+
+import pytest
+
+from repro.bench.harness import base_replay_time, replay, timed_replay, _tool
+from repro.bench.programs.scaling import scaling_program
+from repro.runtime.scheduler import run_program
+
+THREAD_COUNTS = (2, 8, 24)
+PER_THREAD_SCALE = 1600
+
+
+def _trace(threads):
+    # Fixed per-thread work: total events grow linearly, so per-event time
+    # is the quantity to compare.
+    return run_program(
+        scaling_program(threads, PER_THREAD_SCALE // threads * 4), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {threads: _trace(threads) for threads in THREAD_COUNTS}
+
+
+@pytest.mark.parametrize("tool_name", ["FastTrack", "BasicVC", "DJIT+"])
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_scaling_cell(benchmark, traces, threads, tool_name):
+    trace = traces[threads]
+    benchmark.extra_info["events"] = len(trace)
+    benchmark.pedantic(
+        lambda: replay(trace, _tool(tool_name)),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_scaling_report(benchmark):
+    def run():
+        rows = {}
+        for threads in THREAD_COUNTS:
+            trace = _trace(threads)
+            per_event = {}
+            for tool_name in ("FastTrack", "BasicVC"):
+                seconds, _detector = timed_replay(
+                    trace, lambda name=tool_name: _tool(name), repeats=3
+                )
+                per_event[tool_name] = seconds / len(trace)
+            rows[threads] = per_event
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("per-event analysis cost (µs) by thread count")
+    print(f"{'threads':>8s}{'FastTrack':>12s}{'BasicVC':>12s}{'ratio':>8s}")
+    for threads, row in rows.items():
+        ratio = row["BasicVC"] / row["FastTrack"]
+        print(
+            f"{threads:>8d}{row['FastTrack'] * 1e6:>12.3f}"
+            f"{row['BasicVC'] * 1e6:>12.3f}{ratio:>8.2f}"
+        )
+
+    low, high = THREAD_COUNTS[0], THREAD_COUNTS[-1]
+    basicvc_growth = rows[high]["BasicVC"] / rows[low]["BasicVC"]
+    fasttrack_growth = rows[high]["FastTrack"] / rows[low]["FastTrack"]
+    # BasicVC's per-event cost grows with n; FastTrack's stays near flat.
+    assert basicvc_growth > fasttrack_growth * 1.15
+    # ...and the FastTrack advantage widens as threads increase.
+    ratio_low = rows[low]["BasicVC"] / rows[low]["FastTrack"]
+    ratio_high = rows[high]["BasicVC"] / rows[high]["FastTrack"]
+    assert ratio_high > ratio_low

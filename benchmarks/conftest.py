@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4 for the experiment index).  ``BENCH_SCALE``
+trades fidelity for wall-clock time; the reference numbers in
+EXPERIMENTS.md were produced at each workload's default scale via
+``python -m repro.bench``.
+"""
+
+import pytest
+
+#: Workload scale used inside pytest-benchmark runs (default scales are
+#: used by ``python -m repro.bench``, which is the reference run).
+BENCH_SCALE = 400
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep a stable, table-like ordering in the benchmark report.
+    items.sort(key=lambda item: item.nodeid)

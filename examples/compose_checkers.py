@@ -1,0 +1,52 @@
+"""Analysis composition: FastTrack as a prefilter (Section 5.2).
+
+RoadRunner's ``-tool FastTrack:Velodrome`` feeds the event stream through
+FastTrack, which drops race-free memory accesses before they reach the
+expensive downstream checker.  This example runs the Velodrome atomicity
+checker over the mtrt workload raw and behind each prefilter, showing the
+event reduction and the wall-clock effect.
+
+Run:  python examples/compose_checkers.py
+"""
+
+import time
+
+from repro.bench.workload import WORKLOADS
+from repro.checkers import Velodrome
+from repro.runtime.filters import (
+    DJITFilter,
+    FastTrackFilter,
+    NoneFilter,
+    ThreadLocalFilter,
+    compose,
+)
+
+
+def main() -> None:
+    trace = WORKLOADS["mtrt"].trace(scale=1200)
+    print(f"checking atomicity of mtrt ({len(trace)} events) with Velodrome\n")
+    header = (
+        f"{'prefilter':<12s}{'events passed':>15s}{'fraction':>10s}"
+        f"{'time':>10s}{'violations':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for prefilter_cls in (NoneFilter, ThreadLocalFilter, DJITFilter, FastTrackFilter):
+        prefilter = prefilter_cls()
+        checker = Velodrome()
+        start = time.perf_counter()
+        result = compose(prefilter, checker, trace.events)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{prefilter.name:<12s}{result.events_passed:>15d}"
+            f"{result.pass_fraction:>10.1%}{elapsed * 1000:>8.0f}ms"
+            f"{checker.violation_count:>12d}"
+        )
+    print()
+    print("the FastTrack prefilter forwards only synchronization events and")
+    print("accesses to variables with detected races — everything a sound")
+    print("atomicity checker still needs, at a fraction of the event volume.")
+
+
+if __name__ == "__main__":
+    main()

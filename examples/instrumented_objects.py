@@ -1,0 +1,66 @@
+"""Automatic instrumentation: whole objects, lists, and dicts.
+
+Instead of declaring every shared location by hand, wrap the objects once —
+every attribute and element access then flows to the detectors with its
+real ``file.py:line`` source site, and FastTrack's report names both lines
+of the race.
+
+Run:  python examples/instrumented_objects.py
+"""
+
+from repro import FastTrack
+from repro.report import build_report
+from repro.runtime.instrument import MonitoredDict, MonitoredList, monitored_object
+from repro.runtime.monitor import MonitoredLock, ThreadMonitor
+
+
+class Inventory:
+    """An ordinary class — nothing repro-specific about it."""
+
+    def __init__(self) -> None:
+        self.stock = 100
+        self.reserved = 0
+
+
+def main() -> None:
+    monitor = ThreadMonitor()
+    inventory = monitored_object(monitor, "inventory", Inventory())
+    orders = MonitoredList(monitor, "orders")
+    customers = MonitoredDict(monitor, "customers")
+    ledger_lock = MonitoredLock(monitor, "ledger_lock")
+
+    def sales_desk(desk: int) -> None:
+        for order in range(25):
+            # BUG: read-modify-write on two fields with no lock.
+            if inventory.stock > 0:
+                inventory.stock = inventory.stock - 1
+                inventory.reserved = inventory.reserved + 1
+            # Correct: the ledger is consistently locked.
+            with ledger_lock:
+                orders.append((desk, order))
+                customers[desk] = customers.get(desk, 0) + 1
+
+    threads = [monitor.spawn(sales_desk, desk) for desk in range(3)]
+    for thread in threads:
+        monitor.join(thread)
+
+    trace = monitor.trace()
+    print(f"captured {len(trace)} events from 4 threads")
+    tool = FastTrack(track_sites=True)
+    tool.process(trace)
+    print(f"\nFastTrack: {tool.warning_count} warning(s)")
+    for warning in tool.warnings:
+        print(f"  {warning}")
+
+    racy_fields = {w.var for w in tool.warnings}
+    assert ("inventory", "stock") in racy_fields
+    assert not any(var[0] == "customers" for var in racy_fields)
+    print("\nthe unlocked inventory fields race; the locked ledger")
+    print("(orders list + customers dict) is certified clean.")
+    print("\n--- report excerpt ---")
+    report = build_report(trace, tool)
+    print("\n".join(report.splitlines()[:6]))
+
+
+if __name__ == "__main__":
+    main()

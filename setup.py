@@ -1,0 +1,6 @@
+"""Setuptools shim (kept for environments whose pip lacks PEP 660 editable
+support or the ``wheel`` package; metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

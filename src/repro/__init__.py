@@ -1,0 +1,121 @@
+"""repro — a complete reproduction of *FastTrack: Efficient and Precise
+Dynamic Race Detection* (Flanagan & Freund, PLDI 2009).
+
+Quickstart::
+
+    from repro import FastTrack, Trace, rd, wr, fork
+
+    trace = Trace([wr(0, "x"), fork(0, 1), wr(1, "x"), wr(0, "x")])
+    tool = FastTrack().process(trace)
+    for warning in tool.warnings:
+        print(warning)
+
+Package map:
+
+* :mod:`repro.core` — epochs, vector clocks, shadow state, FastTrack itself.
+* :mod:`repro.trace` — traces, feasibility, the happens-before oracle,
+  random trace generation.
+* :mod:`repro.detectors` — the six comparison tools (Empty, Eraser,
+  MultiRace, Goldilocks, BasicVC, DJIT+) and the registry.
+* :mod:`repro.runtime` — the simulated multithreaded runtime (RoadRunner
+  analogue), live-thread monitoring, and event-stream prefilters.
+* :mod:`repro.checkers` — Atomizer, Velodrome, SingleTrack (Section 5.2).
+* :mod:`repro.bench` — the 16 benchmark workloads, the Eclipse workload,
+  and the harness that regenerates the paper's tables.
+"""
+
+from repro.core import (
+    EPOCH_BOTTOM,
+    READ_SHARED,
+    AdaptiveFastTrack,
+    Detector,
+    FastTrack,
+    RaceWarning,
+    VectorClock,
+    epoch_clock,
+    epoch_leq_vc,
+    epoch_tid,
+    format_epoch,
+    make_epoch,
+)
+from repro.detectors import (
+    DETECTORS,
+    PRECISE_DETECTORS,
+    BasicVC,
+    DJITPlus,
+    Empty,
+    Eraser,
+    Goldilocks,
+    MultiRace,
+    coarse_grain,
+    fine_grain,
+    make_detector,
+)
+from repro.trace import (
+    Event,
+    Trace,
+    acq,
+    barrier_rel,
+    check_feasible,
+    find_races,
+    fork,
+    happens_before_graph,
+    is_feasible,
+    is_race_free,
+    join,
+    racy_variables,
+    rd,
+    rel,
+    vol_rd,
+    vol_wr,
+    wr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "FastTrack",
+    "AdaptiveFastTrack",
+    "VectorClock",
+    "Detector",
+    "RaceWarning",
+    "make_epoch",
+    "epoch_clock",
+    "epoch_tid",
+    "epoch_leq_vc",
+    "format_epoch",
+    "EPOCH_BOTTOM",
+    "READ_SHARED",
+    # detectors
+    "Empty",
+    "Eraser",
+    "MultiRace",
+    "Goldilocks",
+    "BasicVC",
+    "DJITPlus",
+    "DETECTORS",
+    "PRECISE_DETECTORS",
+    "make_detector",
+    "fine_grain",
+    "coarse_grain",
+    # traces
+    "Event",
+    "Trace",
+    "rd",
+    "wr",
+    "acq",
+    "rel",
+    "fork",
+    "join",
+    "vol_rd",
+    "vol_wr",
+    "barrier_rel",
+    "check_feasible",
+    "is_feasible",
+    "find_races",
+    "racy_variables",
+    "is_race_free",
+    "happens_before_graph",
+]

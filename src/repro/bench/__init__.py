@@ -1,0 +1,35 @@
+"""Benchmark workloads and the evaluation harness.
+
+One workload per benchmark of Table 1 (synthetic analogues reproducing each
+Java program's sharing structure and known races — see DESIGN.md §2), plus
+the Eclipse workload of Section 5.3, and the harness/reporting code that
+regenerates every table in the paper's evaluation.
+"""
+
+from repro.bench.workload import Workload, WORKLOADS, get_workload
+from repro.bench.harness import (
+    BenchmarkResult,
+    replay,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_rule_frequencies,
+    run_composition,
+    run_eclipse,
+)
+from repro.bench import reporting
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "BenchmarkResult",
+    "replay",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_rule_frequencies",
+    "run_composition",
+    "run_eclipse",
+    "reporting",
+]

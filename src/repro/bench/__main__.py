@@ -1,0 +1,146 @@
+"""Regenerate every table of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench                # all experiments, default scales
+    python -m repro.bench --scale 300    # quicker, smaller workloads
+    python -m repro.bench table1 table2  # a subset
+
+Output is the paper-vs-measured rendering of Tables 1–3, the Figure 2 rule
+frequencies, the Section 5.2 composition table, and the Section 5.3 Eclipse
+table.  EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.bench import harness, reporting
+
+
+def _jsonable(value):
+    """Recursively convert harness results into JSON-friendly structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        choices=[
+            [],
+            "table1",
+            "table2",
+            "table3",
+            "figure2",
+            "composition",
+            "eclipse",
+        ],
+        help="subset of experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="override each workload's default scale (smaller = faster)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the raw results as JSON ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+    wanted = set(args.experiments) or {
+        "table1",
+        "table2",
+        "table3",
+        "figure2",
+        "composition",
+        "eclipse",
+    }
+
+    def section(title: str, body: str) -> None:
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(body)
+        print()
+
+    started = time.perf_counter()
+    collected = {}
+    if "table1" in wanted:
+        results = harness.run_table1(scale=args.scale)
+        collected["table1"] = results
+        section(
+            "E1: Table 1 — performance and precision",
+            reporting.format_table1(results),
+        )
+    if "table2" in wanted:
+        results = harness.run_table2(scale=args.scale)
+        collected["table2"] = results
+        section(
+            "E2: Table 2 — vector clock allocation and usage",
+            reporting.format_table2(results),
+        )
+    if "table3" in wanted:
+        results = harness.run_table3(scale=args.scale)
+        collected["table3"] = results
+        section(
+            "E3: Table 3 — analysis granularity",
+            reporting.format_table3(results),
+        )
+    if "figure2" in wanted:
+        results = harness.run_rule_frequencies(scale=args.scale)
+        collected["figure2"] = results
+        section(
+            "E4: Figure 2 — operation mix and rule frequencies",
+            reporting.format_rule_frequencies(results),
+        )
+    if "composition" in wanted:
+        results = harness.run_composition(scale=args.scale)
+        collected["composition"] = results
+        section(
+            "E6: Section 5.2 — analysis composition",
+            reporting.format_composition(results),
+        )
+    if "eclipse" in wanted:
+        results = harness.run_eclipse(scale=args.scale)
+        collected["eclipse"] = results
+        section(
+            "E7: Section 5.3 — Eclipse",
+            reporting.format_eclipse(results),
+        )
+    print(f"(total {time.perf_counter() - started:.1f}s)")
+    if args.json is not None:
+        payload = json.dumps(_jsonable(collected), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+            print(f"(raw results written to {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""The paper's published numbers, machine-readable.
+
+Transcribed from the evaluation section of Flanagan & Freund, *FastTrack:
+Efficient and Precise Dynamic Race Detection*, PLDI 2009 (revised
+2016/7/1).  Table 1's slowdowns and warning counts live next to the
+workloads themselves (:class:`repro.bench.workload.PaperRow`); this module
+carries Table 2, Table 3, the Section 5.2 composition table, and the
+Section 5.3 Eclipse table, so reports and tests can compare against the
+original without hard-coding numbers at call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# -- Table 2: vector clocks allocated / O(n) VC operations ---------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    djit_allocs: int
+    fasttrack_allocs: int
+    djit_ops: int
+    fasttrack_ops: int
+
+
+TABLE2: Dict[str, Table2Row] = {
+    "colt": Table2Row(849_765, 76_209, 5_792_894, 1_266_599),
+    "crypt": Table2Row(17_332_725, 119, 28_198_821, 18),
+    "lufact": Table2Row(8_024_779, 2_715_630, 3_849_393_222, 3_721_749),
+    "moldyn": Table2Row(849_397, 26_787, 69_519_902, 1_320_613),
+    "montecarlo": Table2Row(457_647_007, 25, 519_064_435, 25),
+    "mtrt": Table2Row(2_763_373, 40, 2_735_380, 402),
+    "raja": Table2Row(1_498_557, 3, 760_008, 1),
+    "raytracer": Table2Row(160_035_820, 14, 212_451_330, 36),
+    "sparse": Table2Row(31_957_471, 456_779, 56_553_011, 15),
+    "series": Table2Row(3_997_307, 13, 3_999_080, 16),
+    "sor": Table2Row(2_002_115, 5_975, 26_331_880, 54_907),
+    "tsp": Table2Row(311_273, 397, 829_091, 1_210),
+    "elevator": Table2Row(1_678, 207, 14_209, 5_662),
+    "philo": Table2Row(56, 12, 472, 120),
+    "hedc": Table2Row(886, 82, 1_982, 365),
+    "jbb": Table2Row(109_544_709, 1_859_828, 327_947_241, 64_912_863),
+}
+
+TABLE2_TOTALS = Table2Row(
+    796_816_918, 5_142_120, 5_103_592_958, 71_284_601
+)
+
+
+# -- Table 3: granularity — memory overhead factors and slowdowns --------------
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    base_memory_mb: int
+    mem_fine: Tuple[float, float]  # (DJIT+, FastTrack) overhead factors
+    mem_coarse: Tuple[float, float]
+    slow_fine: Tuple[float, float]
+    slow_coarse: Tuple[float, float]
+
+
+TABLE3: Dict[str, Table3Row] = {
+    "colt": Table3Row(36, (4.3, 2.4), (2.0, 1.8), (0.9, 0.9), (0.9, 0.8)),
+    "crypt": Table3Row(41, (44.3, 10.5), (1.2, 1.2), (54.0, 14.3), (6.6, 6.6)),
+    "lufact": Table3Row(80, (9.8, 4.1), (1.1, 1.1), (36.3, 13.5), (5.4, 6.6)),
+    "moldyn": Table3Row(37, (3.3, 1.7), (1.3, 1.2), (39.6, 10.6), (11.9, 8.3)),
+    "montecarlo": Table3Row(
+        595, (6.1, 2.1), (1.1, 1.1), (30.5, 6.4), (3.4, 2.8)
+    ),
+    "mtrt": Table3Row(51, (3.9, 2.2), (2.6, 1.9), (7.1, 6.0), (8.3, 7.0)),
+    "raja": Table3Row(35, (1.3, 1.3), (1.2, 1.3), (3.4, 2.8), (3.1, 2.7)),
+    "raytracer": Table3Row(
+        36, (6.2, 1.9), (1.4, 1.2), (18.1, 13.1), (14.5, 10.6)
+    ),
+    "sparse": Table3Row(131, (23.3, 6.1), (1.0, 1.0), (27.8, 14.8), (3.9, 4.1)),
+    "series": Table3Row(51, (8.5, 3.1), (1.1, 1.1), (1.0, 1.0), (1.0, 1.0)),
+    "sor": Table3Row(40, (5.3, 2.1), (1.1, 1.1), (15.8, 9.3), (5.8, 6.3)),
+    "tsp": Table3Row(33, (1.7, 1.3), (1.2, 1.2), (8.2, 8.9), (7.6, 7.3)),
+    "elevator": Table3Row(32, (1.2, 1.2), (1.2, 1.2), (1.1, 1.1), (1.1, 1.1)),
+    "philo": Table3Row(32, (1.2, 1.2), (1.2, 1.2), (1.1, 1.1), (1.1, 1.1)),
+    "hedc": Table3Row(33, (1.4, 1.4), (1.3, 1.3), (1.1, 1.1), (0.9, 0.9)),
+    "jbb": Table3Row(236, (4.1, 2.4), (2.3, 1.9), (1.6, 1.4), (1.3, 1.3)),
+}
+
+TABLE3_AVERAGES = Table3Row(
+    0, (7.9, 2.8), (1.4, 1.3), (20.2, 8.5), (6.0, 5.3)
+)
+
+
+# -- Section 5.2: composition slowdowns ----------------------------------------
+
+#: (checker, prefilter) -> published slowdown; None = not meaningful
+#: (footnote 7: Atomizer already embeds Eraser).
+COMPOSITION: Dict[Tuple[str, str], Optional[float]] = {
+    ("Atomizer", "None"): 57.2,
+    ("Atomizer", "TL"): 16.8,
+    ("Atomizer", "Eraser"): None,
+    ("Atomizer", "DJIT+"): 17.5,
+    ("Atomizer", "FastTrack"): 12.6,
+    ("Velodrome", "None"): 57.9,
+    ("Velodrome", "TL"): 27.1,
+    ("Velodrome", "Eraser"): 14.9,
+    ("Velodrome", "DJIT+"): 19.6,
+    ("Velodrome", "FastTrack"): 11.3,
+    ("SingleTrack", "None"): 104.1,
+    ("SingleTrack", "TL"): 55.4,
+    ("SingleTrack", "Eraser"): 32.7,
+    ("SingleTrack", "DJIT+"): 19.7,
+    ("SingleTrack", "FastTrack"): 11.7,
+}
+
+#: Headline composition speedups the paper quotes in the contributions list.
+VELODROME_SPEEDUP = 5.0
+SINGLETRACK_SPEEDUP = 8.0
+
+
+# -- Section 5.3: Eclipse --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EclipseRow:
+    base_time_sec: float
+    slowdowns: Dict[str, float]  # Empty / Eraser / DJIT+ / FastTrack
+
+
+ECLIPSE: Dict[str, EclipseRow] = {
+    "Startup": EclipseRow(
+        6.0, {"Empty": 13.0, "Eraser": 16.0, "DJIT+": 17.3, "FastTrack": 16.0}
+    ),
+    "Import": EclipseRow(
+        2.5, {"Empty": 7.6, "Eraser": 14.9, "DJIT+": 17.1, "FastTrack": 13.1}
+    ),
+    "CleanSmall": EclipseRow(
+        2.7, {"Empty": 14.1, "Eraser": 16.7, "DJIT+": 24.4, "FastTrack": 15.2}
+    ),
+    "CleanLarge": EclipseRow(
+        6.5, {"Empty": 17.1, "Eraser": 17.9, "DJIT+": 38.5, "FastTrack": 15.4}
+    ),
+    "Debug": EclipseRow(
+        1.1, {"Empty": 1.6, "Eraser": 1.7, "DJIT+": 1.7, "FastTrack": 1.6}
+    ),
+}
+
+ECLIPSE_WARNINGS = {"FastTrack": 30, "DJIT+": 28, "Eraser": 960}
+
+#: Other headline facts quoted in the paper's Section 1/3/5 text.
+FRACTION_FAST_PATH_OPERATIONS = 0.96  # "upwards of 96% of the operations"
+BASICVC_SPEEDUP = 10.0  # "almost a 10x speedup over BasicVC"
+DJIT_SPEEDUP = 2.3  # "2.3x speedup even over the DJIT+ algorithm"
+AVERAGE_SLOWDOWNS = {
+    "Empty": 4.1,
+    "Eraser": 8.6,
+    "MultiRace": 21.7,
+    "Goldilocks": 31.6,
+    "BasicVC": 89.8,
+    "DJIT+": 20.2,
+    "FastTrack": 8.5,
+}
+OPERATION_MIX = {"reads": 0.823, "writes": 0.145, "other": 0.033}
+FASTTRACK_READ_RULES = {
+    "FT READ SAME EPOCH": 0.634,
+    "FT READ SHARED": 0.208,
+    "FT READ EXCLUSIVE": 0.157,
+    "FT READ SHARE": 0.001,
+}
+FASTTRACK_WRITE_RULES = {
+    "FT WRITE SAME EPOCH": 0.710,
+    "FT WRITE EXCLUSIVE": 0.289,
+    "FT WRITE SHARED": 0.001,
+}
+DJIT_RULES = {
+    "DJIT+ READ SAME EPOCH": 0.780,
+    "DJIT+ READ": 0.220,
+    "DJIT+ WRITE SAME EPOCH": 0.710,
+    "DJIT+ WRITE": 0.290,
+}

@@ -1,0 +1,14 @@
+"""Model programs for the 16 benchmarks of Table 1.
+
+Each module registers its workloads with :mod:`repro.bench.workload`.
+The programs are synthetic analogues: they reproduce the *sharing
+structure* of the original Java benchmarks — which data is thread-local,
+lock-protected, read-shared, barrier-phased, or handed off via fork/join and
+wait/notify — and the races the paper reports, calibrated so each tool's
+warning count matches its Table 1 column (see DESIGN.md §2 for the
+substitution argument and EXPERIMENTS.md for the measured comparison).
+"""
+
+from repro.bench.programs import helpers
+
+__all__ = ["helpers"]

@@ -1,0 +1,716 @@
+"""Application benchmark analogues: colt, mtrt, raja, tsp, elevator, philo,
+hedc, jbb.
+
+These carry the evaluation's interesting warning structure: tsp's benign
+bound race plus eight fork/join false alarms for Eraser, hedc's three real
+thread-pool races (two of which Eraser and MultiRace miss, and all of which
+the paper's unsoundly-extended Goldilocks missed), jbb's two races, and the
+benign races in mtrt and raytracer.
+"""
+
+from __future__ import annotations
+
+from repro.bench.programs.helpers import fork_all, join_all, local_update
+from repro.bench.workload import PaperRow, Workload, register
+from repro.runtime.program import Program
+
+
+# ---------------------------------------------------------------------------
+# colt — scientific computing library driver: 10 workers over read-shared
+# matrices.  Race-free; 3 Eraser false alarms on fork/join handoffs.
+# ---------------------------------------------------------------------------
+
+_COLT_WORKERS = 10
+
+
+def _colt_program(scale: int) -> Program:
+    def main(th):
+        yield th.enter("colt.setup")
+        for i in range(48):
+            yield th.write(("A", i), site="colt.wr_A")
+            yield th.write(("B", i), site="colt.wr_B")
+        for w in range(_COLT_WORKERS):
+            yield th.write(("wconfig", w), site="colt.config_seed")
+            yield th.write(("scratch", w), site="colt.scratch_seed")
+        yield th.write("total", site="colt.total_seed")
+        yield th.exit("colt.setup")
+        yield th.volatile_write("colt.go")
+        children = yield from fork_all(th, worker, _COLT_WORKERS)
+        yield from join_all(th, children)
+        # Spurious site 3: final total update after the joins, lock-free.
+        yield th.read("total", site="colt.total_rd")
+        yield th.write("total", site="colt.total_final")
+
+    def worker(th, w):
+        yield th.volatile_read("colt.go")
+        yield th.read(("wconfig", w), site="colt.config_rd")
+        # Spurious sites 1 and 2: fork-ordered write handoffs.
+        yield th.write(("wconfig", w), site="colt.config_handoff")
+        yield th.write(("scratch", w), site="colt.scratch_handoff")
+        for i in range(scale):
+            yield th.enter("colt.kernel")
+            yield th.read(("A", i % 48), site="colt.rd_A")
+            yield th.read(("B", (i * 3) % 48), site="colt.rd_B")
+            yield th.read(("scratch", w), site="colt.rd_scratch")
+            yield from local_update(th, ("cacc", w), site="colt.acc")
+            yield th.write(("C", w, i), site="colt.wr_C")
+            yield th.exit("colt.kernel")
+            if i % 32 == 0:
+                yield th.acquire("total_lock")
+                yield th.read("total", site="colt.total_acc_rd")
+                yield th.write("total", site="colt.total_acc")
+                yield th.release("total_lock")
+
+    return Program(main, name="colt")
+
+
+register(
+    Workload(
+        name="colt",
+        description="matrix library driver: 10 workers, read-shared inputs",
+        build=_colt_program,
+        default_scale=500,
+        paper=PaperRow(
+            size_loc=111421,
+            threads=11,
+            base_time_sec=16.1,
+            slowdowns={
+                "Empty": 0.9,
+                "Eraser": 0.9,
+                "MultiRace": 0.9,
+                "Goldilocks": 1.8,
+                "BasicVC": 0.9,
+                "DJIT+": 0.9,
+                "FastTrack": 0.9,
+            },
+            warnings={
+                "Eraser": 3,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# mtrt — multithreaded ray tracer (SPEC): partitioned rendering plus one
+# benign write-write race on a progress counter that every tool reports.
+# ---------------------------------------------------------------------------
+
+_MTRT_WORKERS = 4
+
+
+def _mtrt_program(scale: int) -> Program:
+    def main(th):
+        yield th.enter("mtrt.scene")
+        for s in range(32):
+            yield th.write(("scene", s), site="mtrt.scene_init")
+        yield th.exit("mtrt.scene")
+        children = yield from fork_all(th, worker, _MTRT_WORKERS)
+        yield from join_all(th, children)
+        for w in range(_MTRT_WORKERS):
+            for i in range(0, scale, 10):
+                yield th.read(("row", w, i), site="mtrt.rd_row")
+
+    def worker(th, w):
+        for i in range(scale):
+            yield th.enter("mtrt.trace_ray")
+            yield th.read(("scene", i % 32), site="mtrt.rd_scene")
+            yield th.read(("scene", (i * 11) % 32), site="mtrt.rd_scene2")
+            yield th.read(("scene", (i * 5) % 32), site="mtrt.rd_scene3")
+            yield from local_update(th, ("tacc", w), site="mtrt.acc")
+            yield th.write(("row", w, i), site="mtrt.wr_row")
+            yield th.exit("mtrt.trace_ray")
+            if i % 25 == 0:
+                # Benign race: unsynchronized progress counter.
+                yield th.read("progress", site="mtrt.progress_rd")
+                yield th.write("progress", site="mtrt.progress")
+
+    return Program(main, name="mtrt")
+
+
+register(
+    Workload(
+        name="mtrt",
+        description="SPEC ray tracer: benign race on a progress counter",
+        build=_mtrt_program,
+        default_scale=1500,
+        paper=PaperRow(
+            size_loc=11317,
+            threads=5,
+            base_time_sec=0.5,
+            slowdowns={
+                "Empty": 5.7,
+                "Eraser": 6.5,
+                "MultiRace": 7.1,
+                "Goldilocks": 6.7,
+                "BasicVC": 8.3,
+                "DJIT+": 7.1,
+                "FastTrack": 6.0,
+            },
+            warnings={
+                "Eraser": 1,
+                "MultiRace": 1,
+                "Goldilocks": 1,
+                "BasicVC": 1,
+                "DJIT+": 1,
+                "FastTrack": 1,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# raja — two-thread ray tracer: a producer/consumer job queue guarded by a
+# monitor (wait/notify).  Race-free.
+# ---------------------------------------------------------------------------
+
+
+def _raja_program(scale: int) -> Program:
+    state = {"queue": [], "done": False}
+
+    def main(th):
+        renderer = yield th.fork(render)
+        for i in range(scale):
+            yield th.acquire("q")
+            yield th.write(("job", i), site="raja.wr_job")
+            state["queue"].append(i)
+            yield th.notify_all("q")
+            yield th.release("q")
+        yield th.acquire("q")
+        state["done"] = True
+        yield th.notify_all("q")
+        yield th.release("q")
+        yield th.join(renderer)
+        for i in range(0, scale, 4):
+            yield th.read(("pixel", i), site="raja.rd_pixel")
+
+    def render(th, _w=None):
+        while True:
+            yield th.acquire("q")
+            while not state["queue"] and not state["done"]:
+                yield th.wait("q")
+            if state["queue"]:
+                job = state["queue"].pop(0)
+                yield th.read(("job", job), site="raja.rd_job")
+                yield th.release("q")
+                yield th.enter("raja.render")
+                yield th.read(("lut", job % 16), site="raja.rd_lut")
+                yield from local_update(th, ("raacc", "render"), site="raja.acc")
+                yield th.write(("pixel", job), site="raja.wr_pixel")
+                yield th.exit("raja.render")
+            else:
+                yield th.release("q")
+                return
+
+    return Program(main, name="raja")
+
+
+register(
+    Workload(
+        name="raja",
+        description="two-thread renderer: monitor-guarded job queue",
+        build=_raja_program,
+        default_scale=1200,
+        paper=PaperRow(
+            size_loc=12028,
+            threads=2,
+            base_time_sec=0.7,
+            slowdowns={
+                "Empty": 2.8,
+                "Eraser": 3.0,
+                "MultiRace": 3.2,
+                "Goldilocks": 2.7,
+                "BasicVC": 3.5,
+                "DJIT+": 3.4,
+                "FastTrack": 2.8,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# tsp — branch-and-bound travelling salesman: lock-protected work counter,
+# the classic benign race on the global bound (written under a lock, read
+# without it), and eight per-worker tour fields seeded by main (fork-ordered
+# handoffs → eight Eraser false alarms).
+# ---------------------------------------------------------------------------
+
+_TSP_WORKERS = 4
+_TSP_FIELDS = (
+    "path",
+    "visited",
+    "depth",
+    "cost",
+    "best_local",
+    "stack",
+    "prefix",
+    "cache",
+)
+
+
+def _tsp_program(scale: int) -> Program:
+    state = {"next": 0}
+    tasks = max(4, scale // 12)
+
+    def main(th):
+        yield th.enter("tsp.setup")
+        for i in range(40):
+            yield th.write(("dist", i), site="tsp.wr_dist")
+        for w in range(_TSP_WORKERS):
+            for f in _TSP_FIELDS:
+                yield th.write((f, w), site=f"tsp.seed_{f}")
+        yield th.write("best", site="tsp.best_seed")
+        yield th.exit("tsp.setup")
+        children = yield from fork_all(th, worker, _TSP_WORKERS)
+        yield from join_all(th, children)
+        yield th.acquire("best_lock")
+        yield th.read("best", site="tsp.best_result")
+        yield th.release("best_lock")
+
+    def worker(th, w):
+        while True:
+            yield th.acquire("task_lock")
+            task = state["next"]
+            state["next"] += 1
+            yield th.read("next_task", site="tsp.rd_next")
+            yield th.write("next_task", site="tsp.wr_next")
+            yield th.release("task_lock")
+            if task >= tasks:
+                return
+            yield th.enter("tsp.search")
+            for step in range(12):
+                # The benign bound race: unsynchronized pruning read.
+                yield th.read("best", site="tsp.best_read")
+                yield th.read(("dist", (task * 12 + step) % 40), site="tsp.rd_dist")
+                yield th.read(("dist", (task * 7 + step) % 40), site="tsp.rd_dist2")
+                yield from local_update(th, ("tspacc", w), site="tsp.acc")
+                for f in _TSP_FIELDS:
+                    if step % 4 == hash(f) % 4:
+                        yield th.read((f, w), site=f"tsp.rd_{f}")
+                        yield th.write((f, w), site=f"tsp.seed_{f}")
+            yield th.exit("tsp.search")
+            if task % 3 == 0:
+                yield th.acquire("best_lock")
+                yield th.read("best", site="tsp.best_locked_rd")
+                yield th.write("best", site="tsp.best_update")
+                yield th.release("best_lock")
+
+    return Program(main, name="tsp")
+
+
+register(
+    Workload(
+        name="tsp",
+        description="branch-and-bound TSP: benign bound race + 8 handoffs",
+        build=_tsp_program,
+        default_scale=1200,
+        paper=PaperRow(
+            size_loc=706,
+            threads=5,
+            base_time_sec=0.4,
+            slowdowns={
+                "Empty": 4.4,
+                "Eraser": 24.9,
+                "MultiRace": 8.5,
+                "Goldilocks": 74.2,
+                "BasicVC": 390.7,
+                "DJIT+": 8.2,
+                "FastTrack": 8.9,
+            },
+            warnings={
+                "Eraser": 9,
+                "MultiRace": 1,
+                "Goldilocks": 1,
+                "BasicVC": 1,
+                "DJIT+": 1,
+                "FastTrack": 1,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# elevator — discrete event simulator (not compute-bound): a dispatcher
+# enqueues calls under a monitor; elevator threads wait, dequeue, and update
+# lock-protected floor state.  Race-free.
+# ---------------------------------------------------------------------------
+
+_ELEVATORS = 3
+
+
+def _elevator_program(scale: int) -> Program:
+    state = {"calls": [], "done": False}
+    calls = max(4, scale // 10)
+
+    def main(th):
+        dispatcher = yield th.fork(dispatch)
+        lifts = yield from fork_all(th, elevator, _ELEVATORS)
+        yield th.join(dispatcher)
+        yield from join_all(th, lifts)
+        yield th.acquire("building")
+        for f in range(8):
+            yield th.read(("floor", f), site="elevator.final_rd")
+        yield th.release("building")
+
+    def dispatch(th, _w=None):
+        for c in range(calls):
+            yield th.acquire("building")
+            yield th.write(("call", c), site="elevator.wr_call")
+            state["calls"].append(c)
+            yield th.notify_all("building")
+            yield th.release("building")
+        yield th.acquire("building")
+        state["done"] = True
+        yield th.notify_all("building")
+        yield th.release("building")
+
+    def elevator(th, e):
+        while True:
+            yield th.acquire("building")
+            while not state["calls"] and not state["done"]:
+                yield th.wait("building")
+            if state["calls"]:
+                call = state["calls"].pop(0)
+                yield th.read(("call", call), site="elevator.rd_call")
+                yield th.write(("floor", call % 8), site="elevator.wr_floor")
+                yield th.release("building")
+                for s in range(4):
+                    yield th.read(("motor", e), site="elevator.rd_motor")
+                    yield th.write(("motor", e), site="elevator.wr_motor")
+            else:
+                yield th.release("building")
+                return
+
+    return Program(main, name="elevator")
+
+
+register(
+    Workload(
+        name="elevator",
+        description="discrete-event elevator simulator (monitor-driven)",
+        build=_elevator_program,
+        default_scale=600,
+        compute_bound=False,
+        paper=PaperRow(
+            size_loc=1447,
+            threads=5,
+            base_time_sec=5.0,
+            slowdowns={
+                "Empty": 1.1,
+                "Eraser": 1.1,
+                "MultiRace": 1.1,
+                "Goldilocks": 1.1,
+                "BasicVC": 1.1,
+                "DJIT+": 1.1,
+                "FastTrack": 1.1,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# philo — dining philosophers: fork locks acquired in canonical order,
+# per-philosopher meal counters, lock-protected table statistics.  Race-free.
+# ---------------------------------------------------------------------------
+
+_PHILOSOPHERS = 5
+
+
+def _philo_program(scale: int) -> Program:
+    meals = max(2, scale // 25)
+
+    def main(th):
+        yield th.write("table", site="philo.table_init")
+        children = yield from fork_all(th, philosopher, _PHILOSOPHERS)
+        yield from join_all(th, children)
+        yield th.acquire("table_lock")
+        yield th.read("table_total", site="philo.final_rd")
+        yield th.release("table_lock")
+
+    def philosopher(th, p):
+        first = ("fork", min(p, (p + 1) % _PHILOSOPHERS))
+        second = ("fork", max(p, (p + 1) % _PHILOSOPHERS))
+        for m in range(meals):
+            yield th.enter("philo.dine")
+            yield th.acquire(first)
+            yield th.acquire(second)
+            yield th.read(("meals", p), site="philo.rd_meals")
+            yield th.write(("meals", p), site="philo.wr_meals")
+            yield th.read("table", site="philo.rd_table")
+            yield th.release(second)
+            yield th.release(first)
+            yield th.exit("philo.dine")
+            yield th.acquire("table_lock")
+            yield th.read("table_total", site="philo.rd_total")
+            yield th.write("table_total", site="philo.wr_total")
+            yield th.release("table_lock")
+
+    return Program(main, name="philo")
+
+
+register(
+    Workload(
+        name="philo",
+        description="dining philosophers with ordered fork acquisition",
+        build=_philo_program,
+        default_scale=500,
+        compute_bound=False,
+        paper=PaperRow(
+            size_loc=86,
+            threads=6,
+            base_time_sec=7.4,
+            slowdowns={
+                "Empty": 1.1,
+                "Eraser": 1.0,
+                "MultiRace": 1.1,
+                "Goldilocks": 7.2,
+                "BasicVC": 1.1,
+                "DJIT+": 1.1,
+                "FastTrack": 1.1,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# hedc — web-data harvester with a thread pool.  Three real races around
+# task cancellation and result polling; Eraser sees only the write-write one
+# (plus one fork-handoff false alarm), MultiRace sees only the write-write
+# one, and the paper's unsoundly-extended Goldilocks missed all three.
+# ---------------------------------------------------------------------------
+
+_HEDC_POOL = 4
+
+
+def _hedc_program(scale: int) -> Program:
+    state = {"queue": [], "done": False, "written": []}
+    tasks = max(8, scale // 6)
+
+    def main(th):
+        for w in range(_HEDC_POOL):
+            yield th.write(("slot", w), site="hedc.slot_seed")
+        children = yield from fork_all(th, pool_worker, _HEDC_POOL)
+        stats = yield th.fork(stats_thread)
+        for i in range(tasks):
+            yield th.acquire("qlock")
+            yield th.write(("task", i), site="hedc.wr_task")
+            state["queue"].append(i)
+            yield th.notify_all("qlock")
+            yield th.release("qlock")
+        yield th.acquire("qlock")
+        state["done"] = True
+        yield th.notify_all("qlock")
+        yield th.release("qlock")
+        # Real race 1 (write-write): lock-free cancellation of the pool
+        # slots, after main's last queue operation.  Each worker writes its
+        # own shutdown status on its exit path (also after its last queue
+        # operation), so neither side synchronizes again before the joins —
+        # the two writes are concurrent on every schedule.
+        for w in range(_HEDC_POOL):
+            yield th.write(("wstatus", w), site="hedc.status")
+        yield from join_all(th, children)
+        yield th.join(stats)
+
+    def pool_worker(th, w):
+        yield th.read(("slot", w), site="hedc.rd_slot")
+        yield th.write(("slot", w), site="hedc.slot")  # fork handoff (spurious)
+        while True:
+            yield th.acquire("qlock")
+            while not state["queue"] and not state["done"]:
+                yield th.wait("qlock")
+            if state["queue"]:
+                task = state["queue"].pop(0)
+                yield th.read(("task", task), site="hedc.rd_task")
+                yield th.release("qlock")
+                yield th.enter("hedc.fetch")
+                for s in range(4):
+                    yield th.read(("meta", (task + s) % 16), site="hedc.rd_meta")
+                yield th.write(("url", task), site="hedc.wr_url")
+                yield th.write(("result", task), site="hedc.wr_result")
+                yield th.write(("status", task), site="hedc.status")
+                yield th.exit("hedc.fetch")
+                state["written"].append(task)
+            else:
+                yield th.release("qlock")
+                # The worker's own status write for the cancellation race.
+                yield th.write(("wstatus", w), site="hedc.status")
+                return
+
+    def stats_thread(th, _w=None):
+        # Real races 2 and 3 (write-read): a monitoring thread that polls
+        # results and URLs with no synchronization whatsoever.  It only polls
+        # indices the workers have already produced (plain Python state, no
+        # events), so each variable's write strictly precedes the read in the
+        # trace while remaining concurrent — the exact pattern Eraser's
+        # read-share state and MultiRace's ownership machine forgive.
+        polled = 0
+        cursor = 0
+        while polled < 12:
+            if cursor < len(state["written"]):
+                task = state["written"][cursor]
+                cursor += 1
+                polled += 1
+                yield th.read(("result", task), site="hedc.result_poll")
+                yield th.read(("url", task), site="hedc.url_poll")
+            elif state["done"] and not state["queue"]:
+                break  # pool drained and nothing new will be produced
+            else:
+                yield th.pause()
+
+    return Program(main, name="hedc")
+
+
+register(
+    Workload(
+        name="hedc",
+        description="thread-pool web harvester with cancellation races",
+        build=_hedc_program,
+        default_scale=700,
+        compute_bound=False,
+        paper=PaperRow(
+            size_loc=24937,
+            threads=6,
+            base_time_sec=5.9,
+            slowdowns={
+                "Empty": 1.1,
+                "Eraser": 0.9,
+                "MultiRace": 1.1,
+                "Goldilocks": 1.1,
+                "BasicVC": 1.1,
+                "DJIT+": 1.1,
+                "FastTrack": 1.1,
+            },
+            warnings={
+                "Eraser": 2,
+                "MultiRace": 1,
+                "Goldilocks": 0,
+                "BasicVC": 3,
+                "DJIT+": 3,
+                "FastTrack": 3,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# jbb — SPEC JBB2000 business-object simulator: per-warehouse locking, one
+# unsynchronized global transaction counter (write-write race) and one
+# mode-flag polling race (write-read), plus two Eraser false alarms.
+# ---------------------------------------------------------------------------
+
+_JBB_WAREHOUSES = 4
+
+
+def _jbb_program(scale: int) -> Program:
+    orders = max(8, scale // 4)
+
+    def main(th):
+        yield th.enter("jbb.setup")
+        for c in range(24):
+            yield th.write(("customer", c), site="jbb.wr_customer")
+        for w in range(_JBB_WAREHOUSES):
+            yield th.write(("wstats", w), site="jbb.wstats_seed")
+        yield th.write("report_total", site="jbb.report_seed")
+        yield th.write("mode_flag", site="jbb.mode_set")
+        yield th.exit("jbb.setup")
+        children = yield from fork_all(th, warehouse, _JBB_WAREHOUSES)
+        # Real race 2 (write-read): flip the mode while warehouses poll it.
+        yield th.write("mode_flag", site="jbb.mode_set")
+        yield from join_all(th, children)
+        yield th.read("report_total", site="jbb.report_rd")
+        yield th.write("report_total", site="jbb.report_final")
+
+    def warehouse(th, w):
+        yield th.read(("wstats", w), site="jbb.rd_wstats")
+        yield th.write(("wstats", w), site="jbb.wstats")  # fork handoff
+        for o in range(orders):
+            yield th.enter("jbb.order")
+            yield th.read(("customer", o % 24), site="jbb.rd_customer")
+            yield from local_update(th, ("jacc", w), site="jbb.acc")
+            yield th.acquire(("wlock", w))
+            yield th.read(("inventory", w, o % 12), site="jbb.rd_inv")
+            yield th.write(("inventory", w, o % 12), site="jbb.wr_inv")
+            yield th.release(("wlock", w))
+            yield th.exit("jbb.order")
+            if o % 6 == 0:
+                # Real race 1 (write-write): global unsynchronized counter.
+                yield th.read("txn_count", site="jbb.txn_rd")
+                yield th.write("txn_count", site="jbb.txn_count")
+            if o % 9 == 0:
+                # Real race 2's reader side.
+                yield th.read("mode_flag", site="jbb.mode_poll")
+            if o % 8 == 0:
+                yield th.acquire("report_lock")
+                yield th.read("report_total", site="jbb.report_acc_rd")
+                yield th.write("report_total", site="jbb.report_acc")
+                yield th.release("report_lock")
+
+    return Program(main, name="jbb")
+
+
+register(
+    Workload(
+        name="jbb",
+        description="JBB business objects: warehouse locks + two real races",
+        build=_jbb_program,
+        default_scale=1400,
+        compute_bound=False,
+        paper=PaperRow(
+            size_loc=30491,
+            threads=5,
+            base_time_sec=72.9,
+            slowdowns={
+                "Empty": 1.3,
+                "Eraser": 1.5,
+                "MultiRace": 1.6,
+                "Goldilocks": 2.1,
+                "BasicVC": 1.6,
+                "DJIT+": 1.6,
+                "FastTrack": 1.4,
+            },
+            warnings={
+                "Eraser": 3,
+                "MultiRace": 1,
+                "Goldilocks": None,
+                "BasicVC": 2,
+                "DJIT+": 2,
+                "FastTrack": 2,
+            },
+        ),
+    )
+)

@@ -1,0 +1,661 @@
+"""Java Grande benchmark analogues: crypt, lufact, moldyn, montecarlo,
+raytracer, series, sor, sparse.
+
+Each program reproduces the sharing structure of its namesake (see the
+module docstring of :mod:`repro.bench.programs`).  The ``scale`` parameter
+is the per-worker item count; event volume grows linearly with it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.programs.helpers import fork_all, join_all, local_update
+from repro.bench.workload import PaperRow, Workload, register
+from repro.runtime.program import Barrier, Program
+
+
+# ---------------------------------------------------------------------------
+# crypt — IDEA encryption: fork/join, slice-partitioned arrays, read-shared
+# key material.  Race-free; no tool reports anything.
+# ---------------------------------------------------------------------------
+
+_CRYPT_WORKERS = 6
+
+
+def _crypt_program(scale: int) -> Program:
+    def main(th):
+        yield th.enter("crypt.init")
+        for w in range(_CRYPT_WORKERS):
+            for i in range(scale):
+                yield th.write(("plain", w, i), site="crypt.init")
+        for k in range(8):
+            yield th.write(("key", k), site="crypt.key")
+        yield th.exit("crypt.init")
+        children = yield from fork_all(th, worker, _CRYPT_WORKERS)
+        yield from join_all(th, children)
+        yield th.enter("crypt.verify")
+        for w in range(_CRYPT_WORKERS):
+            for i in range(scale):
+                yield th.read(("check", w, i), site="crypt.verify")
+        yield th.exit("crypt.verify")
+
+    def worker(th, w):
+        yield th.enter("crypt.encrypt")
+        for i in range(scale):
+            yield th.read(("plain", w, i), site="crypt.rd_plain")
+            yield th.read(("key", i % 8), site="crypt.rd_key")
+            yield th.read(("key", (i + 3) % 8), site="crypt.rd_key2")
+            yield from local_update(th, ("eacc", w), site="crypt.acc")
+            yield th.write(("cipher", w, i), site="crypt.wr_cipher")
+        yield th.exit("crypt.encrypt")
+        yield th.enter("crypt.decrypt")
+        for i in range(scale):
+            yield th.read(("cipher", w, i), site="crypt.rd_cipher")
+            yield th.read(("key", i % 8), site="crypt.rd_key3")
+            yield from local_update(th, ("dacc", w), site="crypt.acc2")
+            yield th.write(("check", w, i), site="crypt.wr_check")
+        yield th.exit("crypt.decrypt")
+
+    return Program(main, name="crypt")
+
+
+register(
+    Workload(
+        name="crypt",
+        description="IDEA encryption: fork/join over array slices",
+        build=_crypt_program,
+        default_scale=700,
+        paper=PaperRow(
+            size_loc=1241,
+            threads=7,
+            base_time_sec=0.2,
+            slowdowns={
+                "Empty": 7.6,
+                "Eraser": 14.7,
+                "MultiRace": 54.8,
+                "Goldilocks": 77.4,
+                "BasicVC": 84.4,
+                "DJIT+": 54.0,
+                "FastTrack": 14.3,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# lufact — LU factorization: pipelined iterations ordered by wait/notify
+# phase gates.  Race-free, but Eraser reports 4 spurious warnings (fork/join
+# and monitor-ordered write handoffs that no common lock protects).
+# ---------------------------------------------------------------------------
+
+_LUFACT_WORKERS = 3
+
+
+def _lufact_program(scale: int) -> Program:
+    iterations = max(4, scale // 60)
+    cols_per_worker = max(4, scale // 100)
+    state = {"phase": 0, "finished": 0}
+
+    def main(th):
+        yield th.enter("lufact.init")
+        for w in range(_LUFACT_WORKERS):
+            for c in range(cols_per_worker):
+                yield th.write(("col", w, c), site="lufact.init_handoff")
+        yield th.write("norm", site="lufact.norm_seed")
+        yield th.exit("lufact.init")
+        children = yield from fork_all(th, worker, _LUFACT_WORKERS)
+        yield from join_all(th, children)
+        # Spurious site 4: the final norm update happens after the joins,
+        # but outside the lock the workers used.
+        yield th.read("norm", site="lufact.norm_read")
+        yield th.write("norm", site="lufact.norm_final")
+
+    def worker(th, w):
+        for k in range(iterations):
+            owner = k % _LUFACT_WORKERS
+            if w == owner:
+                # Spurious sites 1 and 2: the pivot value and the swapped row
+                # are written by a rotating owner, ordered only by the
+                # monitor-based phase gate.
+                yield th.write("pivot_value", site="lufact.pivot_value")
+                yield th.write(("swap_row", k % 2), site="lufact.row_swap")
+                yield th.acquire("phase_lock")
+                state["phase"] += 1
+                yield th.notify_all("phase_lock")
+                yield th.release("phase_lock")
+            else:
+                yield th.acquire("phase_lock")
+                while state["phase"] < k + 1:
+                    yield th.wait("phase_lock")
+                yield th.release("phase_lock")
+            yield th.enter("lufact.update")
+            yield th.read("pivot_value", site="lufact.pivot_read")
+            yield th.read(("swap_row", k % 2), site="lufact.row_read")
+            for c in range(cols_per_worker):
+                for r in range(3):
+                    yield th.read(("col", w, c), site="lufact.col_read")
+                yield from local_update(th, ("lacc", w), site="lufact.acc")
+                yield th.write(("col", w, c), site="lufact.col_write")
+                yield th.write(("tmp", w, k, c), site="lufact.wr_tmp")
+            yield th.exit("lufact.update")
+            # End-of-iteration rendezvous: the next owner must not write the
+            # pivot while a slow thread is still reading this one.
+            yield th.acquire("phase_lock")
+            state["finished"] += 1
+            yield th.notify_all("phase_lock")
+            while state["finished"] < (k + 1) * _LUFACT_WORKERS:
+                yield th.wait("phase_lock")
+            yield th.release("phase_lock")
+        yield th.acquire("norm_lock")
+        yield th.read("norm", site="lufact.norm_acc_rd")
+        yield th.write("norm", site="lufact.norm_acc")
+        yield th.release("norm_lock")
+
+    return Program(main, name="lufact")
+
+
+register(
+    Workload(
+        name="lufact",
+        description="LU factorization: monitor-gated pipelined iterations",
+        build=_lufact_program,
+        default_scale=900,
+        paper=PaperRow(
+            size_loc=1627,
+            threads=4,
+            base_time_sec=4.5,
+            slowdowns={
+                "Empty": 2.6,
+                "Eraser": 8.1,
+                "MultiRace": 42.5,
+                "Goldilocks": None,  # ran out of memory in the paper
+                "BasicVC": 95.1,
+                "DJIT+": 36.3,
+                "FastTrack": 13.5,
+            },
+            warnings={
+                "Eraser": 4,
+                "MultiRace": 0,
+                "Goldilocks": None,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# moldyn — molecular dynamics: barrier-phased force/position updates,
+# read-shared positions, lock-protected energy reduction.  Race-free and
+# clean for every tool (the barrier-aware Eraser included).
+# ---------------------------------------------------------------------------
+
+_MOLDYN_WORKERS = 3  # plus main = 4 barrier parties
+
+
+def _moldyn_program(scale: int) -> Program:
+    iterations = max(2, scale // 300)
+    particles = max(8, scale // 30)  # per party
+    barrier = Barrier(_MOLDYN_WORKERS + 1, name="moldyn.barrier")
+    parties = _MOLDYN_WORKERS + 1
+
+    def particle_phase(th, me):
+        # Order everyone's position initialization before the first reads.
+        yield th.barrier_await(barrier)
+        for it in range(iterations):
+            # Force phase: read everyone's positions, write own forces.
+            yield th.enter("moldyn.forces")
+            for other in range(parties):
+                for p in range(particles):
+                    yield th.read(("pos", other, p), site="moldyn.rd_pos")
+            for p in range(particles):
+                yield from local_update(th, ("facc", me), site="moldyn.acc")
+                yield th.write(("force", me, p), site="moldyn.wr_force")
+                # Per-iteration pair-distance temporaries (fresh locations
+                # each sweep, like the per-step Java allocations).
+                yield th.write(("tmp", me, it, p), site="moldyn.wr_tmp")
+            yield th.exit("moldyn.forces")
+            yield th.barrier_await(barrier)
+            # Move phase: update own positions from own forces.
+            yield th.enter("moldyn.move")
+            for p in range(particles):
+                yield th.read(("force", me, p), site="moldyn.rd_force")
+                yield th.write(("pos", me, p), site="moldyn.wr_pos")
+            yield th.exit("moldyn.move")
+            yield th.acquire("energy_lock")
+            yield th.read("energy", site="moldyn.energy_rd")
+            yield th.write("energy", site="moldyn.energy_wr")
+            yield th.release("energy_lock")
+            yield th.barrier_await(barrier)
+
+    def main(th):
+        # Each party initializes its own particles (no handoff writes).
+        for p in range(particles):
+            yield th.write(("pos", 0, p), site="moldyn.init_own")
+        children = yield from fork_all(th, worker, _MOLDYN_WORKERS)
+        yield from particle_phase(th, 0)
+        yield from join_all(th, children)
+        yield th.acquire("energy_lock")
+        yield th.read("energy", site="moldyn.energy_final")
+        yield th.release("energy_lock")
+
+    def worker(th, w):
+        me = w + 1
+        for p in range(particles):
+            yield th.write(("pos", me, p), site="moldyn.init_own")
+        yield from particle_phase(th, me)
+
+    return Program(main, name="moldyn")
+
+
+register(
+    Workload(
+        name="moldyn",
+        description="molecular dynamics: barrier-phased N-body updates",
+        build=_moldyn_program,
+        default_scale=1200,
+        paper=PaperRow(
+            size_loc=1402,
+            threads=4,
+            base_time_sec=8.5,
+            slowdowns={
+                "Empty": 5.6,
+                "Eraser": 9.1,
+                "MultiRace": 45.0,
+                "Goldilocks": 17.5,
+                "BasicVC": 111.7,
+                "DJIT+": 39.6,
+                "FastTrack": 10.6,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# montecarlo — thread-local simulation paths, results handed to the parent
+# through a lock-protected list and a join.  Race-free.
+# ---------------------------------------------------------------------------
+
+_MC_WORKERS = 3
+
+
+def _montecarlo_program(scale: int) -> Program:
+    def main(th):
+        yield th.enter("mc.setup")
+        for p in range(16):
+            yield th.write(("param", p), site="mc.param")
+        yield th.exit("mc.setup")
+        children = yield from fork_all(th, worker, _MC_WORKERS)
+        yield from join_all(th, children)
+        yield th.enter("mc.reduce")
+        for w in range(_MC_WORKERS):
+            for i in range(scale // 8):
+                yield th.read(("result", w, i), site="mc.rd_result")
+        yield th.exit("mc.reduce")
+
+    def worker(th, w):
+        for i in range(scale):
+            yield th.enter("mc.path")
+            yield th.read(("param", i % 16), site="mc.rd_param")
+            yield th.read(("local", w, i % 32), site="mc.rd_local")
+            yield from local_update(th, ("macc", w), site="mc.acc")
+            yield th.write(("local", w, i % 32), site="mc.wr_local")
+            yield th.exit("mc.path")
+            if i % 8 == 0:
+                yield th.acquire("results_lock")
+                yield th.write(("result", w, i // 8), site="mc.wr_result")
+                yield th.release("results_lock")
+
+    return Program(main, name="montecarlo")
+
+
+register(
+    Workload(
+        name="montecarlo",
+        description="Monte Carlo paths: thread-local state, locked results",
+        build=_montecarlo_program,
+        default_scale=2000,
+        paper=PaperRow(
+            size_loc=3669,
+            threads=4,
+            base_time_sec=5.0,
+            slowdowns={
+                "Empty": 4.2,
+                "Eraser": 8.5,
+                "MultiRace": 32.8,
+                "Goldilocks": 6.3,
+                "BasicVC": 49.4,
+                "DJIT+": 30.5,
+                "FastTrack": 6.4,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# raytracer — partitioned rendering with the famous unsynchronized checksum:
+# one real write-write race that every tool catches.
+# ---------------------------------------------------------------------------
+
+_RT_WORKERS = 3
+
+
+def _raytracer_program(scale: int) -> Program:
+    def main(th):
+        yield th.enter("rt.scene")
+        for s in range(24):
+            yield th.write(("scene", s), site="rt.scene_init")
+        yield th.exit("rt.scene")
+        children = yield from fork_all(th, worker, _RT_WORKERS)
+        yield from join_all(th, children)
+        yield th.read("checksum", site="rt.checksum_final")
+
+    def worker(th, w):
+        for i in range(scale):
+            yield th.enter("rt.render_row")
+            yield th.read(("scene", i % 24), site="rt.rd_scene")
+            yield th.read(("scene", (i * 7) % 24), site="rt.rd_scene2")
+            yield from local_update(th, ("racc", w), site="rt.acc")
+            yield th.write(("pixel", w, i), site="rt.wr_pixel")
+            yield th.exit("rt.render_row")
+            if i % 16 == 0:
+                # THE raytracer bug: checksum updated with no lock.
+                yield th.read("checksum", site="rt.checksum_rd")
+                yield th.write("checksum", site="rt.checksum")
+
+    return Program(main, name="raytracer")
+
+
+register(
+    Workload(
+        name="raytracer",
+        description="ray tracer with the unsynchronized checksum race",
+        build=_raytracer_program,
+        default_scale=1800,
+        paper=PaperRow(
+            size_loc=1970,
+            threads=4,
+            base_time_sec=6.8,
+            slowdowns={
+                "Empty": 4.6,
+                "Eraser": 6.7,
+                "MultiRace": 17.9,
+                "Goldilocks": 32.8,
+                "BasicVC": 250.2,
+                "DJIT+": 18.1,
+                "FastTrack": 13.1,
+            },
+            warnings={
+                "Eraser": 1,
+                "MultiRace": 1,
+                "Goldilocks": 1,
+                "BasicVC": 1,
+                "DJIT+": 1,
+                "FastTrack": 1,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# series — Fourier coefficients, embarrassingly parallel.  One Eraser
+# spurious warning: the per-worker block seed written by main and then by
+# the worker (fork-ordered, lock-free).
+# ---------------------------------------------------------------------------
+
+_SERIES_WORKERS = 3
+
+
+def _series_program(scale: int) -> Program:
+    def main(th):
+        for w in range(_SERIES_WORKERS):
+            yield th.write(("base", w), site="series.base")
+        children = yield from fork_all(th, worker, _SERIES_WORKERS)
+        yield from join_all(th, children)
+        for w in range(_SERIES_WORKERS):
+            for i in range(0, scale, 8):
+                yield th.read(("coeff", w, i), site="series.rd_coeff")
+
+    def worker(th, w):
+        yield th.read(("base", w), site="series.rd_base")
+        yield th.write(("base", w), site="series.base")  # spurious site
+        for i in range(scale):
+            yield th.enter("series.term")
+            yield th.read(("base", w), site="series.rd_base2")
+            yield th.read(("trig", i % 16), site="series.rd_trig")
+            yield from local_update(th, ("sacc", w), site="series.acc")
+            yield th.write(("coeff", w, i), site="series.wr_coeff")
+            yield th.exit("series.term")
+
+    return Program(main, name="series")
+
+
+register(
+    Workload(
+        name="series",
+        description="Fourier series: thread-local blocks, one seeded handoff",
+        build=_series_program,
+        default_scale=2600,
+        paper=PaperRow(
+            size_loc=967,
+            threads=4,
+            base_time_sec=175.1,
+            slowdowns={
+                "Empty": 1.0,
+                "Eraser": 1.0,
+                "MultiRace": 1.0,
+                "Goldilocks": 1.0,
+                "BasicVC": 1.0,
+                "DJIT+": 1.0,
+                "FastTrack": 1.0,
+            },
+            warnings={
+                "Eraser": 1,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# sor — red/black successive over-relaxation with barriers.  Race-free;
+# Eraser reports 3 spurious warnings on fork/join handoffs that happen
+# outside any barrier phase.
+# ---------------------------------------------------------------------------
+
+_SOR_WORKERS = 3
+
+
+def _sor_program(scale: int) -> Program:
+    iterations = max(2, scale // 500)
+    cells = max(10, scale // 15)  # per worker
+    barrier = Barrier(_SOR_WORKERS, name="sor.barrier")
+
+    def main(th):
+        # Spurious sites 1 and 2: main initializes the grid and the boundary
+        # rows; the workers later write them, ordered only by the fork.
+        for w in range(_SOR_WORKERS):
+            for c in range(cells):
+                yield th.write(("grid", w, c), site="sor.grid_handoff")
+            yield th.write(("bound", w), site="sor.bounds_handoff")
+            yield th.write(("wres", w), site="sor.wres_handoff")
+        yield th.write("residual", site="sor.residual_seed")
+        children = yield from fork_all(th, worker, _SOR_WORKERS)
+        yield from join_all(th, children)
+        # Spurious site 3: the final residual write happens after the joins
+        # but without the lock the workers used.
+        yield th.read("residual", site="sor.residual_rd")
+        yield th.write("residual", site="sor.residual_final")
+
+    def worker(th, w):
+        left = (w - 1) % _SOR_WORKERS
+        right = (w + 1) % _SOR_WORKERS
+        yield th.read(("bound", w), site="sor.rd_bound")
+        yield th.write(("bound", w), site="sor.bounds_handoff")
+        yield th.read(("wres", w), site="sor.rd_wres")
+        yield th.write(("wres", w), site="sor.wres_handoff")
+        # Scatter: take ownership of this worker's cells (the fork-ordered
+        # handoff Eraser flags), then order it before anyone's reads.
+        for c in range(cells):
+            yield th.read(("grid", w, c), site="sor.rd_scatter")
+            yield th.write(("grid", w, c), site="sor.scatter")
+        yield th.barrier_await(barrier)
+        for it in range(iterations):
+            # Phase A: read the previous generation (own + neighbours).
+            yield th.enter("sor.gather")
+            for c in range(cells):
+                yield th.read(("grid", left, c), site="sor.rd_left")
+                yield th.read(("grid", right, c), site="sor.rd_right")
+                yield th.read(("grid", w, c), site="sor.rd_own")
+                yield from local_update(th, ("soracc", w), site="sor.acc")
+            yield th.exit("sor.gather")
+            yield th.barrier_await(barrier)
+            # Phase B: write the next generation of own cells.
+            yield th.enter("sor.update")
+            for c in range(cells):
+                yield th.write(("grid", w, c), site="sor.wr_own")
+                yield th.write(("tmp", w, it, c), site="sor.wr_tmp")
+            yield th.exit("sor.update")
+            yield th.acquire("residual_lock")
+            yield th.read("residual", site="sor.residual_acc_rd")
+            yield th.write("residual", site="sor.residual_acc")
+            yield th.release("residual_lock")
+            yield th.barrier_await(barrier)
+
+    return Program(main, name="sor")
+
+
+register(
+    Workload(
+        name="sor",
+        description="red/black SOR: barrier phases over a shared grid",
+        build=_sor_program,
+        default_scale=1500,
+        paper=PaperRow(
+            size_loc=1005,
+            threads=4,
+            base_time_sec=0.2,
+            slowdowns={
+                "Empty": 4.4,
+                "Eraser": 9.1,
+                "MultiRace": 16.9,
+                "Goldilocks": 63.2,
+                "BasicVC": 24.6,
+                "DJIT+": 15.8,
+                "FastTrack": 9.3,
+            },
+            warnings={
+                "Eraser": 3,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# sparse — sparse matrix-vector multiply: large read-shared inputs, worker-
+# private outputs.  Race-free and read-dominated.
+# ---------------------------------------------------------------------------
+
+_SPARSE_WORKERS = 3
+
+
+def _sparse_program(scale: int) -> Program:
+    nnz_shared = 64
+
+    def main(th):
+        yield th.enter("sparse.load")
+        for i in range(nnz_shared):
+            yield th.write(("a", i), site="sparse.wr_a")
+        for i in range(32):
+            yield th.write(("x", i), site="sparse.wr_x")
+        yield th.exit("sparse.load")
+        children = yield from fork_all(th, worker, _SPARSE_WORKERS)
+        yield from join_all(th, children)
+        for w in range(_SPARSE_WORKERS):
+            for i in range(0, scale, 16):
+                yield th.read(("y", w, i), site="sparse.rd_y")
+
+    def worker(th, w):
+        for i in range(scale):
+            yield th.enter("sparse.row")
+            yield th.read(("a", i % nnz_shared), site="sparse.rd_a")
+            yield th.read(("a", (i * 5) % nnz_shared), site="sparse.rd_a2")
+            yield th.read(("x", i % 32), site="sparse.rd_x")
+            yield th.read(("x", (i * 3) % 32), site="sparse.rd_x2")
+            yield from local_update(th, ("spacc", w), site="sparse.acc")
+            yield th.write(("y", w, i), site="sparse.wr_y")
+            yield th.exit("sparse.row")
+
+    return Program(main, name="sparse")
+
+
+register(
+    Workload(
+        name="sparse",
+        description="sparse mat-vec: read-shared inputs, private outputs",
+        build=_sparse_program,
+        default_scale=1600,
+        paper=PaperRow(
+            size_loc=868,
+            threads=4,
+            base_time_sec=8.5,
+            slowdowns={
+                "Empty": 5.4,
+                "Eraser": 11.3,
+                "MultiRace": 29.8,
+                "Goldilocks": 64.1,
+                "BasicVC": 57.5,
+                "DJIT+": 27.8,
+                "FastTrack": 14.8,
+            },
+            warnings={
+                "Eraser": 0,
+                "MultiRace": 0,
+                "Goldilocks": 0,
+                "BasicVC": 0,
+                "DJIT+": 0,
+                "FastTrack": 0,
+            },
+        ),
+    )
+)

@@ -1,0 +1,54 @@
+"""A thread-count-parametric workload for the asymptotic claim.
+
+The whole point of epochs: a vector-clock operation costs O(n) in the
+number of threads, an epoch operation O(1).  The Table 1 benchmarks run at
+fixed (small) thread counts, so the asymptotics hide inside constants; this
+workload exposes them by scaling ``threads`` while holding the per-thread
+access mix constant:
+
+* a read-shared configuration array that every worker reads per item —
+  BasicVC pays an O(n) comparison per read, FastTrack an O(1) epoch check
+  (or an O(1) slot update in read-shared mode);
+* a per-worker accumulator (same-epoch traffic);
+* a lock-protected global counter touched rarely.
+
+Used by ``benchmarks/bench_thread_scaling.py``; not part of the Table 1
+registry (the paper's benchmarks fix their thread counts).
+"""
+
+from __future__ import annotations
+
+from repro.bench.programs.helpers import fork_all, join_all, local_update
+from repro.runtime.program import Program
+
+
+def scaling_program(threads: int, scale: int) -> Program:
+    """``threads`` workers (plus main) over shared data of fixed shape."""
+    if threads < 1:
+        raise ValueError("need at least one worker thread")
+    shared_cells = 32
+
+    def main(th):
+        for c in range(shared_cells):
+            yield th.write(("config", c), site="scaling.init")
+        children = yield from fork_all(th, worker, threads)
+        yield from join_all(th, children)
+        yield th.acquire("total_lock")
+        yield th.read("total", site="scaling.final")
+        yield th.release("total_lock")
+
+    def worker(th, w):
+        for i in range(scale):
+            yield th.read(("config", i % shared_cells), site="scaling.rd")
+            yield th.read(
+                ("config", (i * 7) % shared_cells), site="scaling.rd2"
+            )
+            yield from local_update(th, ("acc", w), site="scaling.acc")
+            yield th.write(("out", w, i), site="scaling.wr")
+            if i % 64 == 0:
+                yield th.acquire("total_lock")
+                yield th.read("total", site="scaling.total_rd")
+                yield th.write("total", site="scaling.total_wr")
+                yield th.release("total_lock")
+
+    return Program(main, name=f"scaling[{threads}]")

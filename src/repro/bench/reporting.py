@@ -1,0 +1,265 @@
+"""Text renderers for the paper's tables (paper value / measured value).
+
+Each ``format_*`` function takes the corresponding ``run_*`` output from
+:mod:`repro.bench.harness` and returns a printable table whose rows mirror
+the paper's layout, with the published numbers alongside ours where that is
+meaningful (warning counts, rule frequencies) and with the published
+slowdowns shown for reference where absolute values are not expected to
+match (a Python event-replay is not a JVM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import paperdata
+from repro.bench.harness import (
+    BenchmarkResult,
+    CompositionCell,
+    RuleFrequencies,
+    TABLE1_ORDER,
+    TABLE1_TOOLS,
+    WARNING_TOOLS,
+)
+from repro.bench.workload import WORKLOADS
+
+
+def _fmt(value, width: int = 6, digits: int = 1) -> str:
+    if value is None:
+        return "–".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table1(results: Dict[str, Dict[str, BenchmarkResult]]) -> str:
+    """Table 1: slowdowns (measured, with paper values below) + warnings."""
+    lines = []
+    header = f"{'program':<12s}{'events':>9s}" + "".join(
+        f"{tool:>11s}" for tool in TABLE1_TOOLS
+    )
+    lines.append("Table 1 — instrumented slowdown (x) [ours / paper]")
+    lines.append(header)
+    lines.append("-" * len(header))
+    sums: Dict[str, float] = {tool: 0.0 for tool in TABLE1_TOOLS}
+    compute_bound = 0
+    for name in results:
+        row = results[name]
+        workload = WORKLOADS[name]
+        star = "" if workload.compute_bound else "*"
+        events = next(iter(row.values())).events
+        ours = "".join(_fmt(row[t].slowdown, 11) for t in TABLE1_TOOLS)
+        paper = "".join(
+            _fmt(workload.paper.slowdowns.get(t), 11) for t in TABLE1_TOOLS
+        )
+        lines.append(f"{name + star:<12s}{events:>9d}{ours}")
+        lines.append(f"{'  (paper)':<12s}{'':>9s}{paper}")
+        if workload.compute_bound:
+            compute_bound += 1
+            for tool in TABLE1_TOOLS:
+                sums[tool] += row[tool].slowdown
+    if compute_bound:
+        avg = "".join(
+            _fmt(sums[t] / compute_bound, 11) for t in TABLE1_TOOLS
+        )
+        lines.append(f"{'Average':<12s}{'':>9s}{avg}")
+    lines.append("")
+    lines.append("Table 1 — warnings [ours / paper]")
+    header = f"{'program':<12s}" + "".join(
+        f"{tool:>14s}" for tool in WARNING_TOOLS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    totals = {tool: 0 for tool in WARNING_TOOLS}
+    for name in results:
+        row = results[name]
+        workload = WORKLOADS[name]
+        cells = []
+        for tool in WARNING_TOOLS:
+            measured = row[tool].warnings if tool in row else None
+            published = workload.paper.warnings.get(tool)
+            cells.append(
+                f"{measured if measured is not None else '–'}/"
+                f"{published if published is not None else '–'}".rjust(14)
+            )
+            if measured is not None:
+                totals[tool] += measured
+        lines.append(f"{name:<12s}" + "".join(cells))
+    lines.append(
+        f"{'Total':<12s}"
+        + "".join(str(totals[t]).rjust(14) for t in WARNING_TOOLS)
+    )
+    return "\n".join(lines)
+
+
+def format_table2(results: Dict[str, Dict[str, BenchmarkResult]]) -> str:
+    """Table 2: vector clocks allocated and O(n) VC operations."""
+    lines = ["Table 2 — vector clock allocation and usage"]
+    header = (
+        f"{'program':<12s}{'allocs DJIT+':>14s}{'allocs FT':>12s}"
+        f"{'VC ops DJIT+':>14s}{'VC ops FT':>12s}"
+        f"{'ratio ops':>10s}{'(paper)':>10s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    total = {"da": 0, "fa": 0, "do": 0, "fo": 0}
+    for name, row in results.items():
+        dj, ft = row["DJIT+"], row["FastTrack"]
+        ratio = dj.vc_ops / max(ft.vc_ops, 1)
+        published = paperdata.TABLE2.get(name)
+        paper_ratio = (
+            published.djit_ops / max(published.fasttrack_ops, 1)
+            if published
+            else float("nan")
+        )
+        lines.append(
+            f"{name:<12s}{dj.vc_allocs:>14d}{ft.vc_allocs:>12d}"
+            f"{dj.vc_ops:>14d}{ft.vc_ops:>12d}{ratio:>10.1f}"
+            f"{paper_ratio:>10.1f}"
+        )
+        total["da"] += dj.vc_allocs
+        total["fa"] += ft.vc_allocs
+        total["do"] += dj.vc_ops
+        total["fo"] += ft.vc_ops
+    published_totals = paperdata.TABLE2_TOTALS
+    lines.append(
+        f"{'Total':<12s}{total['da']:>14d}{total['fa']:>12d}"
+        f"{total['do']:>14d}{total['fo']:>12d}"
+        f"{total['do'] / max(total['fo'], 1):>10.1f}"
+        f"{published_totals.djit_ops / published_totals.fasttrack_ops:>10.1f}"
+    )
+    lines.append(
+        f"(paper totals: {published_totals.djit_allocs:,} vs "
+        f"{published_totals.fasttrack_allocs:,} allocations; "
+        f"{published_totals.djit_ops:,} vs "
+        f"{published_totals.fasttrack_ops:,} operations)"
+    )
+    return "\n".join(lines)
+
+
+def format_table3(results: Dict[str, Dict[str, BenchmarkResult]]) -> str:
+    """Table 3: fine vs coarse granularity — shadow memory and slowdown."""
+    lines = ["Table 3 — granularity: shadow words and slowdown"]
+    header = (
+        f"{'program':<12s}"
+        f"{'mem DJ fine':>13s}{'mem FT fine':>13s}"
+        f"{'mem DJ coarse':>15s}{'mem FT coarse':>15s}"
+        f"{'slow DJ/FT fine':>17s}{'slow DJ/FT coarse':>19s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in results.items():
+        lines.append(
+            f"{name:<12s}"
+            f"{row['DJIT+ fine'].memory_words:>13d}"
+            f"{row['FastTrack fine'].memory_words:>13d}"
+            f"{row['DJIT+ coarse'].memory_words:>15d}"
+            f"{row['FastTrack coarse'].memory_words:>15d}"
+            f"{row['DJIT+ fine'].slowdown:>8.1f}/"
+            f"{row['FastTrack fine'].slowdown:<8.1f}"
+            f"{row['DJIT+ coarse'].slowdown:>9.1f}/"
+            f"{row['FastTrack coarse'].slowdown:<9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_rule_frequencies(freq: RuleFrequencies) -> str:
+    """Figure 2's margins: operation mix and per-rule frequencies."""
+    mix = freq.mix
+    lines = [
+        "Figure 2 — operation mix and rule frequencies [ours (paper)]",
+        f"  reads : {mix['reads']:6.1%}  (82.3%)",
+        f"  writes: {mix['writes']:6.1%}  (14.5%)",
+        f"  other : {mix['other']:6.1%}  ( 3.3%)",
+        "  FastTrack read rules (fraction of reads):",
+    ]
+    paper_read = paperdata.FASTTRACK_READ_RULES
+    for rule, fraction in freq.fasttrack_read_rules.items():
+        lines.append(
+            f"    {rule:<24s}{fraction:7.1%}  ({paper_read[rule]:.1%})"
+        )
+    paper_write = paperdata.FASTTRACK_WRITE_RULES
+    lines.append("  FastTrack write rules (fraction of writes):")
+    for rule, fraction in freq.fasttrack_write_rules.items():
+        lines.append(
+            f"    {rule:<24s}{fraction:7.1%}  ({paper_write[rule]:.1%})"
+        )
+    lines.append("  DJIT+ rules:")
+    paper_dj = paperdata.DJIT_RULES
+    for rule, fraction in {
+        **freq.djit_read_rules,
+        **freq.djit_write_rules,
+    }.items():
+        lines.append(f"    {rule:<24s}{fraction:7.1%}  ({paper_dj[rule]:.1%})")
+    return "\n".join(lines)
+
+
+def format_composition(
+    table: Dict[str, Dict[str, CompositionCell]]
+) -> str:
+    """The Section 5.2 table: checker slowdown under five prefilters."""
+    filters = ("None", "TL", "Eraser", "DJIT+", "FastTrack")
+    lines = ["Section 5.2 — checker slowdown under prefilters [ours (paper)]"]
+    header = f"{'checker':<14s}" + "".join(f"{f:>18s}" for f in filters)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for checker, row in table.items():
+        cells = []
+        for filter_name in filters:
+            cell = row.get(filter_name)
+            if cell is None:
+                cells.append("—".rjust(18))
+                continue
+            published = paperdata.COMPOSITION.get((checker, filter_name))
+            rendered = f"{published:5.1f}" if published is not None else "  —  "
+            cells.append(
+                f"{cell.slowdown:7.1f} ({rendered})".rjust(18)
+            )
+        lines.append(f"{checker:<14s}" + "".join(cells))
+    lines.append("")
+    lines.append("fraction of events reaching the checker:")
+    for checker, row in table.items():
+        cells = []
+        for filter_name in filters:
+            cell = row.get(filter_name)
+            cells.append(
+                ("—" if cell is None else f"{cell.pass_fraction:7.1%}").rjust(
+                    18
+                )
+            )
+        lines.append(f"{checker:<14s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_eclipse(results) -> str:
+    """The Section 5.3 table: Eclipse operations under four tools."""
+    tools = ("Empty", "Eraser", "DJIT+", "FastTrack")
+    paper = {
+        op: row.slowdowns for op, row in paperdata.ECLIPSE.items()
+    }
+    lines = ["Section 5.3 — Eclipse operations [ours (paper)]"]
+    header = f"{'operation':<12s}{'events':>9s}" + "".join(
+        f"{t:>18s}" for t in tools
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for op, row in results["slowdowns"].items():
+        cells = []
+        for tool in tools:
+            published = paper.get(op, {}).get(tool)
+            cells.append(
+                f"{row[tool].slowdown:7.1f} ({published:5.1f})".rjust(18)
+            )
+        lines.append(
+            f"{op:<12s}{row['Empty'].events:>9d}" + "".join(cells)
+        )
+    lines.append("")
+    warn = results["warnings"]
+    published = paperdata.ECLIPSE_WARNINGS
+    lines.append(
+        "distinct warnings — "
+        f"FastTrack: {warn['FastTrack']} (paper: {published['FastTrack']}), "
+        f"DJIT+: {warn['DJIT+']} (paper: {published['DJIT+']}), "
+        f"Eraser: {warn['Eraser']} (paper: {published['Eraser']})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The :class:`Workload` record and the benchmark registry.
+
+A workload couples a model program factory with the paper's published
+numbers for the corresponding Java benchmark, so the harness can print
+paper-vs-measured tables directly.  Workload traces are memoized per
+``(scale, seed)`` — Table 1/2/3 and the composition study all replay the
+same trace through different tools, exactly like RoadRunner runs different
+back-ends over the same target program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.runtime.program import Program
+from repro.runtime.scheduler import run_program
+from repro.trace.trace import Trace
+
+
+@dataclass
+class PaperRow:
+    """Table 1's published row for one benchmark (for comparison output).
+
+    ``slowdowns`` maps tool name to the published slowdown factor;
+    ``warnings`` maps tool name to the published warning count (None where
+    the paper shows "–").
+    """
+
+    size_loc: int
+    threads: int
+    base_time_sec: float
+    slowdowns: Dict[str, float]
+    warnings: Dict[str, Optional[int]]
+
+
+@dataclass
+class Workload:
+    """One benchmark: a program factory plus published reference data."""
+
+    name: str
+    description: str
+    build: Callable[[int], Program]
+    default_scale: int
+    paper: PaperRow
+    compute_bound: bool = True
+    seed: int = 0
+    _trace_cache: Dict[Tuple[int, int], Trace] = field(
+        default_factory=dict, repr=False
+    )
+
+    def program(self, scale: Optional[int] = None) -> Program:
+        return self.build(scale if scale is not None else self.default_scale)
+
+    def trace(
+        self, scale: Optional[int] = None, seed: Optional[int] = None
+    ) -> Trace:
+        """The workload's event stream (memoized per scale and seed)."""
+        actual_scale = scale if scale is not None else self.default_scale
+        actual_seed = seed if seed is not None else self.seed
+        key = (actual_scale, actual_seed)
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            trace = run_program(self.build(actual_scale), seed=actual_seed)
+            self._trace_cache[key] = trace
+        return trace
+
+
+#: The registry, populated by :mod:`repro.bench.programs` (imported below)
+#: in the paper's Table 1 row order.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in WORKLOADS:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise ValueError(f"unknown workload {name!r}; expected one of: {known}")
+
+
+# Populate the registry (import side effect, kept at the bottom to avoid
+# circular imports).
+from repro.bench.programs import javagrande as _javagrande  # noqa: E402,F401
+from repro.bench.programs import apps as _apps  # noqa: E402,F401

@@ -1,0 +1,20 @@
+"""Heavyweight downstream analyses for the Section 5.2 composition study.
+
+The paper shows that FastTrack, used as a prefilter, speeds up more complex
+dynamic analyses by discarding race-free memory accesses before they reach
+the expensive checker: 5x for the VELODROME atomicity checker and 8x for
+the SINGLETRACK determinism checker, with ATOMIZER also improving.
+
+These are working reimplementations at the level of detail the composition
+experiment needs: they consume the same event stream (using ``enter``/
+``exit`` transaction boundaries), their per-event cost is dominated by
+genuinely expensive structures (a transactional happens-before graph for
+Velodrome, per-access vector clocks for SingleTrack, lockset + reduction
+state machines for Atomizer), and they produce meaningful warnings.
+"""
+
+from repro.checkers.atomizer import Atomizer
+from repro.checkers.velodrome import Velodrome
+from repro.checkers.singletrack import SingleTrack
+
+__all__ = ["Atomizer", "Velodrome", "SingleTrack"]

@@ -1,0 +1,151 @@
+"""ATOMIZER: a dynamic atomicity checker based on Lipton reduction [16].
+
+A block marked atomic (``enter``/``exit``) is serializable if its operations
+match the reduction pattern
+
+    (right-mover)*  (non-mover)?  (left-mover)*
+
+where lock acquires are right-movers, lock releases are left-movers,
+race-free accesses are both-movers, and potentially racy accesses are
+non-movers.  Atomizer classifies accesses with Eraser's lockset algorithm
+internally — which is why the paper notes it "already uses ERASER to
+identify potential races internally" and cannot use an Eraser prefilter
+meaningfully.
+
+Per active transaction, a two-phase state machine tracks whether the
+commit point has passed; a right-mover (or a second non-mover) after the
+commit point is a reduction failure, reported as a potential atomicity
+violation for the block's label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.detector import Detector
+from repro.detectors.eraser import Eraser
+from repro.trace import events as ev
+
+_PRE = 0  # still in the right-mover prefix
+_POST = 1  # past the commit point (left-mover suffix)
+
+
+class _TxnState:
+    __slots__ = ("label", "phase", "depth", "used_non_mover", "movers")
+
+    def __init__(self, label: Hashable) -> None:
+        self.label = label
+        self.phase = _PRE
+        self.depth = 1
+        self.used_non_mover = False
+        # The reduction proof trail: (kind, target) mover classifications,
+        # reported when a block fails to reduce.
+        self.movers: list = []
+
+
+class Atomizer(Detector):
+    """Reports atomic blocks whose executions are not reducible."""
+
+    name = "Atomizer"
+    precise = False
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        # The embedded race classifier (accesses to variables Eraser has
+        # warned about are treated as non-movers).
+        self.eraser = Eraser()
+        self.active: Dict[int, _TxnState] = {}
+        self.violations: List[Tuple[Hashable, str]] = []
+        self._violated_labels: set = set()
+
+    def _violation(self, tid: int, reason: str) -> None:
+        txn = self.active.get(tid)
+        label = txn.label if txn else None
+        if label in self._violated_labels:
+            return
+        self._violated_labels.add(label)
+        self.violations.append((label, reason))
+
+    # -- transaction boundaries ------------------------------------------------
+
+    def on_enter(self, event: ev.Event) -> None:
+        txn = self.active.get(event.tid)
+        if txn is not None:
+            txn.depth += 1  # nested atomic block: folded into the outer one
+            return
+        self.active[event.tid] = _TxnState(event.target)
+
+    def on_exit(self, event: ev.Event) -> None:
+        txn = self.active.get(event.tid)
+        if txn is None:
+            return
+        txn.depth -= 1
+        if txn.depth == 0:
+            del self.active[event.tid]
+
+    # -- movers -----------------------------------------------------------------
+
+    def on_acquire(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+        txn = self.active.get(event.tid)
+        if txn is not None and txn.phase == _POST:
+            self._violation(
+                event.tid,
+                f"lock acquire of {event.target!r} after the commit point",
+            )
+            self.stats.rule("ATOMIZER VIOLATION")
+
+    def on_release(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+        txn = self.active.get(event.tid)
+        if txn is not None:
+            txn.phase = _POST
+
+    def _access(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+        txn = self.active.get(event.tid)
+        if txn is None:
+            return
+        if not self.eraser.has_warned(event.target):
+            txn.movers.append(("both", event.target))
+            if len(txn.movers) > 4096:
+                del txn.movers[:2048]
+            return  # race-free: both-mover, fine in any phase
+        txn.movers.append(("non", event.target))
+        # Potentially racy: a non-mover.
+        self.stats.rule("ATOMIZER NON-MOVER")
+        if txn.phase == _POST or txn.used_non_mover:
+            self._violation(
+                event.tid,
+                f"non-mover access to {event.target!r} after the commit point",
+            )
+            self.stats.rule("ATOMIZER VIOLATION")
+        else:
+            txn.used_non_mover = True
+
+    def on_read(self, event: ev.Event) -> None:
+        self._access(event)
+
+    def on_write(self, event: ev.Event) -> None:
+        self._access(event)
+
+    # Remaining sync operations only feed the internal Eraser.
+
+    def on_fork(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+
+    def on_join(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+
+    def on_volatile_read(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+
+    def on_volatile_write(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+
+    def on_barrier_release(self, event: ev.Event) -> None:
+        self.eraser.handle(event)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)

@@ -1,0 +1,366 @@
+"""VELODROME: a sound and complete dynamic atomicity checker [17].
+
+Velodrome builds the *transactional happens-before graph*: nodes are
+transactions (``enter``/``exit`` blocks, with runs of non-transactional
+operations per thread folded into unary nodes — program-order edges make
+this folding sound), and edges are happens-before constraints created by
+
+* program order between a thread's consecutive transactions,
+* conflicting data accesses (last writer → next accessor, readers → next
+  writer),
+* lock release → subsequent acquire, volatile write → subsequent access,
+* fork/join/barrier.
+
+An execution is serializable iff this graph is acyclic; a cycle through a
+transaction is reported as an atomicity violation.  Cycle detection is the
+incremental check "does the edge's target already reach its source?",
+answered by depth-first search — the expensive part that makes Velodrome
+profit so much (5x in the paper) from a FastTrack prefilter discarding
+race-free accesses before they create edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.detector import Detector
+from repro.core.state import ThreadState
+from repro.core.vectorclock import VectorClock
+from repro.trace import events as ev
+
+
+class _Node:
+    """A transaction in the happens-before graph.
+
+    ``reads``/``writes`` record the node's footprint — Velodrome needs
+    these both for error reporting (which accesses closed the cycle) and
+    for its garbage collection of completed transactions; maintaining them
+    on every access is a large part of why the checker is an order of
+    magnitude more expensive than a race detector.
+    """
+
+    __slots__ = (
+        "nid",
+        "tid",
+        "label",
+        "succs",
+        "active",
+        "reads",
+        "writes",
+        "log",
+    )
+
+    #: Cap on the per-node access log; beyond it, the older half is dropped
+    #: (completed-transaction GC in the original).
+    LOG_LIMIT = 4096
+
+    def __init__(self, nid: int, tid: int, label: Optional[Hashable]) -> None:
+        self.nid = nid
+        self.tid = tid
+        self.label = label  # None for unary (non-transactional) nodes
+        self.succs: Set["_Node"] = set()
+        self.active = True
+        self.reads: Set[Hashable] = set()
+        self.writes: Set[Hashable] = set()
+        # Per-access evidence records (variable, is_write, index) used to
+        # reconstruct the two schedules when a cycle is reported.
+        self.log: list = []
+
+    def record(self, var: Hashable, is_write: bool, index: int) -> None:
+        log = self.log
+        log.append((var, is_write, index))
+        if len(log) > self.LOG_LIMIT:
+            del log[: self.LOG_LIMIT // 2]
+
+
+class Velodrome(Detector):
+    """Cycle detection over the transactional happens-before graph."""
+
+    name = "Velodrome"
+    precise = True  # sound and complete for atomicity over the observed trace
+
+    def __init__(self, prune_with_clocks: bool = True, **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: Skip conflict edges already implied by synchronization (every
+        #: sync edge is also a graph edge, so such edges never change
+        #: reachability).  Disable to validate the optimization.
+        self.prune_with_clocks = prune_with_clocks
+        self._next_nid = 0
+        self.current: Dict[int, _Node] = {}  # per-thread current node
+        self.txn_depth: Dict[int, int] = {}
+        self.last_writer: Dict[Hashable, _Node] = {}
+        self.last_readers: Dict[Hashable, Dict[int, _Node]] = {}
+        self.last_release: Dict[Hashable, _Node] = {}
+        # Volatile writes are mutually unordered, so a read needs an edge
+        # from every prior writer; per thread, program order makes all but
+        # the latest write redundant, keeping this bounded.
+        self.last_vol_writers: Dict[Hashable, Dict[int, _Node]] = {}
+        self.violations: List[Tuple[Hashable, str]] = []
+        self._violated_labels: set = set()
+        self.node_count = 0
+        # Vector-clock state used to prune redundant conflict edges: if the
+        # prior access is already sync-ordered before the current one, the
+        # graph necessarily contains a path between their nodes (every sync
+        # edge is also a graph edge), so the conflict edge is skipped.  This
+        # is Velodrome's edge-pruning optimization, and its per-access VC
+        # comparisons are the bulk of the checker's cost.
+        self.threads: Dict[int, ThreadState] = {}
+        self.sync_vcs: Dict[Hashable, VectorClock] = {}
+        self.var_write_vc: Dict[Hashable, VectorClock] = {}
+        self.var_read_vc: Dict[Hashable, VectorClock] = {}
+
+    # -- vector-clock plumbing ------------------------------------------------------
+
+    def _thread(self, tid: int) -> ThreadState:
+        state = self.threads.get(tid)
+        if state is None:
+            state = ThreadState(tid)
+            self.stats.vc_allocs += 1
+            self.threads[tid] = state
+        return state
+
+    def _sync_vc(self, name: Hashable) -> VectorClock:
+        vc = self.sync_vcs.get(name)
+        if vc is None:
+            vc = VectorClock.bottom()
+            self.stats.vc_allocs += 1
+            self.sync_vcs[name] = vc
+        return vc
+
+    # -- graph plumbing -----------------------------------------------------------
+
+    def _new_node(self, tid: int, label: Optional[Hashable]) -> _Node:
+        node = _Node(self._next_nid, tid, label)
+        self._next_nid += 1
+        self.node_count += 1
+        previous = self.current.get(tid)
+        if previous is not None:
+            previous.active = False
+            previous.succs.add(node)  # program order
+        self.current[tid] = node
+        return node
+
+    def _node_for(self, tid: int) -> _Node:
+        """The node the thread's next operation belongs to (opens a unary
+        node if the thread is outside any transaction)."""
+        node = self.current.get(tid)
+        if node is None or not node.active:
+            node = self._new_node(tid, None)
+        return node
+
+    def _path(self, source: _Node, target: _Node):
+        """DFS path ``source ->* target`` — the expensive inner loop.
+        Returns the node list, or None when unreachable."""
+        if source is target:
+            return [source]
+        parents = {source.nid: None}
+        nodes = {source.nid: source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for succ in node.succs:
+                if succ.nid not in parents:
+                    parents[succ.nid] = node.nid
+                    nodes[succ.nid] = succ
+                    if succ is target:
+                        path = [succ]
+                        cursor = node.nid
+                        while cursor is not None:
+                            path.append(nodes[cursor])
+                            cursor = parents[cursor]
+                        path.reverse()
+                        return path
+                    stack.append(succ)
+        return None
+
+    def _edge(self, source: _Node, target: _Node) -> None:
+        if source is target or target in source.succs:
+            return
+        self.stats.rule("VELODROME EDGE")
+        cycle = self._path(target, source)
+        if cycle is not None:
+            # target ->* source plus source -> target closes a cycle: every
+            # transaction on the path participates in the violation.
+            labels = {
+                node.label for node in cycle if node.label is not None
+            } or {None}
+            for label in sorted(labels, key=str):
+                if label not in self._violated_labels:
+                    self._violated_labels.add(label)
+                    self.violations.append(
+                        (
+                            label,
+                            "cycle between threads "
+                            f"{source.tid},{target.tid}",
+                        )
+                    )
+            self.stats.rule("VELODROME CYCLE")
+            return  # do not materialize the cycle; keep the graph a DAG
+        source.succs.add(target)
+
+    # -- transaction boundaries ------------------------------------------------------
+
+    def on_enter(self, event: ev.Event) -> None:
+        depth = self.txn_depth.get(event.tid, 0)
+        self.txn_depth[event.tid] = depth + 1
+        if depth == 0:
+            self._new_node(event.tid, event.target)
+
+    def on_exit(self, event: ev.Event) -> None:
+        depth = self.txn_depth.get(event.tid, 0)
+        if depth <= 0:
+            return
+        self.txn_depth[event.tid] = depth - 1
+        if depth == 1:
+            node = self.current.get(event.tid)
+            if node is not None:
+                node.active = False
+
+    # -- conflict and synchronization edges ---------------------------------------------
+
+    def on_read(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        node = self._node_for(event.tid)
+        var = event.target
+        node.reads.add(var)
+        node.record(var, False, self._index)
+        writer = self.last_writer.get(var)
+        if writer is not None and writer is not node:
+            write_vc = self.var_write_vc.get(var)
+            self.stats.vc_ops += 1
+            if (
+                not self.prune_with_clocks
+                or write_vc is None
+                or not write_vc.leq(t.vc)
+            ):
+                # Not implied by synchronization: a real conflict edge.
+                self._edge(writer, node)
+        read_vc = self.var_read_vc.get(var)
+        if read_vc is None:
+            read_vc = VectorClock.bottom()
+            self.stats.vc_allocs += 1
+            self.var_read_vc[var] = read_vc
+        read_vc.set(t.tid, t.vc.get(t.tid))
+        readers = self.last_readers.get(var)
+        if readers is None:
+            readers = {}
+            self.last_readers[var] = readers
+        readers[event.tid] = node
+
+    def on_write(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        node = self._node_for(event.tid)
+        var = event.target
+        node.writes.add(var)
+        node.record(var, True, self._index)
+        writer = self.last_writer.get(var)
+        write_vc = self.var_write_vc.get(var)
+        if writer is not None and writer is not node:
+            self.stats.vc_ops += 1
+            if (
+                not self.prune_with_clocks
+                or write_vc is None
+                or not write_vc.leq(t.vc)
+            ):
+                self._edge(writer, node)
+        readers = self.last_readers.get(var)
+        if readers:
+            read_vc = self.var_read_vc.get(var)
+            self.stats.vc_ops += 1
+            if (
+                not self.prune_with_clocks
+                or read_vc is None
+                or not read_vc.leq(t.vc)
+            ):
+                for reader in readers.values():
+                    if reader is not node:
+                        self._edge(reader, node)
+            readers.clear()
+        if write_vc is None:
+            write_vc = VectorClock.bottom()
+            self.stats.vc_allocs += 1
+            self.var_write_vc[var] = write_vc
+        write_vc.set(t.tid, t.vc.get(t.tid))
+        self.last_writer[var] = node
+
+    def on_acquire(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        t.vc.join(self._sync_vc(event.target))
+        self.stats.vc_ops += 1
+        node = self._node_for(event.tid)
+        releaser = self.last_release.get(event.target)
+        if releaser is not None and releaser is not node:
+            self._edge(releaser, node)
+
+    def on_release(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        self._sync_vc(event.target).assign(t.vc)
+        self.stats.vc_ops += 1
+        t.vc.inc(event.tid)
+        self.last_release[event.target] = self._node_for(event.tid)
+
+    def on_fork(self, event: ev.Event) -> None:
+        # The child's first node must come after the parent's current node.
+        t = self._thread(event.tid)
+        u = self._thread(event.target)
+        u.vc.join(t.vc)
+        self.stats.vc_ops += 1
+        t.vc.inc(event.tid)
+        parent = self._node_for(event.tid)
+        child = self._new_node(event.target, None)
+        self._edge(parent, child)
+
+    def on_join(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        u = self._thread(event.target)
+        t.vc.join(u.vc)
+        self.stats.vc_ops += 1
+        u.vc.inc(event.target)
+        node = self._node_for(event.tid)
+        child = self.current.get(event.target)
+        if child is not None and child is not node:
+            self._edge(child, node)
+
+    def on_volatile_read(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        t.vc.join(self._sync_vc(("volatile", event.target)))
+        self.stats.vc_ops += 1
+        node = self._node_for(event.tid)
+        for writer in self.last_vol_writers.get(event.target, {}).values():
+            if writer is not node:
+                self._edge(writer, node)
+
+    def on_volatile_write(self, event: ev.Event) -> None:
+        t = self._thread(event.tid)
+        vc = self._sync_vc(("volatile", event.target))
+        vc.join(t.vc)
+        self.stats.vc_ops += 1
+        t.vc.inc(event.tid)
+        self.last_vol_writers.setdefault(event.target, {})[
+            event.tid
+        ] = self._node_for(event.tid)
+
+    def on_barrier_release(self, event: ev.Event) -> None:
+        joined = None
+        for tid in event.target:
+            u = self._thread(tid)
+            if joined is None:
+                joined = u.vc.copy()
+                self.stats.vc_allocs += 1
+            else:
+                joined.join(u.vc)
+            self.stats.vc_ops += 1
+        members = [self._node_for(tid) for tid in event.target]
+        fresh = {tid: self._new_node(tid, None) for tid in event.target}
+        for tid in event.target:
+            u = self._thread(tid)
+            u.vc.assign(joined)
+            u.vc.inc(tid)
+        for before in members:
+            for after in fresh.values():
+                if before is not after:
+                    self._edge(before, after)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)

@@ -1,0 +1,348 @@
+"""Command-line interface.
+
+::
+
+    repro tools                         list the seven detectors
+    repro workloads                     list the benchmark workloads
+    repro record tsp -o tsp.trace       generate a workload's event stream
+    repro check tsp.trace               run FastTrack over a trace file
+    repro check tsp.trace --tool Eraser --all-tools --oracle
+    repro annotate small.trace          print per-event vector clocks
+    repro bench table1                  regenerate the paper's tables
+
+Trace files use the text format of :mod:`repro.trace.serialize` (the
+paper's concrete syntax; ``--format jsonl`` for JSON lines).  ``check``
+exits with status 1 when the selected tool reports warnings, so it can
+gate a CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.workload import WORKLOADS
+from repro.detectors import DETECTORS, make_detector
+from repro.trace import serialize
+from repro.trace.clocks import annotate as annotate_clocks
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import racy_variables
+from repro.trace.trace import Trace
+
+
+def _read_trace(path: str, fmt: str) -> Trace:
+    with open(path, "r", encoding="utf-8") as stream:
+        text = stream.read()
+    if fmt == "jsonl":
+        return serialize.loads_jsonl(text)
+    return serialize.loads(text)
+
+
+def _write_trace(trace: Trace, path: Optional[str], fmt: str) -> None:
+    text = (
+        serialize.dumps_jsonl(trace) if fmt == "jsonl" else serialize.dumps(trace)
+    )
+    if path is None or path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+
+
+def cmd_tools(_args) -> int:
+    print(f"{'tool':<12s}{'precise':>9s}  description")
+    descriptions = {
+        "Empty": "no analysis; measures event-delivery overhead",
+        "Eraser": "LockSet discipline checker [33] (+barrier extension)",
+        "MultiRace": "hybrid LockSet/DJIT+ [30]",
+        "Goldilocks": "synchronization-device locksets [14]",
+        "BasicVC": "read+write vector clock per location",
+        "DJIT+": "epoch-fast-pathed vector clocks [30]",
+        "FastTrack": "adaptive epochs (this paper)",
+    }
+    for name, cls in DETECTORS.items():
+        flag = "yes" if cls.precise else "no"
+        print(f"{name:<12s}{flag:>9s}  {descriptions[name]}")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    print(f"{'workload':<12s}{'threads':>8s}{'scale':>8s}  description")
+    for name, workload in WORKLOADS.items():
+        print(
+            f"{name:<12s}{workload.paper.threads:>8d}"
+            f"{workload.default_scale:>8d}  {workload.description}"
+        )
+    return 0
+
+
+def cmd_record(args) -> int:
+    try:
+        workload = WORKLOADS[args.workload]
+    except KeyError:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    trace = workload.trace(scale=args.scale, seed=args.seed)
+    _write_trace(trace, args.output, args.format)
+    if args.output not in (None, "-"):
+        print(
+            f"wrote {len(trace)} events ({len(trace.threads())} threads) "
+            f"to {args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_check(args) -> int:
+    trace = _read_trace(args.trace, args.format)
+    violations = check_feasible(trace)
+    if violations:
+        print(f"warning: trace is not feasible ({violations[0]})")
+    tool_names = list(DETECTORS) if args.all_tools else [args.tool]
+    report_target = None
+    if args.all_tools and not args.verbose:
+        print(f"{'tool':<12s}{'warnings':>9s}")
+    worst = 0
+    for name in tool_names:
+        # FastTrack reports name both sides of the race when sites exist.
+        kwargs = {"track_sites": True} if name == "FastTrack" else {}
+        detector = make_detector(name, **kwargs)
+        detector.process(trace)
+        if name == args.tool:
+            worst = detector.warning_count
+            report_target = detector
+        if args.all_tools and not args.verbose:
+            print(f"{name:<12s}{detector.warning_count:>9d}")
+        else:
+            print(f"{name}: {detector.warning_count} warning(s)")
+            for warning in detector.warnings:
+                print(f"  {warning}")
+    oracle_set = None
+    if args.oracle:
+        oracle_set = racy_variables(trace)
+        rendered = ", ".join(sorted(map(str, oracle_set))) or "none"
+        print(f"happens-before oracle: racy variables: {rendered}")
+    if args.report is not None and report_target is not None:
+        from repro.report import build_report
+
+        fmt = "html" if args.report.endswith(".html") else "markdown"
+        text = build_report(
+            trace, report_target, fmt=fmt, oracle_racy=oracle_set
+        )
+        with open(args.report, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"report written to {args.report}")
+    return 1 if worst else 0
+
+
+def cmd_classify(args) -> int:
+    from repro.detectors.classifier import CLASSES, SharingClassifier
+
+    trace = _read_trace(args.trace, args.format)
+    tool = SharingClassifier()
+    tool.process(trace)
+    fractions = tool.fractions()
+    print("sharing classification (fraction of accesses):")
+    for cls in CLASSES:
+        print(f"  {cls:<16s}{fractions[cls]:>8.1%}")
+    if args.verbose:
+        print("\nper-variable classes:")
+        for var, cls in sorted(
+            tool.classify().items(), key=lambda item: str(item[0])
+        ):
+            print(f"  {str(var):<32s}{cls}")
+    return 0
+
+
+def cmd_annotate(args) -> int:
+    trace = _read_trace(args.trace, args.format)
+    clocks = annotate_clocks(trace)
+    width = max((len(serialize.format_event(e)) for e in trace), default=10)
+    for index, event in enumerate(trace):
+        line = serialize.format_event(event)
+        print(f"{index:>5d}  {line:<{width}s}  C={clocks.post[index]!r}")
+    return 0
+
+
+def cmd_compose(args) -> int:
+    """RoadRunner's ``-tool FastTrack:Velodrome`` chaining, verbatim."""
+    from repro.checkers import Atomizer, SingleTrack, Velodrome
+    from repro.runtime.filters import (
+        DJITFilter,
+        EraserFilter,
+        FastTrackFilter,
+        ThreadLocalFilter,
+        compose_chain,
+    )
+
+    filter_classes = {
+        "FastTrack": FastTrackFilter,
+        "DJIT+": DJITFilter,
+        "Eraser": EraserFilter,
+        "TL": ThreadLocalFilter,
+    }
+    checker_classes = {
+        "Atomizer": Atomizer,
+        "Velodrome": Velodrome,
+        "SingleTrack": SingleTrack,
+    }
+    stages = args.chain.split(":")
+    if len(stages) < 2:
+        print("error: the chain needs at least Filter:Checker", file=sys.stderr)
+        return 2
+    *filter_names, checker_name = stages
+    try:
+        prefilters = [filter_classes[name]() for name in filter_names]
+        checker = checker_classes[checker_name]()
+    except KeyError as missing:
+        known = ", ".join([*filter_classes, "->", *checker_classes])
+        print(
+            f"error: unknown stage {missing}; known stages: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = _read_trace(args.trace, args.format)
+    result = compose_chain(prefilters, checker, trace.events)
+    print(
+        f"{args.chain}: {result.events_passed}/{result.events_in} events "
+        f"reached {checker_name} ({result.pass_fraction:.1%})"
+    )
+    print(f"{checker_name}: {checker.violation_count} violation(s)")
+    for label, reason in checker.violations:
+        print(f"  {label}: {reason}")
+    return 1 if checker.violation_count else 0
+
+
+def cmd_minimize(args) -> int:
+    from repro.trace.minimize import minimize_trace
+    from repro.trace.serialize import parse_target
+
+    trace = _read_trace(args.trace, args.format)
+    var = parse_target(args.var) if args.var is not None else None
+    try:
+        witness = minimize_trace(trace, var=var)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"minimized {len(trace)} events to a {len(witness)}-event witness",
+        file=sys.stderr,
+    )
+    _write_trace(witness, args.output, args.format)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = list(args.experiments)
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    return bench_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FastTrack (PLDI 2009) reproduction — race detection tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tools", help="list the detectors").set_defaults(
+        func=cmd_tools
+    )
+    sub.add_parser("workloads", help="list the workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    record = sub.add_parser("record", help="generate a workload trace")
+    record.add_argument("workload")
+    record.add_argument("--scale", type=int, default=None)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("-o", "--output", default=None, help="- for stdout")
+    record.add_argument("--format", choices=("text", "jsonl"), default="text")
+    record.set_defaults(func=cmd_record)
+
+    check = sub.add_parser("check", help="run a detector over a trace file")
+    check.add_argument("trace")
+    check.add_argument(
+        "--tool", default="FastTrack", choices=list(DETECTORS)
+    )
+    check.add_argument(
+        "--all-tools", action="store_true", help="run every detector"
+    )
+    check.add_argument(
+        "--oracle",
+        action="store_true",
+        help="also compute ground truth from the happens-before definition",
+    )
+    check.add_argument("--format", choices=("text", "jsonl"), default="text")
+    check.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write a markdown (.md) or HTML (.html) race report",
+    )
+    check.add_argument("-v", "--verbose", action="store_true")
+    check.set_defaults(func=cmd_check)
+
+    annotate = sub.add_parser(
+        "annotate", help="print per-event vector clocks for a trace"
+    )
+    annotate.add_argument("trace")
+    annotate.add_argument("--format", choices=("text", "jsonl"), default="text")
+    annotate.set_defaults(func=cmd_annotate)
+
+    classify = sub.add_parser(
+        "classify", help="classify each variable's sharing pattern"
+    )
+    classify.add_argument("trace")
+    classify.add_argument("--format", choices=("text", "jsonl"), default="text")
+    classify.add_argument("-v", "--verbose", action="store_true")
+    classify.set_defaults(func=cmd_classify)
+
+    compose = sub.add_parser(
+        "compose",
+        help="run a RoadRunner-style tool chain, e.g. FastTrack:Velodrome",
+    )
+    compose.add_argument(
+        "chain", help="colon-separated stages, filters then a checker"
+    )
+    compose.add_argument("trace")
+    compose.add_argument("--format", choices=("text", "jsonl"), default="text")
+    compose.set_defaults(func=cmd_compose)
+
+    minimize = sub.add_parser(
+        "minimize", help="shrink a racy trace to a small witness"
+    )
+    minimize.add_argument("trace")
+    minimize.add_argument(
+        "--var", default=None, help="minimize for this variable's race"
+    )
+    minimize.add_argument("-o", "--output", default=None, help="- for stdout")
+    minimize.add_argument(
+        "--format", choices=("text", "jsonl"), default="text"
+    )
+    minimize.set_defaults(func=cmd_minimize)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's tables")
+    bench.add_argument(
+        "experiments",
+        nargs="*",
+        help="table1 table2 table3 figure2 composition eclipse",
+    )
+    bench.add_argument("--scale", type=int, default=None)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

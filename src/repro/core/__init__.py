@@ -1,0 +1,50 @@
+"""Core primitives of the FastTrack reproduction.
+
+This subpackage contains the paper's primary contribution:
+
+* :mod:`repro.core.epoch` — the constant-space epoch representation ``c@t``.
+* :mod:`repro.core.vectorclock` — classic vector clocks (the fallback
+  representation and the substrate shared with DJIT+/BasicVC).
+* :mod:`repro.core.state` — the shadow state of Figure 5 (ThreadState,
+  VarState, LockState).
+* :mod:`repro.core.detector` — the abstract online-analysis interface all
+  detectors implement, with the cost counters used by the evaluation.
+* :mod:`repro.core.fasttrack` — the FastTrack algorithm itself
+  (Figures 2, 3 and 5, plus the volatile/barrier extensions of Section 4).
+"""
+
+from repro.core.epoch import (
+    CLOCK_BITS,
+    EPOCH_BOTTOM,
+    READ_SHARED,
+    epoch_clock,
+    epoch_leq_vc,
+    epoch_tid,
+    format_epoch,
+    make_epoch,
+)
+from repro.core.vectorclock import VectorClock
+from repro.core.state import LockState, ThreadState, VarState
+from repro.core.detector import CostStats, Detector, RaceWarning
+from repro.core.fasttrack import FastTrack
+from repro.core.adaptive import AdaptiveFastTrack
+
+__all__ = [
+    "CLOCK_BITS",
+    "EPOCH_BOTTOM",
+    "READ_SHARED",
+    "make_epoch",
+    "epoch_clock",
+    "epoch_tid",
+    "epoch_leq_vc",
+    "format_epoch",
+    "VectorClock",
+    "ThreadState",
+    "VarState",
+    "LockState",
+    "CostStats",
+    "Detector",
+    "RaceWarning",
+    "FastTrack",
+    "AdaptiveFastTrack",
+]

@@ -1,0 +1,212 @@
+"""The FastTrack race detection algorithm (Figures 2, 3, 5).
+
+FastTrack keeps, per variable ``x``:
+
+* ``W_x`` — an **epoch** for the last write (all writes are totally ordered
+  by happens-before until the first race, so one epoch suffices);
+* ``R_x`` — an epoch for the last read while reads remain totally ordered,
+  adaptively promoted to a full read vector clock when the variable becomes
+  read-shared, and demoted back to an epoch when a write dominates all reads
+  (`[FT WRITE SHARED]`).
+
+The per-access rules (with the paper's measured firing frequencies):
+
+=========================  =========  =============================================
+rule                       frequency  effect
+=========================  =========  =============================================
+[FT READ SAME EPOCH]       63.4% rds  ``R_x == E(t)`` — nothing to do
+[FT READ SHARED]           20.8% rds  read-shared: ``Rvc[t] := C_t(t)``
+[FT READ EXCLUSIVE]        15.7% rds  ``R_x ≼ C_t`` — ``R_x := E(t)``
+[FT READ SHARE]             0.1% rds  concurrent reads — allocate the read VC
+[FT WRITE SAME EPOCH]      71.0% wrs  ``W_x == E(t)`` — nothing to do
+[FT WRITE EXCLUSIVE]       28.9% wrs  epoch reads — two O(1) checks
+[FT WRITE SHARED]           0.1% wrs  VC reads — one O(n) check, demote to epoch
+=========================  =========  =============================================
+
+Race checks: a read races with the last write unless ``W_x ≼ C_t``; a write
+races with the last write unless ``W_x ≼ C_t`` and with prior reads unless
+``R_x ≼ C_t`` (epoch mode) / ``Rvc ⊑ C_t`` (shared mode).  FastTrack is
+precise — Theorem 1: it reports a warning iff the trace has a race — and it
+guarantees to detect at least the first race on each variable.  After
+reporting, the implementation updates the shadow state as if the access were
+ordered and relies on per-variable deduplication, as real FastTrack
+deployments do, so one root cause produces one report.
+
+Constructor flags expose the paper's design choices for ablation studies
+(Section 5 discussion / DESIGN.md §5):
+
+* ``enable_fast_paths`` — disable to force the full rule body on every
+  access (what the same-epoch fast paths save).
+* ``shared_same_epoch`` — the extension of `[FT READ SAME EPOCH]` to
+  read-shared variables the paper mentions (covers 78% of reads, "does not
+  improve performance of our prototype perceptibly").
+* ``demote_on_shared_write`` — disable the `[FT WRITE SHARED]` reset of
+  ``R_x`` to ``⊥e`` to measure what adaptive demotion saves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.core.epoch import (
+    EPOCH_BOTTOM,
+    READ_SHARED,
+    epoch_clock,
+    epoch_leq_vc,
+    epoch_tid,
+    format_epoch,
+)
+from repro.core.state import VarState
+from repro.core.vcsync import VCSyncDetector
+from repro.core.vectorclock import VectorClock
+from repro.trace import events as ev
+
+
+class FastTrack(VCSyncDetector):
+    """The FastTrack detector — the paper's primary contribution."""
+
+    name = "FastTrack"
+    precise = True
+
+    def __init__(
+        self,
+        enable_fast_paths: bool = True,
+        shared_same_epoch: bool = False,
+        demote_on_shared_write: bool = True,
+        track_sites: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.vars: Dict[Hashable, VarState] = {}
+        self.enable_fast_paths = enable_fast_paths
+        self.shared_same_epoch = shared_same_epoch
+        self.demote_on_shared_write = demote_on_shared_write
+        #: Record the prior access's source site on the slow paths so race
+        #: reports name both sides ("more precise error reporting", §4).
+        #: Off by default: it adds a word per location and a store per
+        #: non-same-epoch access, which the benchmarks should not pay.
+        self.track_sites = track_sites
+
+    def var(self, name: Hashable) -> VarState:
+        key = self.shadow_key(name)
+        state = self.vars.get(key)
+        if state is None:
+            state = VarState()
+            self.vars[key] = state
+        return state
+
+    # -- reads (Figure 5, read handler) ----------------------------------------
+
+    def on_read(self, event: ev.Event) -> None:
+        stats = self.stats
+        t = self.thread(event.tid)
+        x = self.var(event.target)
+        t_epoch = t.epoch
+        clocks = t.vc.clocks
+
+        # [FT READ SAME EPOCH] — the hottest path; its firing count is
+        # derived as reads minus the other read rules (hot paths must not
+        # touch counters, as in the paper's tuned implementation).
+        if self.enable_fast_paths and x.read_epoch == t_epoch:
+            return
+        if (
+            self.shared_same_epoch
+            and x.read_epoch == READ_SHARED
+            and x.read_vc.get(t.tid) == clocks[t.tid]
+        ):
+            # Optional extension: same-epoch reads of read-shared data.
+            stats.rule("FT READ SAME EPOCH SHARED")
+            return
+
+        # write-read race?
+        if not epoch_leq_vc(x.write_epoch, clocks):
+            self.report(
+                event,
+                "write-read",
+                f"write {format_epoch(x.write_epoch)}"
+                + (f" at {x.write_site}" if x.write_site is not None else ""),
+            )
+
+        if x.read_epoch == READ_SHARED:
+            stats.rule("FT READ SHARED")
+            x.read_vc.set(t.tid, clocks[t.tid])
+        elif epoch_leq_vc(x.read_epoch, clocks):
+            stats.rule("FT READ EXCLUSIVE")
+            x.read_epoch = t_epoch
+            if self.track_sites:
+                x.read_site = event.site
+        else:
+            # Concurrent with the previous read epoch: promote to a VC
+            # recording both reads ([FT READ SHARE] — the slow path).
+            stats.rule("FT READ SHARE")
+            read_vc = VectorClock.bottom()
+            stats.vc_allocs += 1
+            read_vc.set(epoch_tid(x.read_epoch), epoch_clock(x.read_epoch))
+            read_vc.set(t.tid, clocks[t.tid])
+            x.read_vc = read_vc
+            x.read_epoch = READ_SHARED
+
+    # -- writes (Figure 5, write handler) ----------------------------------------
+
+    def on_write(self, event: ev.Event) -> None:
+        stats = self.stats
+        t = self.thread(event.tid)
+        x = self.var(event.target)
+        t_epoch = t.epoch
+        clocks = t.vc.clocks
+
+        # [FT WRITE SAME EPOCH] — counted by derivation, like the read rule.
+        if self.enable_fast_paths and x.write_epoch == t_epoch:
+            return
+
+        # write-write race?
+        if not epoch_leq_vc(x.write_epoch, clocks):
+            self.report(
+                event,
+                "write-write",
+                f"write {format_epoch(x.write_epoch)}"
+                + (f" at {x.write_site}" if x.write_site is not None else ""),
+            )
+
+        if x.read_epoch != READ_SHARED:
+            stats.rule("FT WRITE EXCLUSIVE")
+            # read-write race?
+            if not epoch_leq_vc(x.read_epoch, clocks):
+                self.report(
+                    event,
+                    "read-write",
+                    f"read {format_epoch(x.read_epoch)}"
+                    + (
+                        f" at {x.read_site}"
+                        if x.read_site is not None
+                        else ""
+                    ),
+                )
+        else:
+            stats.rule("FT WRITE SHARED")
+            # The one O(n) comparison on the write path (0.1% of writes).
+            stats.vc_ops += 1
+            if not x.read_vc.leq(t.vc):
+                racer = self._some_concurrent_reader(x.read_vc, t.vc)
+                self.report(event, "read-write", f"shared read by {racer}")
+            if self.demote_on_shared_write:
+                x.read_epoch = EPOCH_BOTTOM
+                x.read_vc = None
+        x.write_epoch = t_epoch
+        if self.track_sites:
+            x.write_site = event.site
+
+    @staticmethod
+    def _some_concurrent_reader(read_vc: VectorClock, cvc: VectorClock) -> str:
+        for tid, clock in enumerate(read_vc.clocks):
+            if clock > cvc.get(tid):
+                return f"thread {tid} (clock {clock})"
+        return "unknown thread"
+
+    # -- memory accounting --------------------------------------------------------
+
+    def shadow_memory_words(self) -> int:
+        words = self.sync_shadow_words()
+        for x in self.vars.values():
+            words += x.shadow_words()
+        return words

@@ -1,0 +1,152 @@
+"""Shared vector-clock synchronization handling (Figure 3 + Section 4).
+
+Synchronization operations — acquire, release, fork, join, volatile access,
+barrier release — account for ~3.3% of monitored operations, so the paper
+analyzes them with ordinary O(n) vector-clock rules in *every* tool
+(FastTrack, DJIT+, BasicVC, MultiRace all share them).  This class is that
+shared implementation:
+
+========================  ====================================================
+[FT ACQUIRE]              ``C_t := C_t ⊔ L_m``
+[FT RELEASE]              ``L_m := C_t;  C_t := inc_t(C_t)``
+[FT FORK]                 ``C_u := C_u ⊔ C_t;  C_t := inc_t(C_t)``
+[FT JOIN]                 ``C_t := C_t ⊔ C_u;  C_u := inc_u(C_u)``
+[FT READ VOLATILE]        ``C_t := C_t ⊔ L_vx``
+[FT WRITE VOLATILE]       ``L_vx := C_t ⊔ L_vx;  C_t := inc_t(C_t)``
+[FT BARRIER RELEASE]      ``C_t := inc_t(⊔_{u∈T} C_u)`` for every ``t ∈ T``
+========================  ====================================================
+
+Thread states are created lazily with ``C_t = inc_t(⊥V)`` so the initial
+analysis state matches ``σ0 = (λt.inc_t(⊥V), λm.⊥V, λx.⊥e, λx.⊥e)``.
+
+Every O(n) operation bumps ``stats.vc_ops`` and every fresh vector clock
+bumps ``stats.vc_allocs`` — these counters reproduce Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.core.detector import Detector
+from repro.core.state import LockState, ThreadState
+from repro.trace import events as ev
+
+
+class VCSyncDetector(Detector):
+    """Base class for the tools that track happens-before with vector clocks
+    on synchronization operations (FastTrack, BasicVC, DJIT+, MultiRace)."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.threads: Dict[int, ThreadState] = {}
+        self.locks: Dict[Hashable, LockState] = {}
+        self.volatiles: Dict[Hashable, LockState] = {}
+
+    # -- state access ---------------------------------------------------------
+
+    def thread(self, tid: int) -> ThreadState:
+        """The thread's state, created on first use as ``inc_t(⊥V)``."""
+        state = self.threads.get(tid)
+        if state is None:
+            state = ThreadState(tid)
+            self.stats.vc_allocs += 1
+            self.threads[tid] = state
+        return state
+
+    def lock(self, name: Hashable) -> LockState:
+        state = self.locks.get(name)
+        if state is None:
+            state = LockState()
+            self.stats.vc_allocs += 1
+            self.locks[name] = state
+        return state
+
+    def volatile(self, name: Hashable) -> LockState:
+        state = self.volatiles.get(name)
+        if state is None:
+            state = LockState()
+            self.stats.vc_allocs += 1
+            self.volatiles[name] = state
+        return state
+
+    # -- Figure 3 rules ---------------------------------------------------------
+
+    def on_acquire(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        m = self.lock(event.target)
+        t.vc.join(m.vc)
+        self.stats.vc_ops += 1
+        t.refresh_epoch()
+
+    def on_release(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        m = self.lock(event.target)
+        m.vc.assign(t.vc)
+        self.stats.vc_ops += 1
+        t.vc.inc(t.tid)
+        t.refresh_epoch()
+
+    def on_fork(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        u = self.thread(event.target)
+        u.vc.join(t.vc)
+        self.stats.vc_ops += 1
+        u.refresh_epoch()
+        t.vc.inc(t.tid)
+        t.refresh_epoch()
+
+    def on_join(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        u = self.thread(event.target)
+        t.vc.join(u.vc)
+        self.stats.vc_ops += 1
+        t.refresh_epoch()
+        u.vc.inc(u.tid)
+        u.refresh_epoch()
+
+    def on_volatile_read(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        vx = self.volatile(event.target)
+        t.vc.join(vx.vc)
+        self.stats.vc_ops += 1
+        t.refresh_epoch()
+
+    def on_volatile_write(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        vx = self.volatile(event.target)
+        vx.vc.join(t.vc)
+        self.stats.vc_ops += 1
+        t.vc.inc(t.tid)
+        t.refresh_epoch()
+
+    def on_barrier_release(self, event: ev.Event) -> None:
+        tids = event.target
+        joined = None
+        for tid in tids:
+            u = self.thread(tid)
+            if joined is None:
+                joined = u.vc.copy()
+                self.stats.vc_allocs += 1
+            else:
+                joined.join(u.vc)
+            self.stats.vc_ops += 1
+        if joined is None:
+            return
+        for tid in tids:
+            u = self.thread(tid)
+            u.vc.assign(joined)
+            self.stats.vc_ops += 1
+            u.vc.inc(tid)
+            u.refresh_epoch()
+
+    # -- memory accounting -------------------------------------------------------
+
+    def sync_shadow_words(self) -> int:
+        words = 0
+        for t in self.threads.values():
+            words += 2 + len(t.vc)
+        for m in self.locks.values():
+            words += m.shadow_words()
+        for vx in self.volatiles.values():
+            words += vx.shadow_words()
+        return words

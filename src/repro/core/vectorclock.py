@@ -1,0 +1,150 @@
+"""Vector clocks: the heavyweight happens-before representation.
+
+A vector clock ``VC : Tid -> Nat`` records a clock for every thread in the
+system (Section 2.2).  This module provides the lattice operations the paper
+uses —
+
+* pointwise partial order ``V1 ⊑ V2``  (:meth:`VectorClock.leq`),
+* pointwise join ``V1 ⊔ V2``           (:meth:`VectorClock.join`),
+* bottom element ``⊥V = λt.0``         (:meth:`VectorClock.bottom`),
+* ``inc_t``                            (:meth:`VectorClock.inc`),
+
+All of these are O(n) in the number of threads, which is precisely the cost
+FastTrack's epochs avoid on the common paths.  The clock list grows on
+demand so that traces may fork fresh threads at any point; absent entries
+read as zero, matching ``⊥V``.
+
+The evaluation (Table 2) counts vector-clock *allocations* and O(n)
+vector-clock *operations* per detector.  Counting lives in
+:class:`repro.core.detector.CostStats`; detectors bump those counters at each
+call site so this class stays a pure data structure.
+
+Examples
+--------
+
+The release-acquire transfer from Section 2.2::
+
+    >>> c0 = VectorClock([4, 0])
+    >>> l_m = c0.copy()                  # rel(0, m): L_m := C_0
+    >>> c0.inc(0)                        # ... then inc_0(C_0)
+    >>> c1 = VectorClock([0, 8])
+    >>> c1.join(l_m)                     # acq(1, m): C_1 := C_1 ⊔ L_m
+    >>> c1
+    <4,8,...>
+    >>> l_m.leq(c1)
+    True
+    >>> c0.leq(c1)                       # thread 0 has moved on
+    False
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class VectorClock:
+    """A grow-on-demand vector of per-thread clocks.
+
+    Instances are mutable; detectors update them in place exactly where the
+    paper's transition rules use functional update for clarity (the paper
+    notes its implementation does the same).
+    """
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Iterable[int] = ()) -> None:
+        self.clocks: List[int] = list(clocks)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def bottom(cls) -> "VectorClock":
+        """The minimal vector clock ``⊥V``."""
+        return cls()
+
+    def copy(self) -> "VectorClock":
+        """An independent copy (an O(n) operation)."""
+        fresh = VectorClock.__new__(VectorClock)
+        fresh.clocks = self.clocks[:]
+        return fresh
+
+    # -- element access ----------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        """``V(t)`` — zero for threads beyond the stored prefix."""
+        clocks = self.clocks
+        return clocks[tid] if tid < len(clocks) else 0
+
+    def set(self, tid: int, clock: int) -> None:
+        """``V[t := c]`` in place."""
+        self._ensure(tid)
+        self.clocks[tid] = clock
+
+    def inc(self, tid: int) -> None:
+        """``inc_t(V)`` in place: bump the ``t`` component by one."""
+        self._ensure(tid)
+        self.clocks[tid] += 1
+
+    def _ensure(self, tid: int) -> None:
+        clocks = self.clocks
+        if tid >= len(clocks):
+            clocks.extend([0] * (tid + 1 - len(clocks)))
+
+    # -- lattice operations (O(n)) -----------------------------------------
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise partial order ``self ⊑ other``."""
+        mine, theirs = self.clocks, other.clocks
+        ntheirs = len(theirs)
+        for tid, clock in enumerate(mine):
+            if clock > (theirs[tid] if tid < ntheirs else 0):
+                return False
+        return True
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise join ``self := self ⊔ other`` in place."""
+        mine, theirs = self.clocks, other.clocks
+        if len(theirs) > len(mine):
+            mine.extend([0] * (len(theirs) - len(mine)))
+        for tid, clock in enumerate(theirs):
+            if clock > mine[tid]:
+                mine[tid] = clock
+
+    def joined(self, other: "VectorClock") -> "VectorClock":
+        """A fresh ``self ⊔ other`` (allocates)."""
+        fresh = self.copy()
+        fresh.join(other)
+        return fresh
+
+    # -- conveniences -------------------------------------------------------
+
+    def assign(self, other: "VectorClock") -> None:
+        """``self := other`` in place (an O(n) copy without allocation)."""
+        self.clocks[:] = other.clocks
+
+    def as_tuple(self) -> tuple:
+        """Clock prefix as a tuple, trailing zeros trimmed (for hashing and
+        stable comparison in tests)."""
+        clocks = self.clocks
+        end = len(clocks)
+        while end and clocks[end - 1] == 0:
+            end -= 1
+        return tuple(clocks[:end])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.clocks)
+
+    def __len__(self) -> int:
+        return len(self.clocks)
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(c) for c in self.clocks)
+        return f"<{inner},...>"

@@ -1,0 +1,24 @@
+"""Re-exports of the common analysis framework.
+
+The abstract interface lives in :mod:`repro.core.detector` (so the core
+package is self-contained); tools import it from here, which is the
+conventional location for a detector framework.
+"""
+
+from repro.core.detector import (
+    CostStats,
+    Detector,
+    RaceWarning,
+    coarse_grain,
+    fine_grain,
+)
+from repro.core.vcsync import VCSyncDetector
+
+__all__ = [
+    "CostStats",
+    "Detector",
+    "RaceWarning",
+    "VCSyncDetector",
+    "fine_grain",
+    "coarse_grain",
+]

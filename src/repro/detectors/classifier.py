@@ -1,0 +1,179 @@
+"""Sharing-pattern classification: quantifying the paper's key insight.
+
+Section 1: "the vast majority of data in multithreaded programs is either
+thread local, lock protected, or read shared" — that empirical observation
+is what justifies FastTrack's adaptive representation.  This analysis
+measures it: every variable (and every access) is classified into
+
+* ``thread-local``   — accessed by a single thread;
+* ``lock-protected`` — accessed by several threads, with some lock held on
+  every access (a non-empty consistent candidate lockset);
+* ``read-shared``    — accessed by several threads, but written by at most
+  one, with no foreign write after the first foreign read (the
+  initialize-then-share idiom);
+* ``synchronized``   — shared and race-free, but ordered by fork/join,
+  barriers, volatiles, or monitor handoffs rather than a consistent lock;
+* ``racy``           — involved in a detected race.
+
+The classifier runs a full FastTrack instance for the race verdict (so
+``racy`` is precise), plus Eraser-style lockset refinement and accessor
+bookkeeping for the other classes.  ``fractions()`` weights classes by
+access count, which is the quantity the paper's fast-path argument needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional, Set
+
+from repro.core.detector import Detector
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+
+THREAD_LOCAL = "thread-local"
+LOCK_PROTECTED = "lock-protected"
+READ_SHARED = "read-shared"
+SYNCHRONIZED = "synchronized"
+RACY = "racy"
+
+CLASSES = (THREAD_LOCAL, LOCK_PROTECTED, READ_SHARED, SYNCHRONIZED, RACY)
+
+
+class _VarProfile:
+    __slots__ = (
+        "accessors",
+        "writers",
+        "lockset",
+        "accesses",
+        "foreign_read_seen",
+        "write_after_share",
+    )
+
+    def __init__(self) -> None:
+        self.accessors: Set[int] = set()
+        self.writers: Set[int] = set()
+        self.lockset: Optional[FrozenSet[Hashable]] = None  # None = universe
+        self.accesses = 0
+        self.foreign_read_seen = False
+        self.write_after_share = False
+
+
+class SharingClassifier(Detector):
+    """Classifies every variable by its observed sharing pattern."""
+
+    name = "SharingClassifier"
+    precise = True  # its 'racy' class comes from FastTrack
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fasttrack = FastTrack(shadow_key=self.shadow_key)
+        self.profiles: Dict[Hashable, _VarProfile] = {}
+        self.held: Dict[int, Set[Hashable]] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _profile(self, var: Hashable) -> _VarProfile:
+        key = self.shadow_key(var)
+        profile = self.profiles.get(key)
+        if profile is None:
+            profile = _VarProfile()
+            self.profiles[key] = profile
+        return profile
+
+    def _held(self, tid: int) -> Set[Hashable]:
+        held = self.held.get(tid)
+        if held is None:
+            held = set()
+            self.held[tid] = held
+        return held
+
+    def on_acquire(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+        self._held(event.tid).add(event.target)
+
+    def on_release(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+        self._held(event.tid).discard(event.target)
+
+    def on_fork(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+
+    def on_join(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+
+    def on_volatile_read(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+
+    def on_volatile_write(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+
+    def on_barrier_release(self, event: ev.Event) -> None:
+        self.fasttrack.handle(event)
+
+    def _access(self, event: ev.Event, is_write: bool) -> None:
+        self.fasttrack.handle(event)
+        profile = self._profile(event.target)
+        tid = event.tid
+        profile.accesses += 1
+        if profile.accessors and (
+            tid not in profile.accessors or len(profile.accessors) > 1
+        ):
+            # The variable is shared: refine the candidate lockset with the
+            # locks held on this access.
+            held = frozenset(self._held(tid))
+            profile.lockset = (
+                held if profile.lockset is None else profile.lockset & held
+            )
+        if not is_write:
+            if profile.writers and tid not in profile.writers:
+                profile.foreign_read_seen = True
+        else:
+            if profile.foreign_read_seen:
+                # A write landing after the variable was read-shared: the
+                # initialize-then-share idiom is over.
+                profile.write_after_share = True
+        profile.accessors.add(tid)
+        if is_write:
+            profile.writers.add(tid)
+
+    def on_read(self, event: ev.Event) -> None:
+        self._access(event, is_write=False)
+
+    def on_write(self, event: ev.Event) -> None:
+        self._access(event, is_write=True)
+
+    # -- results ------------------------------------------------------------------
+
+    def classify(self) -> Dict[Hashable, str]:
+        """The sharing class of every variable seen so far."""
+        racy_keys = self.fasttrack._warned_keys
+        result: Dict[Hashable, str] = {}
+        for key, profile in self.profiles.items():
+            if key in racy_keys:
+                result[key] = RACY
+            elif len(profile.accessors) <= 1:
+                result[key] = THREAD_LOCAL
+            elif profile.lockset:
+                result[key] = LOCK_PROTECTED
+            elif len(profile.writers) <= 1 and not profile.write_after_share:
+                result[key] = READ_SHARED
+            else:
+                result[key] = SYNCHRONIZED
+        return result
+
+    def fractions(self, by_accesses: bool = True) -> Dict[str, float]:
+        """Class weights, by access count (default) or by variable count."""
+        classes = self.classify()
+        totals = {cls: 0 for cls in CLASSES}
+        for key, cls in classes.items():
+            weight = self.profiles[key].accesses if by_accesses else 1
+            totals[cls] += weight
+        denominator = sum(totals.values()) or 1
+        return {cls: count / denominator for cls, count in totals.items()}
+
+    @property
+    def warnings(self):  # type: ignore[override]
+        return self.fasttrack.warnings
+
+    @warnings.setter
+    def warnings(self, value) -> None:  # the base __init__ assigns []
+        pass

@@ -1,0 +1,37 @@
+"""Registry of the seven tools, in the paper's Table 1 column order."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.detector import Detector
+from repro.core.fasttrack import FastTrack
+from repro.detectors.basicvc import BasicVC
+from repro.detectors.djit import DJITPlus
+from repro.detectors.empty import Empty
+from repro.detectors.eraser import Eraser
+from repro.detectors.goldilocks import Goldilocks
+from repro.detectors.multirace import MultiRace
+
+DETECTORS: Dict[str, Type[Detector]] = {
+    "Empty": Empty,
+    "Eraser": Eraser,
+    "MultiRace": MultiRace,
+    "Goldilocks": Goldilocks,
+    "BasicVC": BasicVC,
+    "DJIT+": DJITPlus,
+    "FastTrack": FastTrack,
+}
+
+#: The tools that never report false alarms (Theorem 1 and its analogues).
+PRECISE_DETECTORS = ("Goldilocks", "BasicVC", "DJIT+", "FastTrack")
+
+
+def make_detector(name: str, **kwargs) -> Detector:
+    """Instantiate a tool by its Table 1 name (e.g. ``"DJIT+"``)."""
+    try:
+        cls = DETECTORS[name]
+    except KeyError:
+        known = ", ".join(DETECTORS)
+        raise ValueError(f"unknown detector {name!r}; expected one of: {known}")
+    return cls(**kwargs)

@@ -1,0 +1,197 @@
+"""Human-readable race reports (markdown or self-contained HTML).
+
+Bundles everything a developer triaging a race wants in one artifact:
+
+* the detector's warnings, with both access sites when available;
+* the happens-before oracle's confirmation (optional — O(n²) on the trace);
+* the sharing classification of every racy variable's neighborhood;
+* trace statistics (threads, operation mix, synchronization inventory).
+
+Used by ``repro check --report out.md`` and importable directly::
+
+    from repro.report import build_report
+    text = build_report(trace, detector, fmt="markdown")
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, Optional
+
+from repro.core.detector import Detector
+from repro.detectors.classifier import SharingClassifier
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+
+def _trace_summary(trace: Trace) -> dict:
+    mix = trace.operation_mix()
+    return {
+        "events": len(trace),
+        "threads": len(trace.threads()),
+        "variables": len(trace.variables()),
+        "locks": len(trace.locks()),
+        "volatiles": len(trace.volatiles()),
+        "reads": f"{mix['reads']:.1%}",
+        "writes": f"{mix['writes']:.1%}",
+        "synchronization": f"{mix['other']:.1%}",
+    }
+
+
+def build_report(
+    trace: Trace,
+    detector: Detector,
+    fmt: str = "markdown",
+    oracle_racy: Optional[Iterable] = None,
+    classify: bool = True,
+) -> str:
+    """Render a report for a detector that has already processed ``trace``.
+
+    ``oracle_racy`` (e.g. from :func:`repro.trace.racy_variables`) adds a
+    ground-truth confirmation column; ``classify`` adds the sharing-pattern
+    section (one extra pass over the trace).
+    """
+    if fmt not in ("markdown", "html"):
+        raise ValueError(f"unknown report format {fmt!r}")
+
+    summary = _trace_summary(trace)
+    classes = None
+    if classify:
+        classifier = SharingClassifier()
+        classifier.process(trace)
+        classes = classifier.classify()
+        fractions = classifier.fractions()
+
+    oracle_set = set(oracle_racy) if oracle_racy is not None else None
+
+    lines = []
+    lines.append(f"# Race report — {detector.name}")
+    lines.append("")
+    verdict = (
+        f"**{detector.warning_count} warning(s)**"
+        if detector.warning_count
+        else "**race-free** (no warnings)"
+    )
+    lines.append(f"Verdict: {verdict} over {summary['events']} events, "
+                 f"{summary['threads']} threads.")
+    lines.append("")
+    lines.append("## Trace profile")
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    for key, value in summary.items():
+        lines.append(f"| {key} | {value} |")
+    if classes is not None:
+        lines.append("")
+        lines.append("sharing classes (fraction of accesses): " + ", ".join(
+            f"{cls} {fraction:.1%}"
+            for cls, fraction in fractions.items()
+            if fraction > 0
+        ))
+    lines.append("")
+    lines.append("## Warnings")
+    lines.append("")
+    if not detector.warnings:
+        lines.append("None.")
+    else:
+        header = "| # | kind | variable | thread | site | conflicts with |"
+        if oracle_set is not None:
+            header += " confirmed |"
+        lines.append(header)
+        lines.append("|---|---|---|---|---|---|" + ("---|" if oracle_set is not None else ""))
+        for index, warning in enumerate(detector.warnings):
+            row = (
+                f"| {index + 1} | {warning.kind} | `{warning.var}` "
+                f"| {warning.tid} | {warning.site or '—'} "
+                f"| {warning.prior} |"
+            )
+            if oracle_set is not None:
+                confirmed = "yes" if warning.var in oracle_set else "NO"
+                row += f" {confirmed} |"
+            lines.append(row)
+        if detector.suppressed_warnings:
+            lines.append("")
+            lines.append(
+                f"({detector.suppressed_warnings} further occurrence(s) "
+                "suppressed — one report per variable and per site)"
+            )
+    if classes is not None and detector.warnings:
+        lines.append("")
+        lines.append("## Racy variables in context")
+        lines.append("")
+        racy_keys = {detector.shadow_key(w.var) for w in detector.warnings}
+        neighbors = sorted(
+            (str(var), cls)
+            for var, cls in classes.items()
+            if var not in racy_keys and cls != "thread-local"
+        )[:12]
+        lines.append(
+            "Shared-but-clean variables nearby (how the rest of the "
+            "program synchronizes):"
+        )
+        lines.append("")
+        for var, cls in neighbors:
+            lines.append(f"* `{var}` — {cls}")
+        if not neighbors:
+            lines.append("* (none — every other variable is thread-local)")
+    text = "\n".join(lines) + "\n"
+    if fmt == "markdown":
+        return text
+    return _markdown_to_html(text)
+
+
+def _markdown_to_html(markdown: str) -> str:
+    """A minimal, dependency-free renderer for the report's own markdown
+    subset (headings, tables, bullets, bold, code spans)."""
+    body_lines = []
+    in_table = False
+    for raw in markdown.splitlines():
+        line = html.escape(raw)
+        # inline formatting
+        while "`" in line:
+            line = line.replace("`", "<code>", 1).replace("`", "</code>", 1)
+        while "**" in line:
+            line = line.replace("**", "<strong>", 1).replace(
+                "**", "</strong>", 1
+            )
+        if raw.startswith("## "):
+            body_lines.append(f"<h2>{line[3:]}</h2>")
+        elif raw.startswith("# "):
+            body_lines.append(f"<h1>{line[2:]}</h1>")
+        elif raw.startswith("|"):
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            if all(set(cell) <= {"-"} for cell in cells):
+                continue  # the separator row
+            if not in_table:
+                body_lines.append("<table>")
+                in_table = True
+                tag = "th"
+            else:
+                tag = "td"
+            body_lines.append(
+                "<tr>"
+                + "".join(f"<{tag}>{cell}</{tag}>" for cell in cells)
+                + "</tr>"
+            )
+        else:
+            if in_table:
+                body_lines.append("</table>")
+                in_table = False
+            if raw.startswith("* "):
+                body_lines.append(f"<li>{line[2:]}</li>")
+            elif raw.strip():
+                body_lines.append(f"<p>{line}</p>")
+    if in_table:
+        body_lines.append("</table>")
+    style = (
+        "body{font-family:system-ui,sans-serif;margin:2em;max-width:60em}"
+        "table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px;text-align:left}"
+        "code{background:#f2f2f2;padding:1px 4px}"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>Race report</title><style>{style}</style></head><body>"
+        + "\n".join(body_lines)
+        + "</body></html>\n"
+    )

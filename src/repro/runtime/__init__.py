@@ -1,0 +1,111 @@
+"""The simulated multithreaded runtime — our RoadRunner analogue.
+
+The paper's RoadRunner framework instruments Java bytecode at load time and
+streams lock acquires/releases, field and array accesses, forks, joins, etc.
+to a back-end tool.  Python's GIL (and the absence of load-time bytecode
+instrumentation) rules out a faithful port, so this package substitutes a
+*simulated* runtime with identical observable behaviour:
+
+* model programs are written as Python generator functions that yield
+  :mod:`actions <repro.runtime.actions>` (read, write, acquire, fork, ...);
+* a seeded :class:`~repro.runtime.scheduler.Scheduler` interleaves the
+  threads, enforcing real lock / join / wait / barrier blocking semantics,
+  and emits exactly the event stream of Figure 1 (feasible by construction);
+* :mod:`repro.runtime.filters` reproduces RoadRunner's tool-chaining
+  (``-tool FastTrack:Velodrome``) for the Section 5.2 experiments;
+* :mod:`repro.runtime.monitor` additionally instruments **real**
+  ``threading`` programs through wrapper primitives, for demonstrations on
+  genuinely concurrent executions.
+"""
+
+from repro.runtime.actions import (
+    AcquireAction,
+    BarrierAwaitAction,
+    EnterAction,
+    ExitAction,
+    ForkAction,
+    JoinAction,
+    NotifyAction,
+    ReadAction,
+    ReleaseAction,
+    VolatileReadAction,
+    VolatileWriteAction,
+    WaitAction,
+    WriteAction,
+    YieldAction,
+)
+from repro.runtime.program import Barrier, Program, ThreadHandle
+from repro.runtime.scheduler import DeadlockError, Scheduler, run_program
+from repro.runtime.explore import (
+    RaceCoverage,
+    ScheduleOutcome,
+    explore,
+    race_coverage,
+)
+from repro.runtime.filters import (
+    DJITFilter,
+    EraserFilter,
+    FastTrackFilter,
+    NoneFilter,
+    Prefilter,
+    ThreadLocalFilter,
+    compose,
+)
+from repro.runtime.monitor import (
+    MonitoredBarrier,
+    MonitoredCondition,
+    MonitoredLock,
+    SharedVar,
+    ThreadMonitor,
+    VolatileVar,
+)
+from repro.runtime.instrument import (
+    MonitoredDict,
+    MonitoredList,
+    MonitoredObject,
+    monitored_object,
+)
+
+__all__ = [
+    "Program",
+    "ThreadHandle",
+    "Barrier",
+    "Scheduler",
+    "DeadlockError",
+    "run_program",
+    "explore",
+    "race_coverage",
+    "RaceCoverage",
+    "ScheduleOutcome",
+    "Prefilter",
+    "NoneFilter",
+    "ThreadLocalFilter",
+    "EraserFilter",
+    "DJITFilter",
+    "FastTrackFilter",
+    "compose",
+    "ThreadMonitor",
+    "SharedVar",
+    "VolatileVar",
+    "MonitoredLock",
+    "MonitoredCondition",
+    "MonitoredBarrier",
+    "MonitoredObject",
+    "MonitoredList",
+    "MonitoredDict",
+    "monitored_object",
+    "ReadAction",
+    "WriteAction",
+    "AcquireAction",
+    "ReleaseAction",
+    "ForkAction",
+    "JoinAction",
+    "WaitAction",
+    "NotifyAction",
+    "BarrierAwaitAction",
+    "VolatileReadAction",
+    "VolatileWriteAction",
+    "EnterAction",
+    "ExitAction",
+    "YieldAction",
+]

@@ -1,0 +1,139 @@
+"""Actions yielded by model-program threads to the scheduler.
+
+A model thread is a generator; each ``yield`` hands the scheduler one of
+these action records, the scheduler applies its semantics (possibly blocking
+the thread), emits the corresponding trace event(s), and resumes the
+generator with the action's result (e.g. the child tid of a fork).
+
+Plain slotted records, constructed through :class:`~repro.runtime.program.
+ThreadHandle` helpers so program code reads naturally::
+
+    def worker(th):
+        yield th.acquire("m")
+        yield th.write(("obj", "count"))
+        yield th.release("m")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Tuple
+
+
+class Action:
+    __slots__ = ()
+
+
+class ReadAction(Action):
+    __slots__ = ("var", "site")
+
+    def __init__(self, var: Hashable, site: Optional[Hashable] = None) -> None:
+        self.var = var
+        self.site = site
+
+
+class WriteAction(Action):
+    __slots__ = ("var", "site")
+
+    def __init__(self, var: Hashable, site: Optional[Hashable] = None) -> None:
+        self.var = var
+        self.site = site
+
+
+class AcquireAction(Action):
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Hashable) -> None:
+        self.lock = lock
+
+
+class ReleaseAction(Action):
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Hashable) -> None:
+        self.lock = lock
+
+
+class ForkAction(Action):
+    """Start a new thread running ``body(handle, *args)``; the fork yields
+    the child's tid back to the parent."""
+
+    __slots__ = ("body", "args")
+
+    def __init__(self, body: Callable, args: Tuple = ()) -> None:
+        self.body = body
+        self.args = args
+
+
+class JoinAction(Action):
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+
+
+class WaitAction(Action):
+    """``m.wait()``: release ``lock``, sleep until notified, re-acquire.
+    Modelled, as in Section 4, by the underlying release + acquisition —
+    the scheduler emits exactly those two events."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Hashable) -> None:
+        self.lock = lock
+
+
+class NotifyAction(Action):
+    """``m.notifyAll()``: wakes waiters.  Emits no event — "a notify
+    operation can be ignored ... it affects scheduling of threads but does
+    not induce any happens-before edges" (Section 4)."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Hashable) -> None:
+        self.lock = lock
+
+
+class VolatileReadAction(Action):
+    __slots__ = ("var",)
+
+    def __init__(self, var: Hashable) -> None:
+        self.var = var
+
+
+class VolatileWriteAction(Action):
+    __slots__ = ("var",)
+
+    def __init__(self, var: Hashable) -> None:
+        self.var = var
+
+
+class BarrierAwaitAction(Action):
+    """Block until every party of the barrier has arrived; the scheduler
+    then emits one ``barrier_rel(T)`` event and releases all parties."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier) -> None:
+        self.barrier = barrier
+
+
+class EnterAction(Action):
+    """Transaction/method entry marker (for the Section 5.2 checkers)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: Hashable) -> None:
+        self.label = label
+
+
+class ExitAction(Action):
+    __slots__ = ("label",)
+
+    def __init__(self, label: Hashable) -> None:
+        self.label = label
+
+
+class YieldAction(Action):
+    """A pure scheduling point: no event, just let another thread run."""
+
+    __slots__ = ()

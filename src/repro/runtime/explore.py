@@ -1,0 +1,172 @@
+"""Exhaustive schedule exploration for small model programs.
+
+The paper's opening motivation: race conditions "typically cause problems
+only on certain rare interleavings, making them extremely difficult to
+detect, reproduce, and eliminate" — and a dynamic detector's verdict is a
+function of the *observed* trace, so a race whose accesses only conflict
+under some schedules is only reported under those schedules.
+
+This module enumerates **every** schedule of a (small) model program by
+driving the scheduler with an explicit decision script and backtracking
+over the last undecided choice, like a tiny stateless model checker.
+Because generators cannot be forked, each schedule re-executes the program
+from scratch — callers therefore pass a *factory* (fresh ``Program``, fresh
+barriers, fresh closure state per run).
+
+::
+
+    outcomes = explore(build_program, max_schedules=10_000)
+    summary = race_coverage(build_program, detector_factory=FastTrack)
+    print(summary.racy_schedules, "of", summary.total_schedules)
+
+Deadlocking schedules are reported as outcomes too (``trace is None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Set
+
+from repro.core.fasttrack import FastTrack
+from repro.runtime.program import Program
+from repro.runtime.scheduler import DeadlockError, Scheduler, _SimThread
+from repro.trace.trace import Trace
+
+
+class _ScriptedScheduler(Scheduler):
+    """Follows a decision script; records the branching degree of every
+    step so the explorer can enumerate siblings."""
+
+    def __init__(self, program: Program, script: List[int], **kwargs) -> None:
+        super().__init__(program, **kwargs)
+        self.script = script
+        self.degrees: List[int] = []
+        self._cursor = 0
+
+    def _pick(self, runnable: List[_SimThread]) -> _SimThread:
+        runnable.sort(key=lambda thread: thread.tid)
+        self.degrees.append(len(runnable))
+        if self._cursor < len(self.script):
+            choice = self.script[self._cursor]
+        else:
+            choice = 0
+            self.script.append(0)
+        self._cursor += 1
+        return runnable[choice]
+
+
+@dataclass
+class ScheduleOutcome:
+    """One explored schedule: its decisions and its trace (None = deadlock)."""
+
+    schedule: List[int]
+    trace: Optional[Trace]
+    deadlock: bool = False
+
+
+def explore(
+    program_factory: Callable[[], Program],
+    max_schedules: Optional[int] = 100_000,
+    max_steps: int = 100_000,
+    dedupe: bool = True,
+) -> Iterator[ScheduleOutcome]:
+    """Enumerate every schedule of the program, depth-first.
+
+    Some scheduler decisions are invisible in the trace (e.g. the order in
+    which finished threads are reaped), so distinct decision sequences can
+    produce identical traces; with ``dedupe=True`` (the default) only the
+    first schedule per distinct trace is yielded.
+
+    Raises :class:`RuntimeError` when ``max_schedules`` is exceeded — an
+    explicit signal that the program is too large to explore exhaustively,
+    rather than a silently truncated result.
+    """
+    script: List[int] = []
+    produced = 0
+    seen: Set[tuple] = set()
+    while True:
+        scheduler = _ScriptedScheduler(
+            program_factory(), list(script), max_steps=max_steps
+        )
+        deadlock = False
+        trace: Optional[Trace] = None
+        try:
+            trace = scheduler.run()
+        except DeadlockError:
+            deadlock = True
+        produced += 1
+        if max_schedules is not None and produced > max_schedules:
+            raise RuntimeError(
+                f"more than {max_schedules} schedules; "
+                "the program is too large for exhaustive exploration"
+            )
+        fingerprint = (
+            ("deadlock", tuple(scheduler.events))
+            if deadlock
+            else (None, tuple(trace.events))
+        )
+        if not dedupe or fingerprint not in seen:
+            seen.add(fingerprint)
+            yield ScheduleOutcome(
+                schedule=list(scheduler.script),
+                trace=trace,
+                deadlock=deadlock,
+            )
+        # Advance the decision odometer: bump the last choice that still
+        # has an unexplored sibling, truncating everything after it.
+        script = list(scheduler.script)
+        degrees = scheduler.degrees
+        position = len(degrees) - 1
+        while position >= 0:
+            if script[position] + 1 < degrees[position]:
+                script = script[: position + 1]
+                script[position] += 1
+                break
+            position -= 1
+        else:
+            return
+
+
+@dataclass
+class RaceCoverage:
+    """Aggregate verdicts over all schedules of a program."""
+
+    total_schedules: int = 0
+    racy_schedules: int = 0
+    clean_schedules: int = 0
+    deadlocked_schedules: int = 0
+    racy_variables: Set[Hashable] = field(default_factory=set)
+    per_variable_schedules: Dict[Hashable, int] = field(default_factory=dict)
+
+    @property
+    def race_probability(self) -> float:
+        """Fraction of (completed) schedules on which a race is observed —
+        how "rare" the interleavings exhibiting the bug are."""
+        completed = self.total_schedules - self.deadlocked_schedules
+        return self.racy_schedules / completed if completed else 0.0
+
+
+def race_coverage(
+    program_factory: Callable[[], Program],
+    detector_factory: Callable = FastTrack,
+    max_schedules: Optional[int] = 100_000,
+) -> RaceCoverage:
+    """Run a detector over every schedule and summarize the verdicts."""
+    summary = RaceCoverage()
+    for outcome in explore(program_factory, max_schedules=max_schedules):
+        summary.total_schedules += 1
+        if outcome.deadlock:
+            summary.deadlocked_schedules += 1
+            continue
+        detector = detector_factory()
+        detector.process(outcome.trace)
+        if detector.warning_count:
+            summary.racy_schedules += 1
+            for warning in detector.warnings:
+                summary.racy_variables.add(warning.var)
+                summary.per_variable_schedules[warning.var] = (
+                    summary.per_variable_schedules.get(warning.var, 0) + 1
+                )
+        else:
+            summary.clean_schedules += 1
+    return summary

@@ -1,0 +1,198 @@
+"""Event-stream prefilters: RoadRunner's ``-tool A:B`` composition.
+
+Section 5.2: "the ROADRUNNER command line option ``-tool FastTrack:
+Velodrome`` configures ROADRUNNER to feed the event stream from the target
+program to FASTTRACK, which filters out race-free memory accesses from the
+event stream and passes all other events on to VELODROME."
+
+A :class:`Prefilter` consumes every event (keeping its own analysis state up
+to date) and decides which events continue downstream.  Synchronization and
+transaction-boundary events always pass; data accesses pass only when the
+filter considers them *interesting* (potentially racy).  As the paper's
+footnote 6 notes, a filter "may filter out a memory access that is later
+determined to be involved in a race condition; thus this optimization may
+involve some small reduction in coverage" — the same holds here.
+
+The five filters of the Section 5.2 table:
+
+* :class:`NoneFilter`        — pass everything (the NONE baseline);
+* :class:`ThreadLocalFilter` — drop accesses to data touched by one thread
+  so far (the TL column);
+* :class:`EraserFilter`      — pass accesses Eraser has warned about;
+* :class:`DJITFilter`        — pass accesses DJIT+ has warned about;
+* :class:`FastTrackFilter`   — pass accesses FastTrack has warned about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, Sequence, Set
+
+from repro.core.detector import Detector
+from repro.core.fasttrack import FastTrack
+from repro.detectors.djit import DJITPlus
+from repro.detectors.eraser import Eraser
+from repro.trace import events as ev
+
+
+class Prefilter:
+    """Base class: feed me every event; I say which ones pass."""
+
+    name = "None"
+
+    def __init__(self) -> None:
+        self.events_in = 0
+        self.events_out = 0
+
+    def keep(self, event: ev.Event) -> bool:
+        """Update internal state with ``event`` and decide its fate."""
+        self.events_in += 1
+        decision = self._decide(event)
+        if decision:
+            self.events_out += 1
+        return decision
+
+    def _decide(self, event: ev.Event) -> bool:
+        return True
+
+    def filtered(self, events: Iterable[ev.Event]) -> Iterator[ev.Event]:
+        """The downstream event stream."""
+        for event in events:
+            if self.keep(event):
+                yield event
+
+
+class NoneFilter(Prefilter):
+    """The NONE baseline: every event reaches the downstream checker."""
+
+    name = "None"
+
+
+class ThreadLocalFilter(Prefilter):
+    """Drops accesses to (so far) thread-local data — the TL column.
+
+    Corresponds to a dynamic escape analysis: an access passes once its
+    variable has been touched by a second thread.
+    """
+
+    name = "TL"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._owner: Dict[Hashable, int] = {}
+        self._shared: Set[Hashable] = set()
+
+    def _decide(self, event: ev.Event) -> bool:
+        if event.kind not in (ev.READ, ev.WRITE):
+            return True
+        var = event.target
+        if var in self._shared:
+            return True
+        owner = self._owner.get(var)
+        if owner is None:
+            self._owner[var] = event.tid
+            return False
+        if owner == event.tid:
+            return False
+        self._shared.add(var)
+        return True
+
+
+class DetectorFilter(Prefilter):
+    """Passes accesses to variables the wrapped detector has warned about.
+
+    The decision path is deliberately flat (bound handler, direct access to
+    the detector's warned-key set): the filter sits in front of every event
+    of the target program, exactly like RoadRunner's tool chaining.
+    """
+
+    def __init__(self, detector: Detector) -> None:
+        super().__init__()
+        self.detector = detector
+        self._handle = detector.handle
+        self._warned_keys = detector._warned_keys
+        self._shadow_key = detector.shadow_key
+
+    def _decide(self, event: ev.Event) -> bool:
+        self._handle(event)
+        if event.kind > ev.WRITE:  # READ and WRITE are kinds 0 and 1
+            return True
+        return self._shadow_key(event.target) in self._warned_keys
+
+
+class EraserFilter(DetectorFilter):
+    name = "Eraser"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(Eraser(**kwargs))
+
+
+class DJITFilter(DetectorFilter):
+    name = "DJIT+"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(DJITPlus(**kwargs))
+
+
+class FastTrackFilter(DetectorFilter):
+    name = "FastTrack"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(FastTrack(**kwargs))
+
+
+@dataclass
+class CompositionResult:
+    """Outcome of running ``prefilter:checker`` over a stream."""
+
+    prefilter: Prefilter
+    checker: object
+    events_in: int
+    events_passed: int
+
+    @property
+    def pass_fraction(self) -> float:
+        return self.events_passed / self.events_in if self.events_in else 0.0
+
+
+def compose(
+    prefilter: Prefilter, checker, events: Iterable[ev.Event]
+) -> CompositionResult:
+    """Run the two-stage pipeline (``-tool Prefilter:Checker``)."""
+    for event in prefilter.filtered(events):
+        checker.handle(event)
+    return CompositionResult(
+        prefilter=prefilter,
+        checker=checker,
+        events_in=prefilter.events_in,
+        events_passed=prefilter.events_out,
+    )
+
+
+def compose_chain(
+    prefilters: Sequence[Prefilter], checker, events: Iterable[ev.Event]
+) -> CompositionResult:
+    """Run an N-stage pipeline (``-tool A:B:...:Checker``).
+
+    Each prefilter consumes what the previous one passed; the checker sees
+    only what survives the whole chain.  With an empty prefilter list this
+    degenerates to feeding the checker directly.
+    """
+    stream: Iterable[ev.Event] = events
+    total_in = 0
+    for prefilter in prefilters:
+        stream = prefilter.filtered(stream)
+    passed = 0
+    for event in stream:
+        passed += 1
+        checker.handle(event)
+    if prefilters:
+        total_in = prefilters[0].events_in
+    else:
+        total_in = passed
+    return CompositionResult(
+        prefilter=prefilters[0] if prefilters else NoneFilter(),
+        checker=checker,
+        events_in=total_in,
+        events_passed=passed,
+    )

@@ -1,0 +1,238 @@
+"""Automatic instrumentation of Python objects and containers.
+
+The repro note for this paper ("sys.settrace or synthetic traces only")
+points at the practical way to monitor real Python code: intercept accesses
+at well-defined boundaries.  :class:`~repro.runtime.monitor.SharedVar`
+instruments one location explicitly; this module instruments *whole
+objects* the way RoadRunner instruments every field and array element:
+
+* :func:`monitored_object` — a transparent attribute proxy: every
+  ``obj.field`` read/write emits ``rd/wr(t, (name, field))``;
+* :class:`MonitoredList` / :class:`MonitoredDict` — per-element events for
+  container accesses (``(name, index)`` / ``(name, key)``);
+
+and every emitted event carries the **real source site** (``file.py:line``
+of the accessing statement, captured from the call stack), so FastTrack's
+two-sided reports point at actual code.
+
+Scope and honesty: this is boundary instrumentation, not bytecode
+rewriting — accesses to *unwrapped* objects are invisible, and local
+variables are never shared state anyway.  That is the same contract as the
+paper's RoadRunner configuration, which also instruments only the chosen
+classes ("All classes loaded by the benchmark programs were instrumented,
+except those from the standard Java libraries").
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.runtime.monitor import ThreadMonitor
+from repro.trace import events as ev
+
+
+def _caller_site(depth: int = 2) -> str:
+    """``file.py:line`` of the statement performing the access."""
+    frame = sys._getframe(depth)
+    return f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+
+
+class MonitoredObject:
+    """A transparent attribute proxy emitting rd/wr per field access.
+
+    Create via :func:`monitored_object`.  All attributes of the wrapped
+    target are readable/writable through the proxy; each access emits an
+    event on location ``(name, attribute)`` with the caller's source site.
+    """
+
+    __slots__ = ("_mo_monitor", "_mo_name", "_mo_target")
+
+    def __init__(
+        self, monitor: ThreadMonitor, name: Hashable, target: Any
+    ) -> None:
+        object.__setattr__(self, "_mo_monitor", monitor)
+        object.__setattr__(self, "_mo_name", name)
+        object.__setattr__(self, "_mo_target", target)
+
+    def __getattr__(self, attribute: str) -> Any:
+        monitor = object.__getattribute__(self, "_mo_monitor")
+        name = object.__getattribute__(self, "_mo_name")
+        target = object.__getattribute__(self, "_mo_target")
+        monitor.record(
+            ev.rd(
+                monitor.current_tid(),
+                (name, attribute),
+                site=_caller_site(),
+            )
+        )
+        return getattr(target, attribute)
+
+    def __setattr__(self, attribute: str, value: Any) -> None:
+        monitor = object.__getattribute__(self, "_mo_monitor")
+        name = object.__getattribute__(self, "_mo_name")
+        target = object.__getattribute__(self, "_mo_target")
+        monitor.record(
+            ev.wr(
+                monitor.current_tid(),
+                (name, attribute),
+                site=_caller_site(),
+            )
+        )
+        setattr(target, attribute, value)
+
+    def __repr__(self) -> str:
+        target = object.__getattribute__(self, "_mo_target")
+        name = object.__getattribute__(self, "_mo_name")
+        return f"MonitoredObject({name!r}, {target!r})"
+
+
+def monitored_object(
+    monitor: ThreadMonitor, name: Hashable, target: Any
+) -> MonitoredObject:
+    """Wrap ``target`` so every attribute access is monitored."""
+    return MonitoredObject(monitor, name, target)
+
+
+class MonitoredList:
+    """A list whose element accesses emit per-index rd/wr events.
+
+    Slicing reads every covered index (like the element loop it replaces);
+    structural mutations (``append``, ``pop``) write the touched index and
+    the list's length field ``(name, "__len__")``, since those operations
+    conflict with each other through the size.
+    """
+
+    def __init__(
+        self,
+        monitor: ThreadMonitor,
+        name: Hashable,
+        initial: Optional[Iterable] = None,
+    ) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._items = list(initial or ())
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _rd(self, key: Hashable, depth: int = 3) -> None:
+        self._monitor.record(
+            ev.rd(
+                self._monitor.current_tid(),
+                (self._name, key),
+                site=_caller_site(depth),
+            )
+        )
+
+    def _wr(self, key: Hashable, depth: int = 3) -> None:
+        self._monitor.record(
+            ev.wr(
+                self._monitor.current_tid(),
+                (self._name, key),
+                site=_caller_site(depth),
+            )
+        )
+
+    def _normalize(self, index: int) -> int:
+        return index if index >= 0 else index + len(self._items)
+
+    # -- element access -----------------------------------------------------------
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            for position in range(*index.indices(len(self._items))):
+                self._rd(position)
+            return self._items[index]
+        self._rd(self._normalize(index))
+        return self._items[index]
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            raise TypeError("monitored lists do not support slice assignment")
+        self._wr(self._normalize(index))
+        self._items[index] = value
+
+    def append(self, value) -> None:
+        self._wr("__len__")
+        self._wr(len(self._items), depth=3)
+        self._items.append(value)
+
+    def pop(self, index: int = -1):
+        position = self._normalize(index)
+        self._wr("__len__")
+        self._rd(position, depth=3)
+        return self._items.pop(index)
+
+    def __len__(self) -> int:
+        self._rd("__len__")
+        return len(self._items)
+
+    def __iter__(self):
+        for position in range(len(self._items)):
+            self._rd(position)
+            yield self._items[position]
+
+    def __repr__(self) -> str:
+        return f"MonitoredList({self._name!r}, {self._items!r})"
+
+
+class MonitoredDict:
+    """A dict whose per-key accesses emit rd/wr events."""
+
+    def __init__(
+        self,
+        monitor: ThreadMonitor,
+        name: Hashable,
+        initial: Optional[dict] = None,
+    ) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._items = dict(initial or {})
+
+    def _rd(self, key: Hashable) -> None:
+        self._monitor.record(
+            ev.rd(
+                self._monitor.current_tid(),
+                (self._name, key),
+                site=_caller_site(3),
+            )
+        )
+
+    def _wr(self, key: Hashable) -> None:
+        self._monitor.record(
+            ev.wr(
+                self._monitor.current_tid(),
+                (self._name, key),
+                site=_caller_site(3),
+            )
+        )
+
+    def __getitem__(self, key):
+        self._rd(key)
+        return self._items[key]
+
+    def get(self, key, default=None):
+        self._rd(key)
+        return self._items.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        self._wr(key)
+        self._items[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._wr(key)
+        del self._items[key]
+
+    def __contains__(self, key) -> bool:
+        self._rd(key)
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def keys(self):
+        return self._items.keys()
+
+    def __repr__(self) -> str:
+        return f"MonitoredDict({self._name!r}, {self._items!r})"

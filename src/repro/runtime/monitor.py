@@ -1,0 +1,278 @@
+"""Live instrumentation of real Python threads.
+
+The GIL serializes Python bytecode, so true data races on Python objects
+rarely corrupt memory — but the *happens-before* structure of a
+``threading`` program is exactly the same as its Java counterpart's, and
+unsynchronized accesses are still bugs (lost updates across the GIL's
+preemption points, or real races once the code moves to a free-threaded
+build).  This module captures an event stream from live threads through
+explicit instrumented primitives, the closest Python equivalent of
+RoadRunner's bytecode instrumentation (per the reproduction note:
+"sys.settrace or synthetic traces only" — explicit wrappers are the
+reliable subset of that).
+
+Usage::
+
+    monitor = ThreadMonitor()
+    counter = SharedVar(monitor, "counter", 0)
+    lock = MonitoredLock(monitor, "m")
+
+    def worker():
+        with lock:
+            counter.value += 1
+
+    t = monitor.spawn(worker)
+    monitor.join(t)
+    warnings = monitor.check(FastTrack())
+
+Events are recorded in a single list guarded by an internal lock; the order
+recorded is a legal linearization of the execution, so the resulting trace
+is feasible and the detectors' verdicts apply to the actual run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.core.detector import Detector
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+
+class ThreadMonitor:
+    """Assigns dense tids to live threads and records their events."""
+
+    def __init__(self) -> None:
+        self._events: List[ev.Event] = []
+        self._guard = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._next_tid = 0
+        self._register(threading.current_thread())
+
+    def _register(self, thread: threading.Thread) -> int:
+        ident = thread.ident if thread.ident is not None else id(thread)
+        with self._guard:
+            if ident not in self._tids:
+                self._tids[ident] = self._next_tid
+                self._next_tid += 1
+            return self._tids[ident]
+
+    def _preregister(self, thread: threading.Thread) -> int:
+        """Reserve a tid for a not-yet-started thread (keyed by object id
+        until it runs)."""
+        with self._guard:
+            tid = self._next_tid
+            self._next_tid += 1
+            self._tids[id(thread)] = tid
+            return tid
+
+    def current_tid(self) -> int:
+        thread = threading.current_thread()
+        ident = thread.ident
+        with self._guard:
+            if ident in self._tids:
+                return self._tids[ident]
+        return self._register(thread)
+
+    def record(self, event: ev.Event) -> None:
+        with self._guard:
+            self._events.append(event)
+
+    # -- thread lifecycle -----------------------------------------------------
+
+    def spawn(self, fn: Callable, *args, **kwargs) -> threading.Thread:
+        """Start a monitored thread; emits ``fork(parent, child)``."""
+        parent = self.current_tid()
+        child_box = {}
+
+        def body() -> None:
+            ident = threading.current_thread().ident
+            with self._guard:
+                # Transfer the pre-registered tid to the real ident.
+                self._tids[ident] = child_box["tid"]
+            fn(*args, **kwargs)
+
+        thread = threading.Thread(target=body)
+        child_box["tid"] = self._preregister(thread)
+        # OS thread identifiers are recycled once a thread exits, so the
+        # stable mapping lives on the Thread object itself.
+        thread._repro_tid = child_box["tid"]  # type: ignore[attr-defined]
+        self.record(ev.fork(parent, child_box["tid"]))
+        thread.start()
+        return thread
+
+    def join(self, thread: threading.Thread) -> None:
+        """Join a monitored thread; emits ``join(parent, child)``."""
+        thread.join()
+        child = getattr(thread, "_repro_tid", None)
+        if child is None:
+            with self._guard:
+                child = self._tids.get(
+                    thread.ident, self._tids.get(id(thread))
+                )
+        self.record(ev.join(self.current_tid(), child))
+
+    # -- results ------------------------------------------------------------------
+
+    def trace(self) -> Trace:
+        with self._guard:
+            return Trace(list(self._events))
+
+    def check(self, detector: Detector) -> Detector:
+        """Run a detector over everything recorded so far."""
+        return detector.process(self.trace())
+
+
+class SharedVar:
+    """An instrumented memory location: emits rd/wr on every access."""
+
+    def __init__(
+        self, monitor: ThreadMonitor, name: Hashable, initial=None
+    ) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._value = initial
+
+    @property
+    def value(self):
+        monitor = self._monitor
+        monitor.record(ev.rd(monitor.current_tid(), self._name))
+        return self._value
+
+    @value.setter
+    def value(self, new_value) -> None:
+        monitor = self._monitor
+        monitor.record(ev.wr(monitor.current_tid(), self._name))
+        self._value = new_value
+
+
+class VolatileVar:
+    """An instrumented Java-``volatile``-like location (Section 4).
+
+    Writes publish; reads acquire.  The backing store is a plain attribute
+    — on CPython the GIL makes the assignment itself atomic, which is
+    exactly the visibility a volatile provides.
+    """
+
+    def __init__(
+        self, monitor: ThreadMonitor, name: Hashable, initial=None
+    ) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._value = initial
+
+    @property
+    def value(self):
+        monitor = self._monitor
+        monitor.record(ev.vol_rd(monitor.current_tid(), self._name))
+        return self._value
+
+    @value.setter
+    def value(self, new_value) -> None:
+        monitor = self._monitor
+        monitor.record(ev.vol_wr(monitor.current_tid(), self._name))
+        self._value = new_value
+
+
+class MonitoredLock:
+    """A ``threading.Lock`` that emits acq/rel events.
+
+    The acquire event is recorded *after* the lock is granted and the
+    release event *before* the lock is freed, so the recorded order is a
+    correct linearization.
+    """
+
+    def __init__(self, monitor: ThreadMonitor, name: Hashable) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+        self._monitor.record(
+            ev.acq(self._monitor.current_tid(), self._name)
+        )
+
+    def release(self) -> None:
+        self._monitor.record(
+            ev.rel(self._monitor.current_tid(), self._name)
+        )
+        self._lock.release()
+
+    def __enter__(self) -> "MonitoredLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class MonitoredCondition:
+    """A condition variable over a monitored lock.
+
+    ``wait`` emits the underlying release and re-acquisition (Section 4's
+    modeling); ``notify_all`` emits nothing, as in the paper ("a notify
+    operation ... does not induce any happens-before edges").
+    """
+
+    def __init__(self, monitor: ThreadMonitor, name: Hashable) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+        self._monitor.record(ev.acq(self._monitor.current_tid(), self._name))
+
+    def release(self) -> None:
+        self._monitor.record(ev.rel(self._monitor.current_tid(), self._name))
+        self._lock.release()
+
+    def wait(self, timeout: float = None) -> None:
+        tid = self._monitor.current_tid()
+        self._monitor.record(ev.rel(tid, self._name))
+        self._condition.wait(timeout)
+        self._monitor.record(ev.acq(tid, self._name))
+
+    def notify_all(self) -> None:
+        self._condition.notify_all()
+
+    def __enter__(self) -> "MonitoredCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class MonitoredBarrier:
+    """A ``threading.Barrier`` emitting one ``barrier_rel(T)`` per trip.
+
+    The last arriving thread records the release event (inside the barrier
+    action callback, so it is ordered before any party resumes), carrying
+    the tids of all parties of that generation.
+    """
+
+    def __init__(
+        self, monitor: ThreadMonitor, parties: int, name: Hashable = None
+    ) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._guard = threading.Lock()
+        self._generation: list = []
+
+        def on_trip() -> None:
+            with self._guard:
+                members = tuple(self._generation)
+                self._generation.clear()
+            monitor.record(ev.barrier_rel(members))
+
+        self._barrier = threading.Barrier(parties, action=on_trip)
+
+    def wait(self) -> None:
+        tid = self._monitor.current_tid()
+        with self._guard:
+            self._generation.append(tid)
+        self._barrier.wait()

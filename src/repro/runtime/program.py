@@ -1,0 +1,149 @@
+"""Model programs: thread bodies, handles, and barriers.
+
+A :class:`Program` is a set of entry-point thread bodies.  Each body is a
+generator function whose first parameter is a :class:`ThreadHandle`; the
+handle's methods build the actions the body yields to the scheduler::
+
+    def main(th):
+        child = yield th.fork(worker, "x")
+        yield th.write("x")
+        yield th.join(child)
+
+    def worker(th, var):
+        yield th.acquire("m")
+        yield th.read(var)
+        yield th.release("m")
+
+    program = Program(main)
+    trace = Scheduler(program, seed=1).run()
+
+Bodies may freely manipulate ordinary Python data between yields — the
+scheduler runs one action at a time in a single OS thread, so such state is
+updated atomically at action granularity (like a bytecode-level interleaving
+in RoadRunner).  Only the *yielded* actions are visible to the detectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.runtime import actions as act
+
+_barrier_ids = itertools.count()
+
+
+class Barrier:
+    """A cyclic barrier for ``parties`` threads (``java.util.concurrent.
+    CyclicBarrier`` analogue).  Reusable across generations."""
+
+    def __init__(self, parties: int, name: Optional[str] = None) -> None:
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        self.parties = parties
+        self.name = name or f"barrier{next(_barrier_ids)}"
+        self.arrived: list = []  # tids of the current generation
+
+    def __repr__(self) -> str:
+        return f"Barrier({self.name}, parties={self.parties})"
+
+
+class ThreadHandle:
+    """The per-thread facade model code uses to build actions.
+
+    ``tid`` is assigned by the scheduler.  Handles also expose a tiny bit of
+    sugar (``critical``) for the ubiquitous lock-access-unlock shape.
+    """
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+
+    # -- data accesses ------------------------------------------------------
+
+    def read(self, var: Hashable, site: Optional[Hashable] = None):
+        return act.ReadAction(var, site)
+
+    def write(self, var: Hashable, site: Optional[Hashable] = None):
+        return act.WriteAction(var, site)
+
+    # -- locking -------------------------------------------------------------
+
+    def acquire(self, lock: Hashable):
+        return act.AcquireAction(lock)
+
+    def release(self, lock: Hashable):
+        return act.ReleaseAction(lock)
+
+    def critical(self, lock: Hashable, *inner_actions):
+        """Generator sugar: ``yield from th.critical("m", th.read("x"))``."""
+        yield act.AcquireAction(lock)
+        for inner in inner_actions:
+            yield inner
+        yield act.ReleaseAction(lock)
+
+    # -- threading ------------------------------------------------------------
+
+    def fork(self, body: Callable, *args):
+        return act.ForkAction(body, args)
+
+    def join(self, tid: int):
+        return act.JoinAction(tid)
+
+    # -- condition synchronization ----------------------------------------------
+
+    def wait(self, lock: Hashable):
+        return act.WaitAction(lock)
+
+    def notify_all(self, lock: Hashable):
+        return act.NotifyAction(lock)
+
+    def barrier_await(self, barrier: Barrier):
+        return act.BarrierAwaitAction(barrier)
+
+    # -- volatiles ----------------------------------------------------------------
+
+    def volatile_read(self, var: Hashable):
+        return act.VolatileReadAction(var)
+
+    def volatile_write(self, var: Hashable):
+        return act.VolatileWriteAction(var)
+
+    # -- transactions (Section 5.2 checkers) -----------------------------------------
+
+    def enter(self, label: Hashable):
+        return act.EnterAction(label)
+
+    def exit(self, label: Hashable):
+        return act.ExitAction(label)
+
+    def atomic(self, label: Hashable, *inner_actions):
+        """Generator sugar for a transaction block."""
+        yield act.EnterAction(label)
+        for inner in inner_actions:
+            yield inner
+        yield act.ExitAction(label)
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def pause(self):
+        return act.YieldAction()
+
+
+class Program:
+    """A set of initial thread bodies (each spawned at tid 0, 1, ...)."""
+
+    def __init__(self, *bodies: Callable, name: str = "program") -> None:
+        self.name = name
+        self.initial: Tuple[Tuple[Callable, Tuple], ...] = tuple(
+            (body, ()) for body in bodies
+        )
+
+    @classmethod
+    def with_args(cls, *bodies_and_args, name: str = "program") -> "Program":
+        """Build from ``(body, args)`` pairs when entry points take
+        arguments."""
+        program = cls(name=name)
+        program.initial = tuple(
+            (body, tuple(args)) for body, args in bodies_and_args
+        )
+        return program

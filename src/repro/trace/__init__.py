@@ -1,0 +1,92 @@
+"""Multithreaded program traces (Figure 1) and their ground-truth semantics.
+
+* :mod:`repro.trace.events` — operation kinds and constructors.
+* :mod:`repro.trace.trace` — the :class:`Trace` container.
+* :mod:`repro.trace.feasibility` — Section 2.1's feasibility constraints.
+* :mod:`repro.trace.happens_before` — the happens-before relation computed
+  from first principles (the oracle the precision tests compare against).
+* :mod:`repro.trace.generators` — random feasible-trace generation,
+  including hypothesis strategies.
+"""
+
+from repro.trace.events import (
+    ACCESS_KINDS,
+    ACQUIRE,
+    BARRIER_RELEASE,
+    ENTER,
+    EXIT,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    SYNC_KINDS,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+    acq,
+    barrier_rel,
+    enter,
+    exit_,
+    fork,
+    join,
+    rd,
+    rel,
+    vol_rd,
+    vol_wr,
+    wr,
+)
+from repro.trace.trace import Trace
+from repro.trace.clocks import EventClocks, annotate
+from repro.trace.minimize import minimize_trace, race_predicate
+from repro.trace.feasibility import FeasibilityError, check_feasible, is_feasible
+from repro.trace.happens_before import (
+    HappensBefore,
+    find_races,
+    first_races,
+    happens_before_graph,
+    is_race_free,
+    racy_variables,
+)
+
+__all__ = [
+    "Event",
+    "Trace",
+    "rd",
+    "wr",
+    "acq",
+    "rel",
+    "fork",
+    "join",
+    "vol_rd",
+    "vol_wr",
+    "barrier_rel",
+    "enter",
+    "exit_",
+    "READ",
+    "WRITE",
+    "ACQUIRE",
+    "RELEASE",
+    "FORK",
+    "JOIN",
+    "VOLATILE_READ",
+    "VOLATILE_WRITE",
+    "BARRIER_RELEASE",
+    "ENTER",
+    "EXIT",
+    "ACCESS_KINDS",
+    "SYNC_KINDS",
+    "FeasibilityError",
+    "check_feasible",
+    "is_feasible",
+    "EventClocks",
+    "annotate",
+    "minimize_trace",
+    "race_predicate",
+    "HappensBefore",
+    "happens_before_graph",
+    "find_races",
+    "first_races",
+    "racy_variables",
+    "is_race_free",
+]

@@ -1,0 +1,167 @@
+"""Trace operations (Figure 1 of the paper, plus the Section 4 extensions).
+
+A trace is a sequence of :class:`Event` objects.  The paper's core operation
+set is::
+
+    rd(t,x)  wr(t,x)  acq(t,m)  rel(t,m)  fork(t,u)  join(t,u)
+
+Section 4 extends the analysis with volatile reads/writes, wait/notify
+(modelled as release + re-acquire, so they need no new event kinds), and a
+barrier-release event ``barrier_rel(T)``.  The downstream checkers of
+Section 5.2 (Atomizer, Velodrome, SingleTrack) additionally need transaction
+boundaries, which RoadRunner derives from method entry/exit; we model those
+directly as ``ENTER``/``EXIT`` events.
+
+Event kinds are small integer constants and :class:`Event` is a slotted
+record: every monitored operation of the target program becomes one of these
+objects, so they are kept as lean as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+# -- event kinds -------------------------------------------------------------
+
+READ = 0  #: rd(t, x)
+WRITE = 1  #: wr(t, x)
+ACQUIRE = 2  #: acq(t, m)
+RELEASE = 3  #: rel(t, m)
+FORK = 4  #: fork(t, u) — target is the child thread u
+JOIN = 5  #: join(t, u) — target is the joined thread u
+VOLATILE_READ = 6  #: vol_rd(t, vx)
+VOLATILE_WRITE = 7  #: vol_wr(t, vx)
+BARRIER_RELEASE = 8  #: barrier_rel(T) — target is a tuple of released tids
+ENTER = 9  #: txn/method entry (for atomicity and determinism checkers)
+EXIT = 10  #: txn/method exit
+
+KIND_NAMES = {
+    READ: "rd",
+    WRITE: "wr",
+    ACQUIRE: "acq",
+    RELEASE: "rel",
+    FORK: "fork",
+    JOIN: "join",
+    VOLATILE_READ: "vol_rd",
+    VOLATILE_WRITE: "vol_wr",
+    BARRIER_RELEASE: "barrier_rel",
+    ENTER: "enter",
+    EXIT: "exit",
+}
+
+#: Kinds that access a data variable (the 96%+ of operations the fast paths
+#: target).
+ACCESS_KINDS = frozenset({READ, WRITE})
+
+#: Kinds that induce happens-before edges between threads.
+SYNC_KINDS = frozenset(
+    {ACQUIRE, RELEASE, FORK, JOIN, VOLATILE_READ, VOLATILE_WRITE, BARRIER_RELEASE}
+)
+
+
+class Event:
+    """One operation of a multithreaded trace.
+
+    ``target`` is the operated-on entity: a variable name for reads/writes, a
+    lock name for acquire/release, a thread id for fork/join, a volatile name
+    for volatile accesses, a tuple of thread ids for barrier releases, and a
+    block label for enter/exit.  Any hashable value may name a variable or
+    lock; the benchmark workloads use strings and ``(object, field)`` tuples
+    (the latter enable the coarse-granularity analysis of Table 3).
+
+    ``site`` optionally records a source location ("where in the program this
+    access occurs"); the tools report at most one race per variable and per
+    site, mirroring the paper's reporting discipline.
+    """
+
+    __slots__ = ("kind", "tid", "target", "site")
+
+    def __init__(
+        self,
+        kind: int,
+        tid: int,
+        target: Hashable,
+        site: Optional[Hashable] = None,
+    ) -> None:
+        self.kind = kind
+        self.tid = tid
+        self.target = target
+        self.site = site
+
+    def __repr__(self) -> str:
+        name = KIND_NAMES.get(self.kind, f"op{self.kind}")
+        if self.kind == BARRIER_RELEASE:
+            return f"{name}({self.target})"
+        return f"{name}({self.tid}, {self.target!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.tid == other.tid
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.tid, self.target))
+
+
+# -- constructors in the paper's concrete syntax -----------------------------
+
+
+def rd(t: int, x: Hashable, site: Optional[Hashable] = None) -> Event:
+    """``rd(t, x)`` — thread ``t`` reads variable ``x``."""
+    return Event(READ, t, x, site)
+
+
+def wr(t: int, x: Hashable, site: Optional[Hashable] = None) -> Event:
+    """``wr(t, x)`` — thread ``t`` writes variable ``x``."""
+    return Event(WRITE, t, x, site)
+
+
+def acq(t: int, m: Hashable) -> Event:
+    """``acq(t, m)`` — thread ``t`` acquires lock ``m``."""
+    return Event(ACQUIRE, t, m)
+
+
+def rel(t: int, m: Hashable) -> Event:
+    """``rel(t, m)`` — thread ``t`` releases lock ``m``."""
+    return Event(RELEASE, t, m)
+
+
+def fork(t: int, u: int) -> Event:
+    """``fork(t, u)`` — thread ``t`` forks thread ``u``."""
+    return Event(FORK, t, u)
+
+
+def join(t: int, u: int) -> Event:
+    """``join(t, u)`` — thread ``t`` blocks until thread ``u`` terminates."""
+    return Event(JOIN, t, u)
+
+
+def vol_rd(t: int, vx: Hashable) -> Event:
+    """Volatile read of ``vx`` by ``t`` (Section 4 extension)."""
+    return Event(VOLATILE_READ, t, vx)
+
+
+def vol_wr(t: int, vx: Hashable) -> Event:
+    """Volatile write of ``vx`` by ``t`` (Section 4 extension)."""
+    return Event(VOLATILE_WRITE, t, vx)
+
+
+def barrier_rel(tids: Tuple[int, ...]) -> Event:
+    """``barrier_rel(T)`` — the threads in ``T`` are simultaneously released
+    from a barrier (Section 4 extension).  The event carries no single
+    acting thread; ``tid`` is set to -1."""
+    return Event(BARRIER_RELEASE, -1, tuple(sorted(tids)))
+
+
+def enter(t: int, label: Hashable) -> Event:
+    """Transaction (method) entry for the Section 5.2 checkers."""
+    return Event(ENTER, t, label)
+
+
+def exit_(t: int, label: Hashable) -> Event:
+    """Transaction (method) exit for the Section 5.2 checkers."""
+    return Event(EXIT, t, label)

@@ -1,0 +1,120 @@
+"""Feasibility of traces (Section 2.1, constraints (1)–(4)).
+
+The paper restricts attention to feasible traces respecting the usual
+constraints on forks, joins, and locking:
+
+1. no thread acquires a lock previously acquired but not released;
+2. no thread releases a lock it did not previously acquire;
+3. there are no instructions of a thread ``u`` preceding ``fork(t, u)`` or
+   following ``join(v, u)``;
+4. there is at least one instruction of thread ``u`` between ``fork(t, u)``
+   and ``join(v, u)``.
+
+We additionally enforce the self-evident side conditions the paper leaves
+implicit: a thread does not fork or join itself, a thread is forked at most
+once, and a barrier release only names live threads.  Threads that appear
+without a fork are treated as initial threads (the paper's traces start with
+a running thread 0 and often more).
+
+:func:`check_feasible` returns the list of violations (empty = feasible);
+:func:`is_feasible` is the boolean view.  The simulated runtime produces
+feasible traces *by construction* and the property tests assert that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+from repro.trace import events as ev
+
+
+class FeasibilityError(ValueError):
+    """Raised by :func:`require_feasible` for infeasible traces."""
+
+
+def check_feasible(trace: Iterable[ev.Event]) -> List[str]:
+    """All Section 2.1 violations in ``trace``, as human-readable strings."""
+    violations: List[str] = []
+    lock_holder: Dict[Hashable, int] = {}
+    started: Set[int] = set()  # threads that have performed an op
+    forked: Set[int] = set()  # threads created by a fork
+    joined: Set[int] = set()  # threads already joined
+    fork_pending: Set[int] = set()  # forked but no op yet
+
+    for index, event in enumerate(trace):
+        kind = event.kind
+        tid = event.tid
+
+        if kind == ev.BARRIER_RELEASE:
+            for member in event.target:
+                if member in joined:
+                    violations.append(
+                        f"#{index}: barrier releases joined thread {member}"
+                    )
+                # A barrier release is an instruction of every member.
+                started.add(member)
+                fork_pending.discard(member)
+            continue
+
+        if tid in joined:
+            violations.append(
+                f"#{index}: {event!r} — thread {tid} acts after being joined"
+            )
+        if tid in fork_pending:
+            fork_pending.discard(tid)
+        started.add(tid)
+
+        if kind == ev.ACQUIRE:
+            holder = lock_holder.get(event.target)
+            if holder is not None:
+                violations.append(
+                    f"#{index}: {event!r} — lock held by thread {holder}"
+                )
+            lock_holder[event.target] = tid
+        elif kind == ev.RELEASE:
+            holder = lock_holder.get(event.target)
+            if holder != tid:
+                violations.append(
+                    f"#{index}: {event!r} — thread {tid} does not hold the lock"
+                    f" (holder: {holder})"
+                )
+            else:
+                del lock_holder[event.target]
+        elif kind == ev.FORK:
+            child = event.target
+            if child == tid:
+                violations.append(f"#{index}: {event!r} — thread forks itself")
+            if child in forked:
+                violations.append(f"#{index}: {event!r} — thread forked twice")
+            if child in started:
+                violations.append(
+                    f"#{index}: {event!r} — child already ran before fork"
+                )
+            forked.add(child)
+            fork_pending.add(child)
+        elif kind == ev.JOIN:
+            child = event.target
+            if child == tid:
+                violations.append(f"#{index}: {event!r} — thread joins itself")
+            if child in joined:
+                violations.append(f"#{index}: {event!r} — thread joined twice")
+            if child not in started or child in fork_pending:
+                # covers constraint (4): a forked thread must run at least one
+                # op before being joined, and an initial thread must have run.
+                violations.append(
+                    f"#{index}: {event!r} — joined thread has no operations"
+                )
+            joined.add(child)
+
+    return violations
+
+
+def is_feasible(trace: Iterable[ev.Event]) -> bool:
+    return not check_feasible(trace)
+
+
+def require_feasible(trace: Iterable[ev.Event]) -> None:
+    """Raise :class:`FeasibilityError` if the trace violates Section 2.1."""
+    violations = check_feasible(trace)
+    if violations:
+        raise FeasibilityError("; ".join(violations[:5]))

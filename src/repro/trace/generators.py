@@ -1,0 +1,284 @@
+"""Random feasible-trace generation.
+
+The precision experiments (Theorem 1, detector-equivalence tests) need large
+families of *feasible* traces spanning the sharing idioms the paper calls
+out: thread-local data, lock-protected data, read-shared data, fork/join
+parallelism, barriers, volatiles — plus deliberately undisciplined accesses
+that produce real races.
+
+:func:`random_feasible_trace` builds such traces operationally: it maintains
+the runnable-thread set, lock ownership, and fork/join status, and only ever
+emits operations that are legal in the current state, so every generated
+trace satisfies the Section 2.1 constraints by construction (and the test
+suite re-checks them with :mod:`repro.trace.feasibility`).
+
+For hypothesis-based property tests, :func:`traces` wraps the same builder
+in a strategy driven by ``st.randoms()``, so shrinking still works.  The
+module also provides :func:`figure4_trace`, the exact adaptive-representation
+example of Figure 4 (including a preamble that advances thread 0's clock to
+7 so the epochs in the paper's figure are matched digit-for-digit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+try:  # hypothesis is a test dependency; the library works without it.
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover
+    st = None
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable knobs for :func:`random_feasible_trace`.
+
+    ``discipline`` controls how often accesses respect each variable's
+    protecting lock: 1.0 yields race-free lock discipline; 0.0 yields chaos.
+    """
+
+    max_events: int = 60
+    max_threads: int = 4
+    n_vars: int = 4
+    n_locks: int = 2
+    n_volatiles: int = 1
+    discipline: float = 0.8
+    p_fork: float = 0.08
+    p_join: float = 0.08
+    p_barrier: float = 0.04
+    p_volatile: float = 0.06
+    p_guarded_block: float = 0.35
+    p_write: float = 0.4
+    #: Probability that a guarded block is additionally marked atomic with
+    #: enter/exit boundaries (exercises the Section 5.2 checkers).
+    p_atomic: float = 0.0
+    seed_threads: int = 1
+
+
+@dataclass
+class _ThreadInfo:
+    alive: bool = True
+    started: bool = False  # has at least one op (join precondition (4))
+    held: List[Hashable] = field(default_factory=list)
+
+
+def random_feasible_trace(
+    rng: random.Random, config: Optional[GeneratorConfig] = None
+) -> Trace:
+    """Generate one feasible trace under ``config`` using ``rng``."""
+    cfg = config or GeneratorConfig()
+    variables = [f"x{i}" for i in range(max(1, cfg.n_vars))]
+    locks = [f"m{i}" for i in range(max(1, cfg.n_locks))]
+    volatiles = [f"v{i}" for i in range(max(1, cfg.n_volatiles))]
+    # Each variable has a designated protecting lock; disciplined accesses
+    # hold it, undisciplined ones do not.
+    guard = {x: locks[i % len(locks)] for i, x in enumerate(variables)}
+
+    threads: Dict[int, _ThreadInfo] = {
+        tid: _ThreadInfo() for tid in range(max(1, cfg.seed_threads))
+    }
+    lock_holder: Dict[Hashable, int] = {}
+    next_tid = len(threads)
+    out: List[ev.Event] = []
+
+    def emit(event: ev.Event) -> None:
+        out.append(event)
+        if event.kind != ev.BARRIER_RELEASE:
+            threads[event.tid].started = True
+
+    def runnable() -> List[int]:
+        return [tid for tid, info in threads.items() if info.alive]
+
+    while len(out) < cfg.max_events:
+        live = runnable()
+        if not live:
+            break
+        tid = rng.choice(live)
+        info = threads[tid]
+        roll = rng.random()
+
+        if roll < cfg.p_fork and len(threads) < cfg.max_threads:
+            child = next_tid
+            next_tid += 1
+            threads[child] = _ThreadInfo()
+            emit(ev.fork(tid, child))
+            continue
+        roll -= cfg.p_fork
+
+        if roll < cfg.p_join:
+            candidates = [
+                other
+                for other, oinfo in threads.items()
+                if other != tid and oinfo.alive and oinfo.started and not oinfo.held
+            ]
+            if candidates:
+                victim = rng.choice(candidates)
+                threads[victim].alive = False
+                emit(ev.join(tid, victim))
+                continue
+        roll -= cfg.p_join
+
+        if roll < cfg.p_barrier:
+            members = tuple(
+                other for other in runnable() if not threads[other].held
+            )
+            if len(members) >= 2:
+                emit(ev.barrier_rel(members))
+                for member in members:
+                    threads[member].started = True
+                continue
+        roll -= cfg.p_barrier
+
+        if roll < cfg.p_volatile:
+            vx = rng.choice(volatiles)
+            if rng.random() < 0.5:
+                emit(ev.vol_wr(tid, vx))
+            else:
+                emit(ev.vol_rd(tid, vx))
+            continue
+        roll -= cfg.p_volatile
+
+        if roll < cfg.p_guarded_block:
+            # A critical section over a free lock, touching its variables.
+            free = [m for m in locks if m not in lock_holder]
+            if free:
+                m = rng.choice(free)
+                atomic = rng.random() < cfg.p_atomic
+                if atomic:
+                    emit(ev.enter(tid, f"txn_{m}"))
+                lock_holder[m] = tid
+                info.held.append(m)
+                emit(ev.acq(tid, m))
+                owned = [x for x in variables if guard[x] == m] or variables
+                for _ in range(rng.randint(1, 3)):
+                    x = rng.choice(owned)
+                    if rng.random() < cfg.p_write:
+                        emit(ev.wr(tid, x))
+                    else:
+                        emit(ev.rd(tid, x))
+                info.held.remove(m)
+                del lock_holder[m]
+                emit(ev.rel(tid, m))
+                if atomic:
+                    emit(ev.exit_(tid, f"txn_{m}"))
+                continue
+
+        # Plain access: disciplined (guarded) or not, per the dial.
+        x = rng.choice(variables)
+        write = rng.random() < cfg.p_write
+        if rng.random() < cfg.discipline:
+            m = guard[x]
+            if m in lock_holder:
+                continue  # lock busy; schedule someone else next round
+            lock_holder[m] = tid
+            info.held.append(m)
+            emit(ev.acq(tid, m))
+            emit(ev.wr(tid, x) if write else ev.rd(tid, x))
+            info.held.remove(m)
+            del lock_holder[m]
+            emit(ev.rel(tid, m))
+        else:
+            emit(ev.wr(tid, x) if write else ev.rd(tid, x))
+
+    return Trace(out)
+
+
+def random_trace_suite(
+    seed: int, count: int, config: Optional[GeneratorConfig] = None
+) -> List[Trace]:
+    """A reproducible batch of feasible traces (for fuzz-style tests)."""
+    rng = random.Random(seed)
+    return [random_feasible_trace(rng, config) for _ in range(count)]
+
+
+# -- hypothesis strategies ----------------------------------------------------------
+
+if st is not None:
+
+    @st.composite
+    def generator_configs(draw) -> GeneratorConfig:
+        """Strategy over generator configurations covering the paper's
+        sharing idioms (from strict discipline to chaotic)."""
+        return GeneratorConfig(
+            max_events=draw(st.integers(min_value=0, max_value=90)),
+            max_threads=draw(st.integers(min_value=1, max_value=5)),
+            n_vars=draw(st.integers(min_value=1, max_value=5)),
+            n_locks=draw(st.integers(min_value=1, max_value=3)),
+            n_volatiles=draw(st.integers(min_value=1, max_value=2)),
+            discipline=draw(
+                st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9, 1.0])
+            ),
+            p_fork=draw(st.sampled_from([0.0, 0.05, 0.15])),
+            p_join=draw(st.sampled_from([0.0, 0.05, 0.15])),
+            p_barrier=draw(st.sampled_from([0.0, 0.05])),
+            p_volatile=draw(st.sampled_from([0.0, 0.05, 0.1])),
+            seed_threads=draw(st.integers(min_value=1, max_value=3)),
+        )
+
+    @st.composite
+    def traces(draw, config: Optional[GeneratorConfig] = None) -> Trace:
+        """Strategy producing feasible traces; shrinking is delegated to the
+        underlying seeded Random."""
+        cfg = config if config is not None else draw(generator_configs())
+        rng = draw(st.randoms(use_true_random=False))
+        return random_feasible_trace(rng, cfg)
+
+else:  # pragma: no cover
+
+    def generator_configs():
+        raise RuntimeError("hypothesis is not installed")
+
+    def traces(config=None):
+        raise RuntimeError("hypothesis is not installed")
+
+
+# -- the paper's worked examples ------------------------------------------------------
+
+
+def figure4_trace() -> Trace:
+    """The adaptive read-representation example of Figure 4.
+
+    Thread 0's clock is advanced to 7 with six releases of a scratch lock so
+    the analysis states match the figure exactly: ``W_x`` becomes ``7@0``,
+    ``R_x`` goes ``⊥e → 1@1 → ⟨8,1⟩ → ⊥e → 8@0``.
+    """
+    preamble = []
+    for _ in range(6):
+        preamble.append(ev.acq(0, "warmup"))
+        preamble.append(ev.rel(0, "warmup"))
+    body = [
+        ev.wr(0, "x"),  # W_x := 7@0
+        ev.fork(0, 1),  # C0 := <8,0>, C1 := <7,1>
+        ev.rd(1, "x"),  # R_x := 1@1
+        ev.rd(0, "x"),  # concurrent reads: R_x := <8,1>  [FT READ SHARE]
+        ev.rd(1, "x"),  # R_x stays <8,1>                 [FT READ SHARED]
+        ev.join(0, 1),  # C0 := <8,1>
+        ev.wr(0, "x"),  # R_x := ⊥e, W_x := 8@0           [FT WRITE SHARED]
+        ev.rd(0, "x"),  # R_x := 8@0                      [FT READ EXCLUSIVE]
+    ]
+    return Trace(preamble + body)
+
+
+def section2_trace() -> Trace:
+    """The lock-protected write-write example of Section 2.2/3 (clocks
+    arranged so the first write happens at ``4@0`` as in the paper)."""
+    preamble = []
+    for _ in range(3):
+        preamble.append(ev.acq(0, "warmup"))
+        preamble.append(ev.rel(0, "warmup"))
+    for _ in range(7):
+        preamble.append(ev.acq(1, "warmup1"))
+        preamble.append(ev.rel(1, "warmup1"))
+    body = [
+        ev.wr(0, "x"),  # W_x := 4@0
+        ev.acq(0, "m"),
+        ev.rel(0, "m"),  # L_m := <4,0>... release edge
+        ev.acq(1, "m"),  # C1 := <4,8>
+        ev.wr(1, "x"),  # 4@0 ≼ <4,8>: no race
+    ]
+    return Trace(preamble + body)

@@ -1,0 +1,219 @@
+"""The happens-before relation, computed from first principles.
+
+This module is the *oracle* for the precision experiments: it builds the
+happens-before partial order ``<α`` of Section 2.1 directly from its
+definition (smallest transitively-closed relation containing program order,
+locking order, and fork/join order — extended, as in Section 4, with
+volatile write→read edges and barrier releases) and enumerates races as
+"concurrent conflicting accesses".  It never touches vector clocks or
+epochs, so agreement between :class:`HappensBefore` and a detector is
+genuine evidence for Theorem 1, not a tautology.
+
+Two representations are provided:
+
+* :class:`HappensBefore` — ancestor bitsets per event (exact transitive
+  closure; O(n²/64) space, comfortably fast for the trace sizes the tests
+  and oracles use);
+* :func:`happens_before_graph` — a :mod:`networkx` DiGraph with one node per
+  event index, for visualization and for cross-checking the bitset
+  implementation in the test suite.
+
+Edge construction
+-----------------
+
+* **Program order** — each operation links from its thread's previous
+  operation.
+* **Locking** — all acquire/release operations on one lock are chained in
+  trace order (their pairwise ordering follows transitively).
+* **Fork/join** — ``fork(t,u)`` becomes the predecessor of ``u``'s first
+  operation; ``join(v,u)`` links from ``u``'s last operation.
+* **Volatiles** — every volatile *write* happens before every subsequent
+  volatile access of the same variable... with a subtlety: two volatile
+  writes with no interleaved read are *not* ordered (only write→read edges
+  exist, matching both the Java memory model and the `[FT WRITE VOLATILE]`
+  rule, which joins into ``L_vx`` without updating the writer's own clock).
+* **Barriers** — a ``barrier_rel(T)`` node links from the previous operation
+  of every member and becomes the program-order predecessor of each member's
+  next operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+
+def _predecessor_lists(events: Sequence[ev.Event]):
+    """Yield ``(index, direct_predecessor_indices, volatile_write_mask)``.
+
+    ``volatile_write_mask`` is an extra ancestor bitset merged in for
+    volatile reads (edges from *all* prior writes of that volatile, which
+    are mutually unordered and therefore cannot be chained).
+    """
+    last_op: Dict[int, int] = {}
+    last_lock_op: Dict[Hashable, int] = {}
+    preds_per_event: List[List[int]] = []
+    for index, event in enumerate(events):
+        kind = event.kind
+        preds: List[int] = []
+        if kind == ev.BARRIER_RELEASE:
+            for member in event.target:
+                prev = last_op.get(member)
+                if prev is not None:
+                    preds.append(prev)
+            for member in event.target:
+                last_op[member] = index
+        else:
+            prev = last_op.get(event.tid)
+            if prev is not None:
+                preds.append(prev)
+            if kind in (ev.ACQUIRE, ev.RELEASE):
+                prev_lock = last_lock_op.get(event.target)
+                if prev_lock is not None:
+                    preds.append(prev_lock)
+                last_lock_op[event.target] = index
+            elif kind == ev.JOIN:
+                prev_child = last_op.get(event.target)
+                if prev_child is not None:
+                    preds.append(prev_child)
+            last_op[event.tid] = index
+            if kind == ev.FORK:
+                # The child's first op will chain from the fork.
+                last_op[event.target] = index
+        preds_per_event.append(preds)
+    return preds_per_event
+
+
+class HappensBefore:
+    """Exact happens-before closure over a trace, via ancestor bitsets."""
+
+    def __init__(self, trace: Iterable[ev.Event]) -> None:
+        self.events: List[ev.Event] = list(trace)
+        self._ancestors: List[int] = []
+        self._build()
+
+    def _build(self) -> None:
+        events = self.events
+        ancestors = self._ancestors
+        preds_per_event = _predecessor_lists(events)
+        vol_write_mask: Dict[Hashable, int] = {}
+        for index, event in enumerate(events):
+            mask = 0
+            for pred in preds_per_event[index]:
+                mask |= ancestors[pred] | (1 << pred)
+            kind = event.kind
+            if kind == ev.VOLATILE_READ:
+                mask |= vol_write_mask.get(event.target, 0)
+            ancestors.append(mask)
+            if kind == ev.VOLATILE_WRITE:
+                # Later reads see this write and (transitively) its history;
+                # earlier writes stay unordered with it.
+                vol_write_mask[event.target] = vol_write_mask.get(
+                    event.target, 0
+                ) | (mask | (1 << index))
+
+    # -- order queries -----------------------------------------------------------
+
+    def ordered(self, i: int, j: int) -> bool:
+        """``events[i] <α events[j]`` (strict happens-before)."""
+        if i == j:
+            return False
+        if i > j:
+            return False
+        return bool(self._ancestors[j] & (1 << i))
+
+    def concurrent(self, i: int, j: int) -> bool:
+        """Neither access happens before the other."""
+        if i == j:
+            return False
+        if i > j:
+            i, j = j, i
+        return not self.ordered(i, j)
+
+    # -- race enumeration -----------------------------------------------------------
+
+    def races(self) -> List[Tuple[int, int]]:
+        """All pairs ``(i, j)`` of concurrent conflicting accesses, i < j."""
+        per_var: Dict[Hashable, List[int]] = {}
+        for index, event in enumerate(self.events):
+            if event.kind in (ev.READ, ev.WRITE):
+                per_var.setdefault(event.target, []).append(index)
+        found: List[Tuple[int, int]] = []
+        for accesses in per_var.values():
+            for a_pos, i in enumerate(accesses):
+                event_i = self.events[i]
+                for j in accesses[a_pos + 1 :]:
+                    event_j = self.events[j]
+                    if event_i.kind == ev.READ and event_j.kind == ev.READ:
+                        continue
+                    if not self.ordered(i, j):
+                        found.append((i, j))
+        found.sort(key=lambda pair: (pair[1], pair[0]))
+        return found
+
+    def first_race_per_variable(self) -> Dict[Hashable, Tuple[int, int]]:
+        """For each racy variable, the race that completes earliest (the one
+        FastTrack guarantees to detect)."""
+        first: Dict[Hashable, Tuple[int, int]] = {}
+        for i, j in self.races():
+            var = self.events[j].target
+            if var not in first:
+                first[var] = (i, j)
+        return first
+
+    def racy_variables(self) -> set:
+        return set(self.first_race_per_variable())
+
+    def is_race_free(self) -> bool:
+        """Whether no pair of concurrent conflicting accesses exists —
+        the right-hand side of Theorem 1."""
+        return not self.races()
+
+
+# -- module-level conveniences ----------------------------------------------------
+
+
+def find_races(trace: Iterable[ev.Event]) -> List[Tuple[int, int]]:
+    return HappensBefore(trace).races()
+
+
+def first_races(trace: Iterable[ev.Event]) -> Dict[Hashable, Tuple[int, int]]:
+    return HappensBefore(trace).first_race_per_variable()
+
+
+def racy_variables(trace: Iterable[ev.Event]) -> set:
+    return HappensBefore(trace).racy_variables()
+
+
+def is_race_free(trace: Iterable[ev.Event]) -> bool:
+    return HappensBefore(trace).is_race_free()
+
+
+def happens_before_graph(trace: Iterable[ev.Event]) -> "nx.DiGraph":
+    """The happens-before DAG as a networkx graph (node = event index).
+
+    Built with the same edge rules as :class:`HappensBefore` except that
+    volatile write→read edges are materialized explicitly; reachability in
+    this graph must agree with :meth:`HappensBefore.ordered` (asserted by
+    the test suite).
+    """
+    events = list(trace)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(events)))
+    for index, preds in enumerate(_predecessor_lists(events)):
+        for pred in preds:
+            graph.add_edge(pred, index)
+    vol_writes: Dict[Hashable, List[int]] = {}
+    for index, event in enumerate(events):
+        if event.kind == ev.VOLATILE_READ:
+            for write_index in vol_writes.get(event.target, ()):
+                graph.add_edge(write_index, index)
+        elif event.kind == ev.VOLATILE_WRITE:
+            vol_writes.setdefault(event.target, []).append(index)
+    for index, event in enumerate(events):
+        graph.nodes[index]["event"] = event
+    return graph

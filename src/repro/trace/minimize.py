@@ -1,0 +1,142 @@
+"""Race-witness minimization (delta debugging over traces).
+
+Races are "extremely difficult to detect, reproduce, and eliminate"
+(Section 1) — and a 100,000-event trace containing one race is not a
+useful bug report.  This module shrinks a trace to a small witness that is
+still *feasible* (Section 2.1) and still exhibits the property of interest
+(by default: "FastTrack warns on this variable").
+
+The reducer is a ddmin-style loop over three granularities:
+
+1. drop entire threads (every event by tids not involved in the property);
+2. drop exponentially-sized chunks of events;
+3. drop single events,
+
+accepting a candidate only when it remains feasible and keeps the
+property.  Feasibility is re-checked rather than repaired: dropping an
+``acq`` whose ``rel`` stays would produce an infeasible candidate, which is
+simply rejected — the chunk pass at a coarser size usually removes both.
+
+Typical use::
+
+    witness = minimize_trace(trace, var="checksum")
+    print(witness.pretty())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, Optional
+
+from repro.trace import events as ev
+from repro.trace.feasibility import is_feasible
+from repro.trace.trace import Trace
+
+
+def race_predicate(var: Optional[Hashable] = None) -> Callable:
+    """The default property: FastTrack warns (on ``var``, if given)."""
+    # Imported lazily: repro.core imports repro.trace, so a module-level
+    # import here would be circular.
+    from repro.core.fasttrack import FastTrack
+
+    def holds(events: List[ev.Event]) -> bool:
+        tool = FastTrack()
+        tool.process(events)
+        if var is None:
+            return tool.warning_count > 0
+        return tool.has_warned(var)
+
+    return holds
+
+
+def _involved_threads(events: List[ev.Event]) -> dict:
+    """tid -> event indices.  Fork/join events are charged to both parties
+    (removing a thread must remove the events that mention it); barrier
+    events are charged to nobody — the thread pass strips the removed
+    member from the release set instead, keeping the barrier for others."""
+    owners: dict = {}
+    for index, event in enumerate(events):
+        if event.kind == ev.BARRIER_RELEASE:
+            continue
+        tids = (
+            (event.tid, event.target)
+            if event.kind in (ev.FORK, ev.JOIN)
+            else (event.tid,)
+        )
+        for tid in tids:
+            owners.setdefault(tid, []).append(index)
+    return owners
+
+
+def minimize_trace(
+    trace: Iterable[ev.Event],
+    var: Optional[Hashable] = None,
+    predicate: Optional[Callable[[List[ev.Event]], bool]] = None,
+    max_passes: int = 8,
+) -> Trace:
+    """Shrink ``trace`` to a small feasible witness of ``predicate``.
+
+    Raises :class:`ValueError` if the original trace does not satisfy the
+    predicate (nothing to witness).
+    """
+    holds = predicate if predicate is not None else race_predicate(var)
+    events = list(trace)
+    if not holds(events):
+        raise ValueError("the trace does not satisfy the predicate")
+
+    def acceptable(candidate: List[ev.Event]) -> bool:
+        return is_feasible(candidate) and holds(candidate)
+
+    # Pass 1: whole-thread removal (repeat until no thread can go).
+    changed = True
+    while changed:
+        changed = False
+        for tid, indices in sorted(
+            _involved_threads(events).items(),
+            key=lambda item: -len(item[1]),
+        ):
+            index_set = set(indices)
+            candidate = [
+                event
+                for position, event in enumerate(events)
+                if position not in index_set
+            ]
+            # Barrier events shared with surviving threads must be kept,
+            # with the removed member dropped from the release set.
+            candidate = _strip_tid_from_barriers(candidate, tid)
+            if candidate != events and acceptable(candidate):
+                events = candidate
+                changed = True
+                break
+
+    # Passes 2-3: chunked then single-event ddmin.
+    for _pass in range(max_passes):
+        before = len(events)
+        chunk = max(1, len(events) // 2)
+        while chunk >= 1:
+            position = 0
+            while position < len(events):
+                candidate = events[:position] + events[position + chunk:]
+                if candidate and acceptable(candidate):
+                    events = candidate
+                else:
+                    position += chunk
+            chunk //= 2
+        if len(events) == before:
+            break
+
+    return Trace(events)
+
+
+def _strip_tid_from_barriers(
+    events: List[ev.Event], tid: int
+) -> List[ev.Event]:
+    """Remove ``tid`` from barrier release sets (dropping empty barriers)."""
+    result: List[ev.Event] = []
+    for event in events:
+        if event.kind == ev.BARRIER_RELEASE and tid in event.target:
+            remaining = tuple(t for t in event.target if t != tid)
+            if remaining:
+                result.append(ev.barrier_rel(remaining))
+        else:
+            result.append(event)
+    return result

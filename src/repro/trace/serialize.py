@@ -1,0 +1,225 @@
+"""Trace serialization: the paper's concrete syntax, plus JSON lines.
+
+Text format — one operation per line in Figure 1's notation, with array
+locations written with index brackets and an optional source site after
+``@``::
+
+    wr(0, x)
+    fork(0, 1)
+    rd(1, grid[2][7]) @ sor.rd_left
+    acq(1, m)
+    barrier_rel(0, 1)
+    enter(0, sor.sweep)
+    # comments and blank lines are ignored
+
+Targets parse to ints when numeric, to tuples when bracketed
+(``grid[2][7]`` → ``("grid", 2, 7)``), and to strings otherwise — exactly
+the naming conventions the benchmark workloads use, so any captured trace
+round-trips.  The JSONL format carries the same information one event per
+line and is the interchange format for the CLI.
+
+Examples
+--------
+
+    >>> from repro.trace import events as ev
+    >>> line = format_event(ev.rd(1, ("grid", 2, 7), site="sor.rd"))
+    >>> line
+    'rd(1, grid[2][7]) @ sor.rd'
+    >>> parsed = parse_event(line)
+    >>> parsed.tid, parsed.target, parsed.site
+    (1, ('grid', 2, 7), 'sor.rd')
+    >>> parse_target("acc[w]")
+    ('acc', 'w')
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Hashable, Iterable, List, TextIO, Tuple, Union
+
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+_NAME_BY_KIND = {
+    ev.READ: "rd",
+    ev.WRITE: "wr",
+    ev.ACQUIRE: "acq",
+    ev.RELEASE: "rel",
+    ev.FORK: "fork",
+    ev.JOIN: "join",
+    ev.VOLATILE_READ: "vol_rd",
+    ev.VOLATILE_WRITE: "vol_wr",
+    ev.BARRIER_RELEASE: "barrier_rel",
+    ev.ENTER: "enter",
+    ev.EXIT: "exit",
+}
+_KIND_BY_NAME = {name: kind for kind, name in _NAME_BY_KIND.items()}
+
+_LINE = re.compile(
+    r"^(?P<op>\w+)\s*\(\s*(?P<args>[^)]*)\s*\)\s*(?:@\s*(?P<site>\S+))?$"
+)
+_TARGET = re.compile(r"^(?P<base>[^\[\]]+)(?P<indices>(\[[^\[\]]+\])*)$")
+
+
+class TraceParseError(ValueError):
+    """A line of a serialized trace could not be parsed."""
+
+
+# -- target encoding -----------------------------------------------------------
+
+
+def format_target(target: Hashable) -> str:
+    """Render a variable/lock name in the bracketed text syntax."""
+    if isinstance(target, tuple):
+        base, *indices = target
+        return str(base) + "".join(f"[{index}]" for index in indices)
+    return str(target)
+
+
+def parse_target(text: str) -> Hashable:
+    """Inverse of :func:`format_target` (ints stay ints)."""
+    text = text.strip()
+    match = _TARGET.match(text)
+    if match is None or not match.group("base").strip():
+        raise TraceParseError(f"bad target {text!r}")
+    base = _coerce(match.group("base").strip())
+    indices_text = match.group("indices")
+    if not indices_text:
+        return base
+    indices = re.findall(r"\[([^\[\]]+)\]", indices_text)
+    return tuple([base] + [_coerce(part.strip()) for part in indices])
+
+
+def _coerce(token: str) -> Union[int, str]:
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+# -- text format ------------------------------------------------------------------
+
+
+def format_event(event: ev.Event) -> str:
+    """One line of the text format."""
+    name = _NAME_BY_KIND[event.kind]
+    if event.kind == ev.BARRIER_RELEASE:
+        inner = ", ".join(str(tid) for tid in event.target)
+        return f"{name}({inner})"
+    if event.kind in (ev.FORK, ev.JOIN):
+        body = f"{name}({event.tid}, {event.target})"
+    else:
+        body = f"{name}({event.tid}, {format_target(event.target)})"
+    if event.site is not None:
+        body += f" @ {event.site}"
+    return body
+
+
+def parse_event(line: str) -> ev.Event:
+    """Inverse of :func:`format_event`."""
+    match = _LINE.match(line.strip())
+    if match is None:
+        raise TraceParseError(f"unparseable line {line!r}")
+    op = match.group("op")
+    kind = _KIND_BY_NAME.get(op)
+    if kind is None:
+        raise TraceParseError(f"unknown operation {op!r} in {line!r}")
+    args = [part.strip() for part in match.group("args").split(",") if part.strip()]
+    site = match.group("site")
+    if kind == ev.BARRIER_RELEASE:
+        try:
+            tids = tuple(int(part) for part in args)
+        except ValueError:
+            raise TraceParseError(f"barrier members must be tids: {line!r}")
+        return ev.barrier_rel(tids)
+    if len(args) != 2:
+        raise TraceParseError(f"expected two arguments in {line!r}")
+    try:
+        tid = int(args[0])
+    except ValueError:
+        raise TraceParseError(f"thread id must be an integer: {line!r}")
+    if kind in (ev.FORK, ev.JOIN):
+        try:
+            target: Hashable = int(args[1])
+        except ValueError:
+            raise TraceParseError(f"fork/join target must be a tid: {line!r}")
+    else:
+        target = parse_target(args[1])
+    return ev.Event(kind, tid, target, site)
+
+
+def dumps(trace: Iterable[ev.Event]) -> str:
+    """Serialize a trace to the text format."""
+    return "\n".join(format_event(event) for event in trace) + "\n"
+
+
+def loads(text: str) -> Trace:
+    """Parse the text format back into a :class:`Trace`."""
+    events: List[ev.Event] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        events.append(parse_event(line))
+    return Trace(events)
+
+
+def dump(trace: Iterable[ev.Event], stream: TextIO) -> None:
+    stream.write(dumps(trace))
+
+
+def load(stream: TextIO) -> Trace:
+    return loads(stream.read())
+
+
+# -- JSON lines -------------------------------------------------------------------
+
+
+def _target_to_json(target: Hashable):
+    if isinstance(target, tuple):
+        return list(target)
+    return target
+
+
+def _target_from_json(value) -> Hashable:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def event_to_json(event: ev.Event) -> dict:
+    record = {
+        "op": _NAME_BY_KIND[event.kind],
+        "tid": event.tid,
+        "target": _target_to_json(event.target),
+    }
+    if event.site is not None:
+        record["site"] = event.site
+    return record
+
+
+def event_from_json(record: dict) -> ev.Event:
+    try:
+        kind = _KIND_BY_NAME[record["op"]]
+    except KeyError:
+        raise TraceParseError(f"unknown operation in record {record!r}")
+    target = _target_from_json(record["target"])
+    if kind == ev.BARRIER_RELEASE:
+        return ev.barrier_rel(tuple(target))
+    return ev.Event(kind, record["tid"], target, record.get("site"))
+
+
+def dumps_jsonl(trace: Iterable[ev.Event]) -> str:
+    return (
+        "\n".join(json.dumps(event_to_json(event)) for event in trace) + "\n"
+    )
+
+
+def loads_jsonl(text: str) -> Trace:
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        events.append(event_from_json(json.loads(line)))
+    return Trace(events)

@@ -1,0 +1,129 @@
+"""The :class:`Trace` container.
+
+A trace ``α ∈ Operation*`` is a finite sequence of events.  This class is a
+thin list wrapper with the bookkeeping queries the analyses and the test
+oracle need (which threads appear, which variables are accessed, ...), plus a
+pretty-printer that renders traces in the paper's column-per-thread style —
+handy when debugging precision disagreements.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Optional, Set
+
+from repro.trace import events as ev
+
+
+class Trace:
+    """An immutable-by-convention sequence of :class:`~repro.trace.events.
+    Event` objects."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, operations: Iterable[ev.Event] = ()) -> None:
+        self.events: List[ev.Event] = list(operations)
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ev.Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        result = self.events[index]
+        if isinstance(index, slice):
+            return Trace(result)
+        return result
+
+    def __add__(self, other: "Trace") -> "Trace":
+        return Trace(self.events + list(other))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.events)} events)"
+
+    # -- queries ----------------------------------------------------------------
+
+    def threads(self) -> Set[int]:
+        """Every thread id appearing in the trace (acting or as a target of
+        fork/join/barrier)."""
+        tids: Set[int] = set()
+        for event in self.events:
+            kind = event.kind
+            if kind == ev.BARRIER_RELEASE:
+                tids.update(event.target)
+                continue
+            tids.add(event.tid)
+            if kind in (ev.FORK, ev.JOIN):
+                tids.add(event.target)
+        tids.discard(-1)
+        return tids
+
+    def variables(self) -> Set[Hashable]:
+        return {
+            e.target for e in self.events if e.kind in (ev.READ, ev.WRITE)
+        }
+
+    def locks(self) -> Set[Hashable]:
+        return {
+            e.target for e in self.events if e.kind in (ev.ACQUIRE, ev.RELEASE)
+        }
+
+    def volatiles(self) -> Set[Hashable]:
+        return {
+            e.target
+            for e in self.events
+            if e.kind in (ev.VOLATILE_READ, ev.VOLATILE_WRITE)
+        }
+
+    def accesses(self, var: Optional[Hashable] = None):
+        """Indices of read/write events (optionally to one variable)."""
+        return [
+            i
+            for i, e in enumerate(self.events)
+            if e.kind in (ev.READ, ev.WRITE)
+            and (var is None or e.target == var)
+        ]
+
+    def operation_mix(self) -> dict:
+        """Fractions of reads / writes / other, as in Figure 2's margins."""
+        total = len(self.events)
+        if total == 0:
+            return {"reads": 0.0, "writes": 0.0, "other": 0.0}
+        reads = sum(1 for e in self.events if e.kind == ev.READ)
+        writes = sum(1 for e in self.events if e.kind == ev.WRITE)
+        return {
+            "reads": reads / total,
+            "writes": writes / total,
+            "other": (total - reads - writes) / total,
+        }
+
+    # -- pretty printing -----------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Column-per-thread rendering in the style of the paper's figures."""
+        tids = sorted(self.threads())
+        if not tids:
+            return "(empty trace)"
+        width = 16
+        column = {tid: i for i, tid in enumerate(tids)}
+        lines = ["".join(f"thread {tid}".center(width) for tid in tids)]
+        lines.append("-" * (width * len(tids)))
+        for event in self.events:
+            cells = [" " * width] * len(tids)
+            if event.kind == ev.BARRIER_RELEASE:
+                for tid in event.target:
+                    cells[column[tid]] = "--barrier--".center(width)
+            else:
+                name = ev.KIND_NAMES[event.kind]
+                cells[column[event.tid]] = f"{name}({event.target!r})".center(
+                    width
+                )
+            lines.append("".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Tests for on-line granularity adaptation (Section 5.1 discussion)."""
+
+from repro.core.adaptive import AdaptiveFastTrack
+from repro.core.detector import coarse_grain
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+
+# Two fields of one object, each consistently protected by its OWN lock:
+# race-free, but a shared per-object shadow state sees a conflict.
+FALSE_SHARING = [
+    ev.fork(0, 1),
+    ev.acq(0, "m1"),
+    ev.wr(0, ("obj", 7, "f1")),
+    ev.rel(0, "m1"),
+    ev.acq(1, "m2"),
+    ev.wr(1, ("obj", 7, "f2")),
+    ev.rel(1, "m2"),
+    ev.acq(0, "m1"),
+    ev.wr(0, ("obj", 7, "f1")),
+    ev.rel(0, "m1"),
+]
+
+# A real, repeating per-field race on one element of an object.
+REAL_RACE = [
+    ev.fork(0, 1),
+    ev.wr(0, ("arr", 3, 0)),
+    ev.wr(1, ("arr", 3, 0)),
+    ev.wr(0, ("arr", 3, 0)),
+    ev.wr(1, ("arr", 3, 0)),
+]
+
+
+class TestCoarseFalseAlarms:
+    def test_plain_coarse_fasttrack_reports_spuriously(self):
+        tool = FastTrack(shadow_key=coarse_grain).process(FALSE_SHARING)
+        assert tool.warning_count == 1  # Table 3's coarse-grain false alarm
+
+    def test_fine_fasttrack_is_clean(self):
+        tool = FastTrack().process(FALSE_SHARING)
+        assert tool.warnings == []
+
+    def test_adaptive_refines_instead_of_warning(self):
+        tool = AdaptiveFastTrack().process(FALSE_SHARING)
+        assert tool.warnings == []
+        assert tool.adaptations == 1
+        assert ("obj", 7) in tool.refined_objects
+
+
+class TestRealRaces:
+    def test_adaptive_still_reports_repeating_races(self):
+        tool = AdaptiveFastTrack().process(REAL_RACE)
+        assert tool.adaptations == 1  # first conflict triggers refinement
+        assert tool.warning_count == 1  # the race repeats at fine grain
+        assert tool.warnings[0].var == ("arr", 3, 0)
+
+    def test_documented_precision_loss_on_one_shot_races(self):
+        # The two conflicting accesses straddle the refinement: missed.
+        one_shot = REAL_RACE[:3]
+        tool = AdaptiveFastTrack().process(one_shot)
+        assert tool.warnings == []
+        assert tool.adaptations == 1
+        # Plain fine-grain FastTrack catches it, as Theorem 1 requires.
+        assert FastTrack().process(one_shot).warning_count == 1
+
+
+class TestFootprint:
+    def test_memory_between_fine_and_coarse(self):
+        trace = []
+        trace.append(ev.fork(0, 1))
+        for i in range(64):
+            trace.append(ev.wr(0, ("big", 0, i)))
+            trace.append(ev.rd(0, ("big", 0, i)))
+        fine = FastTrack().process(trace)
+        coarse = FastTrack(shadow_key=coarse_grain).process(trace)
+        adaptive = AdaptiveFastTrack().process(trace)
+        assert (
+            coarse.shadow_memory_words()
+            <= adaptive.shadow_memory_words()
+            <= fine.shadow_memory_words()
+        )
+        assert adaptive.shadow_memory_words() < fine.shadow_memory_words()
+
+    def test_scalars_behave_like_plain_fasttrack(self):
+        racy_scalar = [ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")]
+        tool = AdaptiveFastTrack().process(racy_scalar)
+        assert tool.warning_count == 1
+        assert tool.adaptations == 0

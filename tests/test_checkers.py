@@ -1,0 +1,190 @@
+"""Tests for the downstream checkers: Atomizer, Velodrome, SingleTrack."""
+
+from repro.checkers import Atomizer, SingleTrack, Velodrome
+from repro.trace import events as ev
+
+
+def txn(tid, label, *ops):
+    return [ev.enter(tid, label), *ops, ev.exit_(tid, label)]
+
+
+class TestVelodrome:
+    def test_serializable_interleaving_accepted(self):
+        trace = (
+            [ev.fork(0, 1)]
+            + txn(0, "A", ev.acq(0, "m"), ev.wr(0, "x"), ev.rel(0, "m"))
+            + txn(1, "B", ev.acq(1, "m"), ev.wr(1, "x"), ev.rel(1, "m"))
+        )
+        assert Velodrome().process(trace).violations == []
+
+    def test_interleaved_conflicts_form_a_cycle(self):
+        # A starts, B completes in the middle of A, and A then conflicts
+        # with B's write: A -> B (A's read before B's write) and B -> A
+        # (B's write before A's second access) — a classic atomicity bug.
+        trace = [
+            ev.fork(0, 1),
+            ev.enter(0, "A"),
+            ev.rd(0, "x"),
+            ev.enter(1, "B"),
+            ev.wr(1, "x"),
+            ev.exit_(1, "B"),
+            ev.rd(0, "x"),
+            ev.exit_(0, "A"),
+        ]
+        checker = Velodrome().process(trace)
+        # Both transactions participate in the cycle; each is reported once.
+        assert {label for label, _reason in checker.violations} == {"A", "B"}
+
+    def test_unary_operations_participate_in_cycles(self):
+        # The same stale-read shape with B's write outside any transaction.
+        trace = [
+            ev.fork(0, 1),
+            ev.enter(0, "A"),
+            ev.rd(0, "x"),
+            ev.wr(1, "x"),
+            ev.rd(0, "x"),
+            ev.exit_(0, "A"),
+        ]
+        assert Velodrome().process(trace).violation_count == 1
+
+    def test_lock_edges_do_not_create_false_cycles(self):
+        trace = (
+            [ev.fork(0, 1)]
+            + txn(0, "A", ev.acq(0, "m"), ev.rd(0, "x"), ev.rel(0, "m"))
+            + txn(1, "B", ev.acq(1, "m"), ev.wr(1, "x"), ev.rel(1, "m"))
+            + txn(0, "C", ev.acq(0, "m"), ev.rd(0, "x"), ev.rel(0, "m"))
+        )
+        assert Velodrome().process(trace).violations == []
+
+    def test_one_report_per_label(self):
+        trace = []
+        trace.append(ev.fork(0, 1))
+        for _round in range(3):
+            trace += [
+                ev.enter(0, "A"),
+                ev.rd(0, "x"),
+                ev.wr(1, "x"),
+                ev.rd(0, "x"),
+                ev.exit_(0, "A"),
+            ]
+        checker = Velodrome().process(trace)
+        # Three rounds of the same violation collapse to one report per
+        # participating label (A plus thread 1's unary work).
+        labels = [label for label, _reason in checker.violations]
+        assert labels.count("A") == 1
+        assert len(labels) == len(set(labels))
+
+
+class TestAtomizer:
+    def test_reducible_transaction_accepted(self):
+        # acquire* (accesses) release*: right-movers then left-movers.
+        trace = [ev.fork(0, 1)] + txn(
+            0,
+            "A",
+            ev.acq(0, "m"),
+            ev.rd(0, "x"),
+            ev.wr(0, "x"),
+            ev.rel(0, "m"),
+        )
+        assert Atomizer().process(trace).violations == []
+
+    def test_acquire_after_release_violates_reduction(self):
+        trace = txn(
+            0,
+            "A",
+            ev.acq(0, "m"),
+            ev.rel(0, "m"),
+            ev.acq(0, "n"),
+            ev.rel(0, "n"),
+        )
+        checker = Atomizer().process(trace)
+        assert checker.violation_count == 1
+        assert checker.violations[0][0] == "A"
+
+    def test_racy_access_after_commit_point_violates(self):
+        # Make "x" racy for the embedded Eraser first, then access it after
+        # a release inside a transaction.
+        warmup = [ev.wr(0, "x"), ev.fork(0, 1), ev.wr(1, "x")]
+        trace = warmup + txn(
+            1,
+            "B",
+            ev.acq(1, "m"),
+            ev.rel(1, "m"),
+            ev.wr(1, "x"),  # non-mover in the left-mover suffix
+        )
+        assert Atomizer().process(trace).violation_count == 1
+
+    def test_two_non_movers_violate(self):
+        warmup = [
+            ev.wr(0, "x"),
+            ev.wr(0, "y"),
+            ev.fork(0, 1),
+            ev.wr(1, "x"),
+            ev.wr(1, "y"),
+        ]
+        trace = warmup + txn(1, "B", ev.wr(1, "x"), ev.wr(1, "y"))
+        assert Atomizer().process(trace).violation_count == 1
+
+    def test_race_free_accesses_are_both_movers(self):
+        trace = txn(0, "A", ev.rd(0, "x"), ev.wr(0, "y"), ev.rd(0, "z"))
+        assert Atomizer().process(trace).violations == []
+
+    def test_nested_blocks_fold_into_outer(self):
+        trace = [
+            ev.enter(0, "outer"),
+            ev.enter(0, "inner"),
+            ev.acq(0, "m"),
+            ev.rel(0, "m"),
+            ev.exit_(0, "inner"),
+            ev.acq(0, "n"),  # right-mover after commit: violation on outer
+            ev.rel(0, "n"),
+            ev.exit_(0, "outer"),
+        ]
+        checker = Atomizer().process(trace)
+        assert checker.violation_count == 1
+        assert checker.violations[0][0] == "outer"
+
+
+class TestSingleTrack:
+    def test_fork_join_parallelism_is_deterministic(self):
+        trace = [
+            ev.wr(0, "x"),
+            ev.fork(0, 1),
+            ev.rd(1, "x"),
+            ev.wr(1, "y"),
+            ev.join(0, 1),
+            ev.rd(0, "y"),
+        ]
+        assert SingleTrack().process(trace).violations == []
+
+    def test_barrier_phases_are_deterministic(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.wr(0, "x"),
+            ev.barrier_rel((0, 1)),
+            ev.rd(1, "x"),
+        ]
+        assert SingleTrack().process(trace).violations == []
+
+    def test_lock_mediated_conflict_is_nondeterministic(self):
+        # Race-free, but the lock order is the scheduler's choice, so the
+        # program's result depends on the schedule.
+        trace = [
+            ev.fork(0, 1),
+            ev.acq(0, "m"),
+            ev.wr(0, "x"),
+            ev.rel(0, "m"),
+            ev.acq(1, "m"),
+            ev.wr(1, "x"),
+            ev.rel(1, "m"),
+        ]
+        checker = SingleTrack().process(trace)
+        assert checker.violation_count == 1
+
+    def test_plain_race_is_also_flagged(self):
+        trace = [ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")]
+        assert SingleTrack().process(trace).violation_count == 1
+
+    def test_one_report_per_variable(self):
+        trace = [ev.fork(0, 1)] + [ev.wr(0, "x"), ev.wr(1, "x")] * 5
+        assert SingleTrack().process(trace).violation_count == 1

@@ -1,0 +1,116 @@
+"""Tests for the sharing-pattern classifier (the Section 1 insight)."""
+
+from repro.detectors.classifier import (
+    LOCK_PROTECTED,
+    RACY,
+    READ_SHARED,
+    SYNCHRONIZED,
+    THREAD_LOCAL,
+    SharingClassifier,
+)
+from repro.bench.workload import WORKLOADS
+from repro.trace import events as ev
+
+
+def classify(events):
+    tool = SharingClassifier().process(list(events))
+    return tool.classify()
+
+
+class TestClasses:
+    def test_thread_local(self):
+        classes = classify([ev.wr(0, "x"), ev.rd(0, "x"), ev.wr(0, "x")])
+        assert classes == {"x": THREAD_LOCAL}
+
+    def test_lock_protected(self):
+        classes = classify(
+            [
+                ev.acq(0, "m"),
+                ev.wr(0, "x"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+                ev.wr(1, "x"),
+                ev.rel(1, "m"),
+            ]
+        )
+        assert classes["x"] == LOCK_PROTECTED
+
+    def test_read_shared(self):
+        classes = classify(
+            [
+                ev.wr(0, "x"),
+                ev.fork(0, 1),
+                ev.fork(0, 2),
+                ev.rd(1, "x"),
+                ev.rd(2, "x"),
+                ev.rd(0, "x"),
+            ]
+        )
+        assert classes["x"] == READ_SHARED
+
+    def test_synchronized(self):
+        # Shared, written by both threads, race-free via join, no lock.
+        classes = classify(
+            [
+                ev.fork(0, 1),
+                ev.wr(1, "x"),
+                ev.rd(1, "x"),
+                ev.join(0, 1),
+                ev.rd(0, "x"),
+                ev.wr(0, "x"),
+            ]
+        )
+        assert classes["x"] == SYNCHRONIZED
+
+    def test_racy(self):
+        classes = classify([ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")])
+        assert classes["x"] == RACY
+
+    def test_write_after_share_demotes_read_shared(self):
+        classes = classify(
+            [
+                ev.wr(0, "x"),
+                ev.fork(0, 1),
+                ev.rd(1, "x"),
+                ev.join(0, 1),
+                ev.wr(0, "x"),  # initialize-share-reinitialize
+            ]
+        )
+        assert classes["x"] == SYNCHRONIZED
+
+
+class TestFractions:
+    def test_fractions_sum_to_one(self):
+        tool = SharingClassifier().process(
+            list(WORKLOADS["mtrt"].trace(scale=200))
+        )
+        by_accesses = tool.fractions()
+        by_variables = tool.fractions(by_accesses=False)
+        assert abs(sum(by_accesses.values()) - 1.0) < 1e-9
+        assert abs(sum(by_variables.values()) - 1.0) < 1e-9
+
+    def test_paper_insight_holds_on_the_workloads(self):
+        """Section 1: the vast majority of data is thread-local,
+        lock-protected, or read-shared."""
+        for name in ("crypt", "montecarlo", "sparse", "mtrt", "colt"):
+            tool = SharingClassifier().process(
+                list(WORKLOADS[name].trace(scale=200))
+            )
+            fractions = tool.fractions()
+            common = (
+                fractions[THREAD_LOCAL]
+                + fractions[LOCK_PROTECTED]
+                + fractions[READ_SHARED]
+            )
+            assert common > 0.9, (name, fractions)
+
+    def test_race_verdict_matches_fasttrack(self):
+        trace = list(WORKLOADS["tsp"].trace(scale=150))
+        tool = SharingClassifier().process(trace)
+        racy_vars = {
+            key for key, cls in tool.classify().items() if cls == RACY
+        }
+        from repro.core.fasttrack import FastTrack
+
+        plain = FastTrack().process(trace)
+        assert racy_vars == plain._warned_keys

@@ -1,0 +1,103 @@
+"""Lemmas 3 and 4 (Appendix A): clocks characterize happens-before.
+
+Lemma 3 (*clocks imply happens-before*): if ``C_a(t) ≤ C_b(u)`` at ``t``'s
+component then ``a <α b``.  Lemma 4 (*happens-before implies clocks*): if
+``a <α b`` then ``K_a ⊑ K_b``.  Together they give the classic vector-clock
+characterization of the happens-before partial order, which we test
+exhaustively on random feasible traces against the independent graph-based
+oracle.
+"""
+
+from hypothesis import given, settings
+
+from repro.trace import events as ev
+from repro.trace.clocks import EventClocks, annotate
+from repro.trace.generators import traces
+from repro.trace.happens_before import HappensBefore
+
+
+class TestAnnotator:
+    def test_initial_clock_is_inc_of_bottom(self):
+        clocks = annotate([ev.rd(0, "x"), ev.rd(3, "y")])
+        assert clocks.pre[0].as_tuple() == (1,)
+        assert clocks.pre[1].as_tuple() == (0, 0, 0, 1)
+
+    def test_release_acquire_transfer(self):
+        clocks = annotate(
+            [
+                ev.acq(0, "m"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+            ]
+        )
+        # After the acquire, thread 1 knows thread 0's release clock.
+        assert clocks.post[2].get(0) == 1
+        assert clocks.pre[2].get(0) == 0
+
+    def test_release_starts_new_epoch(self):
+        clocks = annotate([ev.acq(0, "m"), ev.rel(0, "m"), ev.rd(0, "x")])
+        assert clocks.pre[1].get(0) == 1
+        assert clocks.post[1].get(0) == 2
+        assert clocks.pre[2].get(0) == 2
+
+    def test_fork_propagates_and_increments(self):
+        clocks = annotate([ev.fork(0, 1), ev.rd(1, "x"), ev.rd(0, "x")])
+        assert clocks.pre[1].get(0) == 1  # child saw parent's clock
+        assert clocks.pre[1].get(1) == 1
+        assert clocks.pre[2].get(0) == 2  # parent entered a new epoch
+
+    def test_barrier_joins_and_increments_members(self):
+        clocks = annotate(
+            [
+                ev.rd(0, "x"),
+                ev.rd(1, "x"),
+                ev.barrier_rel((0, 1)),
+                ev.rd(0, "x"),
+                ev.rd(1, "x"),
+            ]
+        )
+        assert clocks.pre[3].as_tuple() == (2, 1)
+        assert clocks.pre[4].as_tuple() == (1, 2)
+
+    def test_volatile_write_read_transfer(self):
+        clocks = annotate(
+            [ev.vol_wr(0, "v"), ev.vol_rd(1, "v"), ev.rd(1, "x")]
+        )
+        assert clocks.pre[2].get(0) == 1
+
+
+class TestLemmas:
+    @settings(max_examples=80, deadline=None)
+    @given(traces())
+    def test_clock_characterization_matches_oracle(self, trace):
+        events = list(trace)
+        oracle = HappensBefore(events)
+        clocks = EventClocks(events)
+        for j in range(len(events)):
+            for i in range(j):
+                assert clocks.clocks_ordered(i, j) == oracle.ordered(i, j), (
+                    i,
+                    j,
+                    events,
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_lemma4_full_vc_monotonicity(self, trace):
+        """a <α b implies K_a ⊑ K_b (the full pointwise order, Lemma 4).
+
+        Stated, as in the Appendix, for the core per-thread operations: a
+        barrier release acts for *all* its members at once, so its joined
+        post-clock is deliberately not ⊑ any single member's next clock.
+        """
+        events = list(trace)
+        oracle = HappensBefore(events)
+        clocks = EventClocks(events)
+        for j in range(len(events)):
+            if events[j].kind == ev.BARRIER_RELEASE:
+                continue
+            for i in range(j):
+                if events[i].kind == ev.BARRIER_RELEASE:
+                    continue
+                if oracle.ordered(i, j):
+                    assert clocks.k(i).leq(clocks.k(j)), (i, j, events)

@@ -1,0 +1,70 @@
+"""Cross-tool precision properties (the Table 1 warning-column structure).
+
+* The precise tools — BasicVC, DJIT+, Goldilocks (sound configuration), and
+  FastTrack — report exactly the racy variables ("DJIT+ and BASICVC
+  reported exactly the same race conditions as FASTTRACK").
+* MultiRace never reports a false alarm (its skipped checks only lose
+  races), and everything it reports FastTrack reports too.
+* Eraser is both unsound and incomplete: no containment in either
+  direction is asserted, but on strictly lock-disciplined traces it must
+  stay quiet.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.fasttrack import FastTrack
+from repro.detectors import BasicVC, DJITPlus, Eraser, Goldilocks, MultiRace
+from repro.trace.generators import GeneratorConfig, traces
+from repro.trace.happens_before import HappensBefore
+
+
+def warned(tool):
+    return {tool.shadow_key(w.var) for w in tool.warnings}
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces())
+def test_precise_tools_agree_with_the_oracle(trace):
+    events = list(trace)
+    racy = HappensBefore(events).racy_variables()
+    for tool_cls in (BasicVC, DJITPlus, Goldilocks, FastTrack):
+        tool = tool_cls().process(events)
+        assert warned(tool) == racy, tool_cls.__name__
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces())
+def test_multirace_has_no_false_alarms(trace):
+    events = list(trace)
+    racy = HappensBefore(events).racy_variables()
+    tool = MultiRace().process(events)
+    assert warned(tool) <= racy
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(config=GeneratorConfig(discipline=1.0, max_events=80, p_fork=0.0, p_join=0.0, p_barrier=0.0, p_volatile=0.0, seed_threads=3)))
+def test_eraser_accepts_strict_lock_discipline(trace):
+    # With every access lock-protected and no fork/join noise, Eraser's own
+    # discipline holds, so it must not warn.
+    tool = Eraser().process(list(trace))
+    assert tool.warnings == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces())
+def test_goldilocks_flush_threshold_does_not_change_verdicts(trace):
+    """The lazy event-list management (our GC surrogate) is transparent."""
+    events = list(trace)
+    eager = Goldilocks(flush_threshold=4).process(events)
+    lazy = Goldilocks(flush_threshold=1 << 30).process(events)
+    assert warned(eager) == warned(lazy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces())
+def test_unsound_goldilocks_only_misses(trace):
+    """The thread-local extension may drop races but never invent them."""
+    events = list(trace)
+    racy = HappensBefore(events).racy_variables()
+    tool = Goldilocks(unsound_thread_local=True).process(events)
+    assert warned(tool) <= racy

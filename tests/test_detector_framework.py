@@ -1,0 +1,91 @@
+"""Tests for the shared detector framework odds and ends."""
+
+from repro.core.detector import CostStats, Detector, RaceWarning
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+from repro.trace.serialize import dumps_jsonl, loads_jsonl
+
+
+class TestCostStats:
+    def test_summary_flattens_rules(self):
+        stats = CostStats()
+        stats.events = 10
+        stats.reads = 6
+        stats.rule("FT READ SHARED")
+        stats.rule("FT READ SHARED")
+        summary = stats.summary()
+        assert summary["events"] == 10
+        assert summary["reads"] == 6
+        assert summary["rule:FT READ SHARED"] == 2
+
+    def test_counters_populated_by_process(self):
+        trace = [
+            ev.rd(0, "x"),
+            ev.wr(0, "x"),
+            ev.acq(0, "m"),
+            ev.rel(0, "m"),
+            ev.enter(0, "t"),
+            ev.exit_(0, "t"),
+        ]
+        tool = FastTrack().process(trace)
+        assert tool.stats.events == 6
+        assert tool.stats.reads == 1
+        assert tool.stats.writes == 1
+        assert tool.stats.syncs == 2
+        assert tool.stats.boundaries == 2
+
+
+class TestRaceWarning:
+    def test_str_with_and_without_site(self):
+        with_site = RaceWarning(
+            var="x",
+            kind="write-write",
+            tid=1,
+            prior="write 4@0",
+            event_index=7,
+            site="a.py:3",
+        )
+        assert "at a.py:3" in str(with_site)
+        assert "write-write race on 'x'" in str(with_site)
+        without = RaceWarning(
+            var="x", kind="write-read", tid=0, prior="p", event_index=0
+        )
+        assert " at " not in str(without).split("conflicts")[0]
+
+
+class TestBaseDetector:
+    def test_base_detector_ignores_everything(self):
+        trace = [
+            ev.rd(0, "x"),
+            ev.vol_wr(0, "v"),
+            ev.barrier_rel((0,)),
+            ev.enter(0, "t"),
+            ev.exit_(0, "t"),
+        ]
+        tool = Detector().process(trace)
+        assert tool.warnings == []
+        assert tool.events_handled == len(trace)
+
+    def test_report_dedup_orthogonal_axes(self):
+        tool = Detector()
+        # Two vars, one shared site: one report, the second var still
+        # marked warned.
+        tool.handle(ev.wr(0, ("a", 0), site="s"))
+        tool.report(ev.wr(0, ("a", 0), site="s"), "write-write", "p")
+        tool.handle(ev.wr(0, ("a", 1), site="s"))
+        tool.report(ev.wr(0, ("a", 1), site="s"), "write-write", "p")
+        assert tool.warning_count == 1
+        assert tool.suppressed_warnings == 1
+        assert tool.has_warned(("a", 1))
+
+
+class TestCrossFormatEquality:
+    def test_text_and_jsonl_agree(self):
+        trace = [
+            ev.rd(1, ("grid", 2, 7), site="s"),
+            ev.barrier_rel((0, 1)),
+            ev.vol_wr(0, "v"),
+        ]
+        from repro.trace.serialize import dumps, loads
+
+        assert loads(dumps(trace)) == loads_jsonl(dumps_jsonl(trace))

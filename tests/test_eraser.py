@@ -1,0 +1,116 @@
+"""Unit tests for the Eraser LockSet state machine [33] + barrier extension."""
+
+from repro.detectors.eraser import (
+    EXCLUSIVE,
+    SHARED,
+    SHARED_MODIFIED,
+    VIRGIN,
+    Eraser,
+)
+from repro.trace import events as ev
+
+
+def run(events, **kwargs):
+    return Eraser(**kwargs).process(list(events))
+
+
+class TestStateMachine:
+    def test_virgin_to_exclusive(self):
+        tool = Eraser()
+        tool.process([ev.wr(0, "x")])
+        assert tool.vars["x"].state == EXCLUSIVE
+        assert tool.vars["x"].owner == 0
+
+    def test_exclusive_tolerates_owner_accesses(self):
+        tool = run([ev.wr(0, "x"), ev.rd(0, "x"), ev.wr(0, "x")])
+        assert tool.warnings == []
+        assert tool.vars["x"].state == EXCLUSIVE
+
+    def test_second_thread_read_moves_to_shared(self):
+        tool = Eraser()
+        tool.process([ev.wr(0, "x"), ev.rd(1, "x")])
+        assert tool.vars["x"].state == SHARED
+        assert tool.warnings == []  # the unsound read-share forgiveness
+
+    def test_second_thread_write_moves_to_shared_modified(self):
+        tool = Eraser()
+        tool.process([ev.wr(0, "x"), ev.wr(1, "x")])
+        assert tool.vars["x"].state == SHARED_MODIFIED
+        assert tool.warning_count == 1
+
+    def test_consistent_lock_keeps_lockset_nonempty(self):
+        tool = run(
+            [
+                ev.acq(0, "m"),
+                ev.wr(0, "x"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+                ev.wr(1, "x"),
+                ev.rel(1, "m"),
+            ]
+        )
+        assert tool.warnings == []
+        assert tool.vars["x"].lockset == frozenset({"m"})
+
+    def test_lockset_refinement_to_empty_reports(self):
+        # The candidate set is initialized at the *second* thread's access
+        # ({n} here), so a third access under a disjoint lock is what
+        # empties it — faithful to the original algorithm.
+        partial = [
+            ev.acq(0, "m"),
+            ev.wr(0, "x"),
+            ev.rel(0, "m"),
+            ev.acq(1, "n"),
+            ev.wr(1, "x"),
+            ev.rel(1, "n"),
+        ]
+        assert run(partial).warnings == []
+        full = partial + [ev.acq(0, "m"), ev.wr(0, "x"), ev.rel(0, "m")]
+        assert [w.kind for w in run(full).warnings] == ["lockset-empty"]
+
+    def test_write_in_shared_state_checks_lockset(self):
+        tool = run([ev.wr(0, "x"), ev.rd(1, "x"), ev.wr(2, "x")])
+        assert tool.warning_count == 1
+        assert tool.vars["x"].state == SHARED_MODIFIED
+
+
+class TestUnsoundness:
+    def test_fork_join_false_alarm(self):
+        # Perfectly ordered handoff, but Eraser has no happens-before.
+        tool = run([ev.wr(0, "x"), ev.fork(0, 1), ev.wr(1, "x")])
+        assert tool.warning_count == 1
+
+    def test_write_then_foreign_reads_missed(self):
+        # A real write-read race Eraser forgives (the hedc pattern).
+        tool = run([ev.fork(0, 1), ev.wr(1, "x"), ev.rd(0, "x")])
+        assert tool.warnings == []
+
+
+class TestBarrierExtension:
+    def test_barrier_reset_forgives_phased_sharing(self):
+        trace = [
+            ev.wr(0, "x"),
+            ev.barrier_rel((0, 1)),
+            ev.wr(1, "x"),
+        ]
+        assert run(trace).warnings == []
+        assert run(trace, handle_barriers=False).warning_count == 1
+
+    def test_reset_restores_virgin(self):
+        tool = Eraser()
+        tool.process([ev.wr(0, "x"), ev.barrier_rel((0,))])
+        assert tool.vars["x"].state == VIRGIN
+
+
+class TestBookkeeping:
+    def test_held_locks_tracked_per_thread(self):
+        tool = Eraser()
+        tool.process([ev.acq(0, "m"), ev.acq(1, "n")])
+        assert tool.held[0] == {"m"}
+        assert tool.held[1] == {"n"}
+        tool.process([ev.rel(0, "m")])
+        assert tool.held[0] == set()
+
+    def test_shadow_memory_accounts_locksets(self):
+        tool = run([ev.acq(0, "m"), ev.wr(0, "x"), ev.rel(0, "m")])
+        assert tool.shadow_memory_words() > 0

@@ -1,0 +1,109 @@
+"""Unit tests for the event model and the Trace container (Figure 1)."""
+
+import pytest
+
+from repro.trace import events as ev
+from repro.trace.trace import Trace
+
+
+class TestEvents:
+    def test_constructors_set_kind_and_fields(self):
+        event = ev.rd(1, "x", site="a.b")
+        assert event.kind == ev.READ
+        assert event.tid == 1
+        assert event.target == "x"
+        assert event.site == "a.b"
+        assert ev.wr(0, "y").kind == ev.WRITE
+        assert ev.acq(2, "m").kind == ev.ACQUIRE
+        assert ev.rel(2, "m").kind == ev.RELEASE
+        assert ev.fork(0, 1).target == 1
+        assert ev.join(0, 1).kind == ev.JOIN
+        assert ev.vol_rd(1, "v").kind == ev.VOLATILE_READ
+        assert ev.vol_wr(1, "v").kind == ev.VOLATILE_WRITE
+        assert ev.enter(1, "txn").kind == ev.ENTER
+        assert ev.exit_(1, "txn").kind == ev.EXIT
+
+    def test_barrier_sorts_and_anonymizes(self):
+        event = ev.barrier_rel((3, 1, 2))
+        assert event.kind == ev.BARRIER_RELEASE
+        assert event.target == (1, 2, 3)
+        assert event.tid == -1
+
+    def test_equality_ignores_site(self):
+        assert ev.rd(1, "x", site="a") == ev.rd(1, "x", site="b")
+        assert ev.rd(1, "x") != ev.wr(1, "x")
+        assert hash(ev.rd(1, "x")) == hash(ev.rd(1, "x", site="s"))
+
+    def test_repr_uses_paper_syntax(self):
+        assert repr(ev.rd(0, "x")) == "rd(0, 'x')"
+        assert repr(ev.barrier_rel((0, 1))) == "barrier_rel((0, 1))"
+
+    def test_kind_partitions(self):
+        assert ev.READ in ev.ACCESS_KINDS
+        assert ev.WRITE in ev.ACCESS_KINDS
+        assert ev.ACQUIRE in ev.SYNC_KINDS
+        assert ev.ENTER not in ev.SYNC_KINDS
+        assert ev.ENTER not in ev.ACCESS_KINDS
+
+
+class TestTrace:
+    def setup_method(self):
+        self.trace = Trace(
+            [
+                ev.wr(0, "x"),
+                ev.fork(0, 1),
+                ev.acq(1, "m"),
+                ev.rd(1, "x"),
+                ev.rel(1, "m"),
+                ev.vol_wr(1, "v"),
+                ev.join(0, 1),
+            ]
+        )
+
+    def test_len_iter_getitem(self):
+        assert len(self.trace) == 7
+        assert list(self.trace)[0] == ev.wr(0, "x")
+        assert self.trace[3] == ev.rd(1, "x")
+        sliced = self.trace[2:5]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 3
+
+    def test_concatenation(self):
+        combined = self.trace + Trace([ev.rd(0, "x")])
+        assert len(combined) == 8
+
+    def test_threads_includes_fork_targets(self):
+        assert self.trace.threads() == {0, 1}
+        with_barrier = Trace([ev.barrier_rel((2, 3))])
+        assert with_barrier.threads() == {2, 3}
+
+    def test_queries(self):
+        assert self.trace.variables() == {"x"}
+        assert self.trace.locks() == {"m"}
+        assert self.trace.volatiles() == {"v"}
+        assert self.trace.accesses() == [0, 3]
+        assert self.trace.accesses("x") == [0, 3]
+        assert self.trace.accesses("y") == []
+
+    def test_operation_mix(self):
+        mix = self.trace.operation_mix()
+        assert mix["reads"] == pytest.approx(1 / 7)
+        assert mix["writes"] == pytest.approx(1 / 7)
+        assert mix["other"] == pytest.approx(5 / 7)
+        assert Trace().operation_mix() == {
+            "reads": 0.0,
+            "writes": 0.0,
+            "other": 0.0,
+        }
+
+    def test_pretty_renders_columns(self):
+        text = self.trace.pretty()
+        assert "thread 0" in text and "thread 1" in text
+        assert "rd('x')" in text
+        assert Trace().pretty() == "(empty trace)"
+        with_barrier = Trace([ev.rd(0, "x"), ev.barrier_rel((0,))])
+        assert "--barrier--" in with_barrier.pretty()
+
+    def test_equality(self):
+        assert Trace([ev.rd(0, "x")]) == Trace([ev.rd(0, "x")])
+        assert Trace([ev.rd(0, "x")]) != Trace([ev.wr(0, "x")])

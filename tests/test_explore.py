@@ -1,0 +1,132 @@
+"""Tests for exhaustive schedule exploration."""
+
+import pytest
+
+from repro.core.fasttrack import FastTrack
+from repro.runtime.explore import explore, race_coverage
+from repro.runtime.program import Program
+from repro.trace.feasibility import check_feasible
+
+
+def two_step_factory():
+    def a(th):
+        yield th.write("x")
+        yield th.write("x")
+
+    def b(th):
+        yield th.read("y")
+
+    return Program(a, b)
+
+
+class TestEnumeration:
+    def test_counts_all_interleavings(self):
+        # Interleavings of (w, w) and (r): C(3,1) = 3.
+        outcomes = list(explore(two_step_factory))
+        assert len(outcomes) == 3
+        schedules = {tuple(o.schedule) for o in outcomes}
+        assert len(schedules) == 3  # all distinct
+
+    def test_every_schedule_is_feasible(self):
+        for outcome in explore(two_step_factory):
+            assert not outcome.deadlock
+            assert check_feasible(outcome.trace) == []
+
+    def test_single_thread_has_one_schedule(self):
+        def solo(th):
+            yield th.write("x")
+            yield th.read("x")
+
+        outcomes = list(explore(lambda: Program(solo)))
+        assert len(outcomes) == 1
+
+    def test_schedule_cap_raises(self):
+        def worker(th):
+            for _ in range(6):
+                yield th.write("x")
+
+        factory = lambda: Program(worker, worker, worker)
+        with pytest.raises(RuntimeError, match="too large"):
+            list(explore(factory, max_schedules=10))
+
+    def test_deadlocks_are_reported_as_outcomes(self):
+        def left(th):
+            yield th.acquire("a")
+            yield th.write("x")
+            yield th.acquire("b")
+            yield th.release("b")
+            yield th.release("a")
+
+        def right(th):
+            yield th.acquire("b")
+            yield th.write("y")
+            yield th.acquire("a")
+            yield th.release("a")
+            yield th.release("b")
+
+        outcomes = list(explore(lambda: Program(left, right)))
+        assert any(o.deadlock for o in outcomes)  # some interleavings hang
+        assert any(not o.deadlock for o in outcomes)  # ...and some don't
+
+
+class TestRaceCoverage:
+    def test_unconditional_race_on_every_schedule(self):
+        def a(th):
+            yield th.write("x")
+
+        def b(th):
+            yield th.write("x")
+
+        summary = race_coverage(lambda: Program(a, b))
+        assert summary.total_schedules == 2
+        assert summary.racy_schedules == 2
+        assert summary.race_probability == 1.0
+        assert summary.racy_variables == {"x"}
+
+    def test_schedule_dependent_race(self):
+        """The paper's motivation: the bug manifests only on the rare
+        interleavings where the reader misses the flag."""
+
+        def factory():
+            state = {"published": False}
+
+            def writer(th):
+                yield th.acquire("m")
+                state["published"] = True
+                yield th.release("m")
+                yield th.write("data")  # only racy if the reader peeks
+
+            def reader(th):
+                yield th.acquire("m")
+                published = state["published"]
+                yield th.release("m")
+                if published:
+                    yield th.read("data")  # concurrent with the write!
+                else:
+                    yield th.read("own")
+
+            return Program(writer, reader)
+
+        summary = race_coverage(factory)
+        assert summary.total_schedules > 2
+        assert 0 < summary.racy_schedules < (
+            summary.total_schedules - summary.deadlocked_schedules
+        )
+        assert 0.0 < summary.race_probability < 1.0
+        assert summary.racy_variables == {"data"}
+
+    def test_race_free_program_is_clean_everywhere(self):
+        def factory():
+            def main(th):
+                child = yield th.fork(worker)
+                yield th.join(child)
+                yield th.read("x")
+
+            def worker(th):
+                yield th.write("x")
+
+            return Program(main)
+
+        summary = race_coverage(factory, detector_factory=FastTrack)
+        assert summary.racy_schedules == 0
+        assert summary.clean_schedules == summary.total_schedules

@@ -1,0 +1,255 @@
+"""Unit tests for the FastTrack algorithm (Figures 2, 3, 5)."""
+
+from repro.core.epoch import EPOCH_BOTTOM, READ_SHARED, make_epoch
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+
+
+def ft(events, **kwargs):
+    return FastTrack(**kwargs).process(list(events))
+
+
+class TestWriteWriteRaces:
+    def test_concurrent_writes_detected(self):
+        tool = ft([ev.wr(0, "x"), ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")])
+        assert [w.kind for w in tool.warnings] == ["write-write"]
+
+    def test_lock_ordered_writes_clean(self):
+        tool = ft(
+            [
+                ev.acq(0, "m"),
+                ev.wr(0, "x"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+                ev.wr(1, "x"),
+                ev.rel(1, "m"),
+            ]
+        )
+        assert tool.warnings == []
+
+
+class TestWriteReadRaces:
+    def test_unordered_read_after_write_detected(self):
+        tool = ft([ev.fork(0, 1), ev.wr(0, "x"), ev.rd(1, "x")])
+        assert [w.kind for w in tool.warnings] == ["write-read"]
+
+    def test_fork_ordered_handoff_clean(self):
+        tool = ft([ev.wr(0, "x"), ev.fork(0, 1), ev.rd(1, "x")])
+        assert tool.warnings == []
+
+
+class TestReadWriteRaces:
+    def test_write_concurrent_with_epoch_read_detected(self):
+        tool = ft([ev.fork(0, 1), ev.rd(1, "x"), ev.wr(0, "x")])
+        assert [w.kind for w in tool.warnings] == ["read-write"]
+
+    def test_write_concurrent_with_one_of_many_reads_detected(self):
+        # Read-shared variable: the write races with thread 2's read even
+        # though thread 1's read was joined.
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.fork(0, 2),
+                ev.rd(1, "x"),
+                ev.rd(2, "x"),
+                ev.join(0, 1),
+                ev.wr(0, "x"),
+            ]
+        )
+        assert [w.kind for w in tool.warnings] == ["read-write"]
+
+    def test_write_after_all_reads_joined_clean(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.fork(0, 2),
+                ev.rd(1, "x"),
+                ev.rd(2, "x"),
+                ev.join(0, 1),
+                ev.join(0, 2),
+                ev.wr(0, "x"),
+            ]
+        )
+        assert tool.warnings == []
+
+
+class TestAdaptiveRepresentation:
+    def test_single_reader_stays_in_epoch_mode(self):
+        tool = FastTrack()
+        tool.process([ev.rd(0, "x"), ev.rd(0, "x")])
+        state = tool.vars["x"]
+        assert state.read_epoch != READ_SHARED
+        assert state.read_vc is None
+
+    def test_concurrent_readers_promote_to_vc(self):
+        tool = FastTrack()
+        tool.process([ev.fork(0, 1), ev.rd(0, "x"), ev.rd(1, "x")])
+        state = tool.vars["x"]
+        assert state.read_epoch == READ_SHARED
+        assert state.read_vc is not None
+        assert tool.warnings == []  # read-read is no race
+
+    def test_ordered_second_reader_stays_in_epoch_mode(self):
+        # Reads ordered by lock transfer: [FT READ EXCLUSIVE] applies.
+        tool = FastTrack()
+        tool.process(
+            [
+                ev.acq(0, "m"),
+                ev.rd(0, "x"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+                ev.rd(1, "x"),
+                ev.rel(1, "m"),
+            ]
+        )
+        state = tool.vars["x"]
+        assert state.read_epoch != READ_SHARED
+        assert state.read_vc is None
+
+    def test_dominating_write_demotes_to_epoch_mode(self):
+        tool = FastTrack()
+        tool.process(
+            [
+                ev.fork(0, 1),
+                ev.rd(0, "x"),
+                ev.rd(1, "x"),
+                ev.join(0, 1),
+                ev.wr(0, "x"),
+            ]
+        )
+        state = tool.vars["x"]
+        assert state.read_epoch == EPOCH_BOTTOM
+        assert state.read_vc is None
+        assert tool.warnings == []
+
+    def test_demotion_can_be_disabled_for_ablation(self):
+        tool = FastTrack(demote_on_shared_write=False)
+        tool.process(
+            [
+                ev.fork(0, 1),
+                ev.rd(0, "x"),
+                ev.rd(1, "x"),
+                ev.join(0, 1),
+                ev.wr(0, "x"),
+            ]
+        )
+        assert tool.vars["x"].read_epoch == READ_SHARED
+
+
+class TestRuleCounting:
+    def test_rule_breakdown_covers_all_accesses(self):
+        trace = [
+            ev.rd(0, "x"),  # read exclusive (first read)
+            ev.rd(0, "x"),  # read same epoch (derived)
+            ev.wr(0, "x"),  # write exclusive
+            ev.wr(0, "x"),  # write same epoch (derived)
+            ev.fork(0, 1),
+            ev.rd(1, "x"),  # read exclusive (ordered after 0's read)
+        ]
+        tool = ft(trace)
+        rules = tool.stats.rules
+        assert rules["FT READ EXCLUSIVE"] == 2
+        assert rules["FT WRITE EXCLUSIVE"] == 1
+        reads = tool.stats.reads
+        derived_same_epoch = reads - sum(
+            rules.get(r, 0)
+            for r in ("FT READ SHARED", "FT READ EXCLUSIVE", "FT READ SHARE")
+        )
+        assert derived_same_epoch == 1
+
+    def test_shared_same_epoch_extension(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.rd(0, "x"),
+            ev.rd(1, "x"),  # promotes to VC
+            ev.rd(1, "x"),  # extension hit
+        ]
+        extended = ft(trace, shared_same_epoch=True)
+        assert extended.stats.rules["FT READ SAME EPOCH SHARED"] == 1
+        plain = ft(trace)
+        assert plain.stats.rules["FT READ SHARED"] >= 1
+
+    def test_fast_paths_can_be_disabled(self):
+        trace = [ev.rd(0, "x"), ev.rd(0, "x"), ev.wr(0, "x"), ev.wr(0, "x")]
+        tool = ft(trace, enable_fast_paths=False)
+        # Every access takes a full rule, so the derived same-epoch count
+        # is zero.
+        rules = tool.stats.rules
+        assert rules["FT READ EXCLUSIVE"] == 2
+        assert rules["FT WRITE EXCLUSIVE"] == 2
+
+
+class TestVolatiles:
+    def test_volatile_publication_orders_data(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.wr(0, "x"),
+                ev.vol_wr(0, "v"),
+                ev.vol_rd(1, "v"),
+                ev.rd(1, "x"),
+            ]
+        )
+        assert tool.warnings == []
+
+    def test_without_volatile_the_same_trace_races(self):
+        tool = ft([ev.fork(0, 1), ev.wr(0, "x"), ev.rd(1, "x")])
+        assert tool.warning_count == 1
+
+
+class TestBarriers:
+    def test_barrier_release_orders_members(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.wr(0, "x"),
+                ev.barrier_rel((0, 1)),
+                ev.rd(1, "x"),
+            ]
+        )
+        assert tool.warnings == []
+
+    def test_post_barrier_steps_mutually_unordered(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.barrier_rel((0, 1)),
+                ev.wr(0, "x"),
+                ev.wr(1, "x"),
+            ]
+        )
+        assert tool.warning_count == 1
+
+
+class TestWarningDeduplication:
+    def test_one_warning_per_variable(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.wr(0, "x"),
+                ev.wr(1, "x"),
+                ev.wr(0, "x"),
+                ev.wr(1, "x"),
+            ]
+        )
+        assert tool.warning_count == 1
+        assert tool.suppressed_warnings >= 1
+
+    def test_one_warning_per_site(self):
+        tool = ft(
+            [
+                ev.fork(0, 1),
+                ev.wr(0, ("a", 0), "arr"),
+                ev.wr(1, ("a", 0), "arr"),
+                ev.wr(0, ("a", 1), "arr"),
+                ev.wr(1, ("a", 1), "arr"),
+            ]
+        )
+        assert tool.warning_count == 1
+
+    def test_epoch_state_still_updated_after_race(self):
+        # FastTrack guarantees the first race per variable; afterwards the
+        # shadow state tracks the latest access so the analysis continues.
+        tool = FastTrack()
+        tool.process([ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")])
+        assert tool.vars["x"].write_epoch == make_epoch(1, 1)

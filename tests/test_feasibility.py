@@ -1,0 +1,117 @@
+"""Tests for the Section 2.1 feasibility constraints."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.trace import events as ev
+from repro.trace.feasibility import (
+    FeasibilityError,
+    check_feasible,
+    is_feasible,
+    require_feasible,
+)
+from repro.trace.generators import traces
+
+
+class TestLocking:
+    def test_double_acquire_rejected(self):
+        assert not is_feasible([ev.acq(0, "m"), ev.acq(1, "m")])
+        assert not is_feasible([ev.acq(0, "m"), ev.acq(0, "m")])
+
+    def test_release_without_hold_rejected(self):
+        assert not is_feasible([ev.rel(0, "m")])
+        assert not is_feasible([ev.acq(0, "m"), ev.rel(1, "m")])
+
+    def test_well_bracketed_locking_accepted(self):
+        assert is_feasible(
+            [
+                ev.acq(0, "m"),
+                ev.rel(0, "m"),
+                ev.acq(1, "m"),
+                ev.rel(1, "m"),
+            ]
+        )
+
+
+class TestForkJoin:
+    def test_child_running_before_fork_rejected(self):
+        assert not is_feasible([ev.rd(1, "x"), ev.fork(0, 1)])
+
+    def test_child_running_after_join_rejected(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.rd(1, "x"),
+            ev.join(0, 1),
+            ev.rd(1, "x"),
+        ]
+        assert not is_feasible(trace)
+
+    def test_join_without_child_ops_rejected(self):
+        # Constraint (4): at least one op of u between fork and join.
+        assert not is_feasible([ev.fork(0, 1), ev.join(0, 1)])
+
+    def test_self_fork_join_rejected(self):
+        assert not is_feasible([ev.fork(0, 0)])
+        assert not is_feasible([ev.rd(0, "x"), ev.join(0, 0)])
+
+    def test_double_fork_rejected(self):
+        assert not is_feasible([ev.fork(0, 1), ev.rd(1, "x"), ev.fork(2, 1)])
+
+    def test_double_join_rejected(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.rd(1, "x"),
+            ev.join(0, 1),
+            ev.join(2, 1),
+        ]
+        assert not is_feasible(trace)
+
+    def test_initial_threads_need_no_fork(self):
+        assert is_feasible([ev.rd(0, "x"), ev.rd(5, "x")])
+
+    def test_plain_fork_join_accepted(self):
+        assert is_feasible([ev.fork(0, 1), ev.wr(1, "x"), ev.join(0, 1)])
+
+
+class TestBarriers:
+    def test_barrier_of_live_threads_accepted(self):
+        assert is_feasible(
+            [ev.rd(0, "x"), ev.rd(1, "x"), ev.barrier_rel((0, 1))]
+        )
+
+    def test_barrier_of_joined_thread_rejected(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.rd(1, "x"),
+            ev.join(0, 1),
+            ev.barrier_rel((0, 1)),
+        ]
+        assert not is_feasible(trace)
+
+    def test_barrier_counts_as_member_operation(self):
+        # A forked thread whose only op is a barrier release may be joined.
+        trace = [
+            ev.fork(0, 1),
+            ev.barrier_rel((0, 1)),
+            ev.join(0, 1),
+        ]
+        assert is_feasible(trace)
+
+
+class TestReporting:
+    def test_messages_carry_event_index(self):
+        violations = check_feasible([ev.rel(0, "m")])
+        assert len(violations) == 1
+        assert violations[0].startswith("#0:")
+
+    def test_require_feasible_raises(self):
+        with pytest.raises(FeasibilityError):
+            require_feasible([ev.rel(0, "m")])
+        require_feasible([ev.rd(0, "x")])  # no exception
+
+
+class TestGeneratedTraces:
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_generator_only_produces_feasible_traces(self, trace):
+        assert check_feasible(trace) == []

@@ -1,0 +1,87 @@
+"""E5: the worked examples of the paper, clock for clock.
+
+Figure 4 shows how FastTrack adapts the read representation of ``x``:
+``R_x`` goes ⊥e → 1@1 → ⟨8,1⟩ → ⊥e → 8@0 while ``W_x`` goes ⊥e → 7@0 → 8@0.
+The Section 2.2 example shows the write-write check through a lock.
+We replay both traces and assert every intermediate shadow state.
+"""
+
+from repro.core.epoch import EPOCH_BOTTOM, READ_SHARED, make_epoch
+from repro.core.fasttrack import FastTrack
+from repro.detectors import BasicVC, DJITPlus
+from repro.trace.generators import figure4_trace, section2_trace
+from repro.trace.happens_before import is_race_free
+
+
+class TestFigure4:
+    def test_trace_is_race_free(self):
+        assert is_race_free(figure4_trace())
+
+    def test_shadow_state_matches_figure(self):
+        trace = figure4_trace()
+        tool = FastTrack()
+        preamble = len(trace) - 8  # warm-up releases advance C_0 to 7
+        observed = []
+        for index, event in enumerate(trace):
+            tool.handle(event)
+            if index >= preamble:
+                x = tool.vars.get("x")
+                observed.append(
+                    (x.write_epoch, x.read_epoch, x.read_vc)
+                    if x is not None
+                    else None
+                )
+
+        w_70 = make_epoch(7, 0)
+        w_80 = make_epoch(8, 0)
+        # wr(0,x): W = 7@0, R = ⊥e
+        assert observed[0][0] == w_70 and observed[0][1] == EPOCH_BOTTOM
+        # fork(0,1): unchanged
+        assert observed[1][0] == w_70
+        # rd(1,x): R = 1@1 (thread 1's initial epoch)
+        assert observed[2][1] == make_epoch(1, 1)
+        # rd(0,x): concurrent reads — R = <8,1>
+        assert observed[3][1] == READ_SHARED
+        assert observed[3][2].as_tuple() == (8, 1)
+        # rd(1,x): still <8,1> ([FT READ SHARED], no growth)
+        assert observed[4][1] == READ_SHARED
+        assert observed[4][2].as_tuple() == (8, 1)
+        # join(0,1): unchanged
+        assert observed[5][1] == READ_SHARED
+        # wr(0,x): [FT WRITE SHARED] — W = 8@0, R demoted to ⊥e
+        assert observed[6][0] == w_80
+        assert observed[6][1] == EPOCH_BOTTOM
+        assert observed[6][2] is None
+        # rd(0,x): [FT READ EXCLUSIVE] — R = 8@0
+        assert observed[7][1] == make_epoch(8, 0)
+
+        assert tool.warnings == []
+
+    def test_thread_clocks_match_figure(self):
+        trace = figure4_trace()
+        tool = FastTrack().process(trace)
+        # Final clocks: C0 = <8,1,...>, C1 = <7,2,...>
+        assert tool.threads[0].vc.as_tuple() == (8, 1)
+        assert tool.threads[1].vc.as_tuple() == (7, 2)
+
+
+class TestSection2Example:
+    def test_no_race_reported_by_any_precise_tool(self):
+        trace = section2_trace()
+        assert is_race_free(trace)
+        for tool_cls in (FastTrack, DJITPlus, BasicVC):
+            assert tool_cls().process(trace).warnings == []
+
+    def test_write_epoch_is_4_at_0(self):
+        trace = section2_trace()
+        tool = FastTrack()
+        for event in trace:
+            tool.handle(event)
+            if "x" in tool.vars:
+                break
+        assert tool.vars["x"].write_epoch == make_epoch(4, 0)
+
+    def test_acquiring_thread_learns_release_clock(self):
+        tool = FastTrack().process(section2_trace())
+        # After acq(1,m), C1 = <4,8,...>; the final write bumps nothing.
+        assert tool.threads[1].vc.as_tuple() == (4, 8)

@@ -1,0 +1,131 @@
+"""Tests for the event-stream prefilters (Section 5.2 plumbing)."""
+
+from repro.checkers import Velodrome
+from repro.runtime.filters import (
+    DJITFilter,
+    EraserFilter,
+    FastTrackFilter,
+    NoneFilter,
+    ThreadLocalFilter,
+    compose,
+)
+from repro.trace import events as ev
+
+RACY = [
+    ev.fork(0, 1),
+    ev.wr(0, "x"),
+    ev.wr(1, "x"),
+    ev.wr(0, "x"),
+    ev.wr(0, "private"),
+    ev.wr(0, "private"),
+]
+
+
+class TestNoneFilter:
+    def test_passes_everything(self):
+        prefilter = NoneFilter()
+        kept = list(prefilter.filtered(RACY))
+        assert kept == RACY
+        assert prefilter.events_in == prefilter.events_out == len(RACY)
+
+
+class TestThreadLocalFilter:
+    def test_drops_thread_local_accesses(self):
+        prefilter = ThreadLocalFilter()
+        kept = list(prefilter.filtered(RACY))
+        assert ev.wr(0, "private") not in kept
+        # x becomes shared at thread 1's write; later x accesses pass.
+        assert kept[-1] == ev.wr(0, "x")
+
+    def test_sync_events_always_pass(self):
+        prefilter = ThreadLocalFilter()
+        assert list(prefilter.filtered([ev.fork(0, 1)])) == [ev.fork(0, 1)]
+
+    def test_first_shared_access_passes(self):
+        prefilter = ThreadLocalFilter()
+        kept = list(prefilter.filtered([ev.wr(0, "x"), ev.rd(1, "x")]))
+        assert kept == [ev.rd(1, "x")]
+
+
+class TestDetectorFilters:
+    def test_fasttrack_filter_passes_racy_accesses_only(self):
+        prefilter = FastTrackFilter()
+        kept = list(prefilter.filtered(RACY))
+        accesses = [e for e in kept if e.kind in (ev.READ, ev.WRITE)]
+        assert all(e.target == "x" for e in accesses)
+        # The first racy access (where the race is *detected*) passes; the
+        # access before detection does not — footnote 6's coverage caveat.
+        assert ev.wr(1, "x") in kept
+
+    def test_race_free_stream_is_fully_filtered(self):
+        clean = [ev.wr(0, "x"), ev.fork(0, 1), ev.rd(1, "x")]
+        for prefilter_cls in (FastTrackFilter, DJITFilter, EraserFilter):
+            prefilter = prefilter_cls()
+            kept = list(prefilter.filtered(clean))
+            assert [e for e in kept if e.kind in (ev.READ, ev.WRITE)] == []
+
+    def test_eraser_filter_uses_eraser_verdicts(self):
+        # A fork-ordered handoff: spurious for Eraser, so its filter passes
+        # the access while FastTrack's does not.
+        handoff = [ev.wr(0, "x"), ev.fork(0, 1), ev.wr(1, "x"), ev.wr(1, "x")]
+        eraser_kept = list(EraserFilter().filtered(handoff))
+        ft_kept = list(FastTrackFilter().filtered(handoff))
+        assert any(e.kind == ev.WRITE for e in eraser_kept)
+        assert not any(e.kind == ev.WRITE for e in ft_kept)
+
+
+class TestComposeChain:
+    def test_two_filters_then_checker(self):
+        from repro.runtime.filters import compose_chain
+
+        prefilters = [ThreadLocalFilter(), FastTrackFilter()]
+        checker = Velodrome()
+        result = compose_chain(prefilters, checker, RACY)
+        assert result.events_in == len(RACY)
+        assert result.events_passed <= len(RACY)
+        assert checker.events_handled == result.events_passed
+
+    def test_empty_chain_feeds_checker_directly(self):
+        from repro.runtime.filters import compose_chain
+
+        checker = Velodrome()
+        result = compose_chain([], checker, RACY)
+        assert result.events_passed == len(RACY)
+
+    def test_cli_compose(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.serialize import dumps
+        from repro.trace.trace import Trace
+
+        path = tmp_path / "t.trace"
+        path.write_text(dumps(Trace(RACY)))
+        code = main(["compose", "FastTrack:Velodrome", str(path)])
+        # The unsynchronized back-and-forth writes on x are themselves a
+        # non-serializable pattern, so Velodrome reports and we exit 1.
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "reached Velodrome" in out
+        assert "violation" in out
+
+    def test_cli_compose_rejects_unknown_stage(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.serialize import dumps
+        from repro.trace.trace import Trace
+
+        path = tmp_path / "t.trace"
+        path.write_text(dumps(Trace(RACY)))
+        assert main(["compose", "Nope:Velodrome", str(path)]) == 2
+        assert main(["compose", "Velodrome", str(path)]) == 2
+
+
+class TestCompose:
+    def test_composition_reports_pass_statistics(self):
+        result = compose(FastTrackFilter(), Velodrome(), RACY)
+        assert result.events_in == len(RACY)
+        assert 0 < result.events_passed < len(RACY)
+        assert 0.0 < result.pass_fraction < 1.0
+
+    def test_checker_only_sees_kept_events(self):
+        checker = Velodrome()
+        result = compose(ThreadLocalFilter(), checker, RACY)
+        assert checker.events_handled == result.events_passed

@@ -1,0 +1,104 @@
+"""Tests for the random feasible-trace generator itself."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+from repro.trace.generators import (
+    GeneratorConfig,
+    figure4_trace,
+    random_feasible_trace,
+    random_trace_suite,
+    section2_trace,
+    traces,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = random_feasible_trace(random.Random(7))
+        b = random_feasible_trace(random.Random(7))
+        assert a == b
+
+    def test_suite_is_reproducible(self):
+        first = random_trace_suite(seed=5, count=4)
+        second = random_trace_suite(seed=5, count=4)
+        assert first == second
+        assert len(first) == 4
+
+
+class TestConfigKnobs:
+    def test_zero_events(self):
+        trace = random_feasible_trace(
+            random.Random(0), GeneratorConfig(max_events=0)
+        )
+        assert len(trace) == 0
+
+    def test_thread_cap_respected(self):
+        config = GeneratorConfig(
+            max_events=200, max_threads=3, p_fork=0.5, seed_threads=1
+        )
+        trace = random_feasible_trace(random.Random(1), config)
+        assert len(trace.threads()) <= 3
+
+    def test_no_sync_flavors_when_disabled(self):
+        config = GeneratorConfig(
+            max_events=120,
+            p_fork=0.0,
+            p_join=0.0,
+            p_barrier=0.0,
+            p_volatile=0.0,
+            seed_threads=2,
+        )
+        trace = random_feasible_trace(random.Random(3), config)
+        kinds = {e.kind for e in trace}
+        assert ev.FORK not in kinds
+        assert ev.BARRIER_RELEASE not in kinds
+        assert ev.VOLATILE_READ not in kinds
+        assert ev.VOLATILE_WRITE not in kinds
+
+    def test_atomic_blocks_emitted_and_balanced(self):
+        config = GeneratorConfig(
+            max_events=200, p_guarded_block=0.6, p_atomic=1.0, seed_threads=2
+        )
+        trace = random_feasible_trace(random.Random(11), config)
+        enters = sum(1 for e in trace if e.kind == ev.ENTER)
+        exits = sum(1 for e in trace if e.kind == ev.EXIT)
+        assert enters == exits > 0
+
+    def test_full_discipline_guards_every_access(self):
+        config = GeneratorConfig(
+            max_events=150, discipline=1.0, seed_threads=3
+        )
+        trace = random_feasible_trace(random.Random(9), config)
+        held = {}
+        for event in trace:
+            if event.kind == ev.ACQUIRE:
+                held.setdefault(event.tid, set()).add(event.target)
+            elif event.kind == ev.RELEASE:
+                held[event.tid].discard(event.target)
+            elif event.kind in (ev.READ, ev.WRITE):
+                assert held.get(event.tid), event  # always under some lock
+
+
+class TestWorkedExamples:
+    def test_figure4_trace_shape(self):
+        trace = figure4_trace()
+        assert check_feasible(trace) == []
+        body = trace[-8:]
+        assert body[0] == ev.wr(0, "x")
+        assert body[1] == ev.fork(0, 1)
+
+    def test_section2_trace_shape(self):
+        trace = section2_trace()
+        assert check_feasible(trace) == []
+        assert trace[-1] == ev.wr(1, "x")
+
+
+class TestStrategy:
+    @settings(max_examples=30, deadline=None)
+    @given(traces(config=GeneratorConfig(max_events=50, p_barrier=0.1)))
+    def test_strategy_traces_feasible(self, trace):
+        assert check_feasible(trace) == []

@@ -1,0 +1,69 @@
+"""Golden-file regression tests.
+
+``tests/data/`` holds serialized traces (the paper's worked examples,
+workload snippets, and random samples) plus a manifest recording every
+tool's expected warnings on each.  Any behavioural change to a detector,
+the trace parser, or the event model shows up here as a concrete diff.
+Regenerate deliberately with the snippet in this module's docstring —
+never update the manifest to make a red test pass without understanding
+why the verdict moved.
+
+Regeneration (after an *intended* change)::
+
+    python - <<'REGEN'
+    # see the script in the repository history / EXPERIMENTS.md
+    REGEN
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import WARNING_TOOLS, _tool
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import racy_variables
+from repro.trace.serialize import loads
+
+DATA = Path(__file__).parent / "data"
+MANIFEST = json.loads((DATA / "manifest.json").read_text())
+
+
+def load_trace(name):
+    return loads((DATA / f"{name}.trace").read_text())
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_trace_parses_and_is_feasible(name):
+    trace = load_trace(name)
+    assert len(trace) == MANIFEST[name]["events"]
+    assert check_feasible(trace) == []
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+@pytest.mark.parametrize("tool_name", WARNING_TOOLS)
+def test_golden_verdicts(name, tool_name):
+    trace = load_trace(name)
+    tool = _tool(tool_name)
+    tool.process(trace)
+    measured = sorted(str(w.var) for w in tool.warnings)
+    assert measured == MANIFEST[name]["warnings"][tool_name], (
+        name,
+        tool_name,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_precise_golden_verdicts_match_oracle(name):
+    """FastTrack's per-variable verdicts equal ground truth on the corpus —
+    so the stored expectations cannot drift into recording a wrong verdict.
+    (The manifest's warning *list* is site-deduplicated; the variable-level
+    check goes through ``has_warned``.)"""
+    trace = load_trace(name)
+    tool = _tool("FastTrack")
+    tool.process(trace)
+    oracle = racy_variables(trace)
+    for var in oracle:
+        assert tool.has_warned(var), var
+    for warning in tool.warnings:
+        assert warning.var in oracle, warning.var

@@ -1,0 +1,148 @@
+"""Tests for the evaluation harness and the table renderers."""
+
+import pytest
+
+from repro.bench import harness, reporting
+from repro.bench.harness import (
+    COMPOSITION_WORKLOADS,
+    TABLE1_ORDER,
+    TABLE1_TOOLS,
+    run_composition,
+    run_rule_frequencies,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+SMALL = 150
+FEW = ("mtrt", "sor", "tsp")
+
+
+class TestTable1:
+    def test_grid_shape_and_contents(self):
+        results = run_table1(scale=SMALL, workloads=FEW)
+        assert set(results) == set(FEW)
+        for row in results.values():
+            assert set(row) == set(TABLE1_TOOLS)
+            for cell in row.values():
+                assert cell.events > 0
+                assert cell.seconds > 0
+                assert cell.slowdown > 1.0
+        # Precision structure: Empty reports nothing, precise tools agree.
+        for name in FEW:
+            assert results[name]["Empty"].warnings == 0
+            assert (
+                results[name]["FastTrack"].warnings
+                == results[name]["DJIT+"].warnings
+                == results[name]["BasicVC"].warnings
+            )
+
+    def test_report_renders(self):
+        results = run_table1(scale=SMALL, workloads=FEW)
+        text = reporting.format_table1(results)
+        assert "Table 1" in text
+        assert "mtrt" in text and "FastTrack" in text
+        assert "(paper)" in text
+
+
+class TestTable2:
+    def test_fasttrack_allocates_and_compares_far_less(self):
+        results = run_table2(scale=SMALL, workloads=("crypt", "montecarlo"))
+        for row in results.values():
+            dj, ft = row["DJIT+"], row["FastTrack"]
+            assert ft.vc_allocs < dj.vc_allocs / 10
+            assert ft.vc_ops < dj.vc_ops / 10
+
+    def test_report_renders(self):
+        text = reporting.format_table2(run_table2(scale=SMALL, workloads=FEW))
+        assert "VC ops" in text and "Total" in text
+
+
+class TestTable3:
+    def test_coarse_granularity_reduces_memory(self):
+        results = run_table3(scale=SMALL, workloads=("crypt", "sparse"))
+        for row in results.values():
+            assert (
+                row["DJIT+ coarse"].memory_words
+                < row["DJIT+ fine"].memory_words
+            )
+            assert (
+                row["FastTrack coarse"].memory_words
+                < row["FastTrack fine"].memory_words
+            )
+            # FastTrack's fine-grain footprint beats DJIT+'s (Table 3).
+            assert (
+                row["FastTrack fine"].memory_words
+                < row["DJIT+ fine"].memory_words
+            )
+
+    def test_report_renders(self):
+        text = reporting.format_table3(
+            run_table3(scale=SMALL, workloads=("crypt",))
+        )
+        assert "granularity" in text
+
+
+class TestFigure2:
+    def test_rule_fractions_are_consistent(self):
+        freq = run_rule_frequencies(scale=SMALL, workloads=FEW)
+        mix = freq.mix
+        assert mix["reads"] + mix["writes"] + mix["other"] == pytest.approx(1)
+        assert sum(freq.fasttrack_read_rules.values()) == pytest.approx(1)
+        assert sum(freq.fasttrack_write_rules.values()) == pytest.approx(1)
+        assert sum(freq.djit_read_rules.values()) == pytest.approx(1)
+        assert sum(freq.djit_write_rules.values()) == pytest.approx(1)
+
+    def test_same_epoch_rules_dominate(self):
+        freq = run_rule_frequencies(scale=300)
+        assert freq.fasttrack_read_rules["FT READ SAME EPOCH"] > 0.5
+        assert freq.fasttrack_write_rules["FT WRITE SAME EPOCH"] > 0.5
+        assert freq.fasttrack_read_rules["FT READ SHARE"] < 0.05
+        assert freq.fasttrack_write_rules["FT WRITE SHARED"] < 0.05
+
+    def test_report_renders(self):
+        text = reporting.format_rule_frequencies(
+            run_rule_frequencies(scale=SMALL, workloads=FEW)
+        )
+        assert "FT READ SAME EPOCH" in text
+
+
+class TestComposition:
+    def test_cells_and_atomizer_eraser_skip(self):
+        table = run_composition(
+            scale=SMALL,
+            workloads=("mtrt", "tsp"),
+            checkers=("Atomizer", "Velodrome"),
+            prefilters=("None", "Eraser", "FastTrack"),
+        )
+        assert "Eraser" not in table["Atomizer"]  # footnote 7
+        assert "Eraser" in table["Velodrome"]
+        for row in table.values():
+            for cell in row.values():
+                assert cell.slowdown > 0
+                assert 0 <= cell.pass_fraction <= 1
+
+    def test_fasttrack_prefilter_passes_fewest_events(self):
+        table = run_composition(
+            scale=SMALL,
+            workloads=("crypt", "mtrt"),
+            checkers=("Velodrome",),
+            prefilters=("None", "TL", "FastTrack"),
+        )
+        row = table["Velodrome"]
+        assert row["FastTrack"].pass_fraction < row["TL"].pass_fraction
+        assert row["TL"].pass_fraction < row["None"].pass_fraction
+
+    def test_composition_workloads_are_compute_bound(self):
+        assert "hedc" not in COMPOSITION_WORKLOADS
+        assert "crypt" in COMPOSITION_WORKLOADS
+
+    def test_report_renders(self):
+        table = run_composition(
+            scale=SMALL,
+            workloads=("mtrt",),
+            checkers=("Velodrome",),
+            prefilters=("None", "FastTrack"),
+        )
+        text = reporting.format_composition(table)
+        assert "Velodrome" in text

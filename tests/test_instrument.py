@@ -1,0 +1,146 @@
+"""Tests for the automatic object/container instrumentation."""
+
+from repro.core.fasttrack import FastTrack
+from repro.runtime.instrument import (
+    MonitoredDict,
+    MonitoredList,
+    monitored_object,
+)
+from repro.runtime.monitor import MonitoredLock, ThreadMonitor
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+
+
+class _Account:
+    def __init__(self) -> None:
+        self.balance = 0
+        self.owner = "alice"
+
+
+class TestMonitoredObject:
+    def test_attribute_accesses_emit_events(self):
+        monitor = ThreadMonitor()
+        account = monitored_object(monitor, "account", _Account())
+        account.balance = account.balance + 10
+        assert account.balance == 10
+        trace = monitor.trace()
+        kinds = [(e.kind, e.target) for e in trace]
+        assert (ev.READ, ("account", "balance")) in kinds
+        assert (ev.WRITE, ("account", "balance")) in kinds
+
+    def test_sites_point_at_real_source_lines(self):
+        monitor = ThreadMonitor()
+        account = monitored_object(monitor, "account", _Account())
+        account.balance = 1
+        event = monitor.trace()[-1]
+        assert event.site.startswith("test_instrument.py:")
+
+    def test_distinct_fields_are_distinct_locations(self):
+        monitor = ThreadMonitor()
+        account = monitored_object(monitor, "account", _Account())
+        _ = account.balance
+        _ = account.owner
+        targets = {e.target for e in monitor.trace()}
+        assert ("account", "balance") in targets
+        assert ("account", "owner") in targets
+
+    def test_unlocked_field_race_detected_with_both_sites(self):
+        monitor = ThreadMonitor()
+        account = monitored_object(monitor, "account", _Account())
+
+        def deposit():
+            for _ in range(100):
+                account.balance = account.balance + 1
+
+        threads = [monitor.spawn(deposit) for _ in range(2)]
+        for thread in threads:
+            monitor.join(thread)
+        tool = FastTrack(track_sites=True)
+        tool.process(monitor.trace())
+        assert [w.var for w in tool.warnings] == [("account", "balance")]
+        assert "test_instrument.py:" in str(tool.warnings[0].site)
+
+    def test_locked_object_is_clean(self):
+        monitor = ThreadMonitor()
+        account = monitored_object(monitor, "account", _Account())
+        lock = MonitoredLock(monitor, "account_lock")
+
+        def deposit():
+            for _ in range(50):
+                with lock:
+                    account.balance = account.balance + 1
+
+        threads = [monitor.spawn(deposit) for _ in range(3)]
+        for thread in threads:
+            monitor.join(thread)
+        assert check_feasible(monitor.trace()) == []
+        assert monitor.check(FastTrack()).warnings == []
+        assert account.balance == 150
+
+
+class TestMonitoredList:
+    def test_per_index_events(self):
+        monitor = ThreadMonitor()
+        cells = MonitoredList(monitor, "cells", [0, 0, 0])
+        cells[1] = 7
+        _ = cells[1]
+        _ = cells[-1]  # negative indices normalize
+        targets = [e.target for e in monitor.trace()]
+        assert targets == [("cells", 1), ("cells", 1), ("cells", 2)]
+
+    def test_append_and_pop_conflict_via_length(self):
+        monitor = ThreadMonitor()
+        queue = MonitoredList(monitor, "queue")
+
+        def producer():
+            for _ in range(30):
+                queue.append(1)
+
+        threads = [monitor.spawn(producer) for _ in range(2)]
+        for thread in threads:
+            monitor.join(thread)
+        tool = monitor.check(FastTrack())
+        assert tool.has_warned(("queue", "__len__"))
+
+    def test_iteration_and_slices_read_elements(self):
+        monitor = ThreadMonitor()
+        cells = MonitoredList(monitor, "cells", [1, 2, 3])
+        assert list(cells) == [1, 2, 3]
+        assert cells[0:2] == [1, 2]
+        reads = [e for e in monitor.trace() if e.kind == ev.READ]
+        assert len(reads) >= 5
+
+    def test_len_reads_the_length_field(self):
+        monitor = ThreadMonitor()
+        cells = MonitoredList(monitor, "cells", [1])
+        assert len(cells) == 1
+        assert monitor.trace()[-1].target == ("cells", "__len__")
+
+
+class TestMonitoredDict:
+    def test_per_key_events(self):
+        monitor = ThreadMonitor()
+        table = MonitoredDict(monitor, "table")
+        table["k"] = 1
+        _ = table["k"]
+        assert "k" in table
+        assert table.get("missing") is None
+        del table["k"]
+        kinds = [(e.kind, e.target) for e in monitor.trace()]
+        assert kinds[0] == (ev.WRITE, ("table", "k"))
+        assert kinds[-1] == (ev.WRITE, ("table", "k"))
+        assert sum(1 for k, _t in kinds if k == ev.READ) == 3
+
+    def test_unlocked_cache_race(self):
+        monitor = ThreadMonitor()
+        cache = MonitoredDict(monitor, "cache")
+
+        def worker(key):
+            for _ in range(40):
+                cache[key % 2] = cache.get(key % 2, 0)
+
+        threads = [monitor.spawn(worker, i) for i in range(3)]
+        for thread in threads:
+            monitor.join(thread)
+        tool = monitor.check(FastTrack())
+        assert tool.warning_count >= 1

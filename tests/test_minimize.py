@@ -1,0 +1,113 @@
+"""Tests for race-witness minimization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+from repro.trace.generators import GeneratorConfig, traces
+from repro.trace.minimize import minimize_trace, race_predicate
+from repro.bench.workload import WORKLOADS
+
+
+class TestBasics:
+    def test_already_minimal_witness_untouched_in_spirit(self):
+        trace = [ev.wr(0, "x"), ev.wr(1, "x")]
+        witness = minimize_trace(trace, var="x")
+        assert len(witness) == 2
+        assert FastTrack().process(witness).has_warned("x")
+
+    def test_irrelevant_threads_dropped(self):
+        trace = [
+            ev.wr(0, "x"),
+            ev.wr(1, "x"),  # the race
+            ev.acq(2, "m"),
+            ev.wr(2, "noise"),
+            ev.rel(2, "m"),
+            ev.rd(3, "other_noise"),
+        ]
+        witness = minimize_trace(trace, var="x")
+        assert witness.threads() == {0, 1}
+        assert len(witness) == 2
+
+    def test_lock_pairs_survive_or_vanish_together(self):
+        # The lock traffic orders nothing relevant; it must disappear
+        # completely (a dangling acq or rel would be infeasible).
+        trace = [
+            ev.acq(0, "m"),
+            ev.rd(0, "y"),
+            ev.rel(0, "m"),
+            ev.wr(0, "x"),
+            ev.wr(1, "x"),
+        ]
+        witness = minimize_trace(trace, var="x")
+        assert check_feasible(witness) == []
+        assert witness.locks() == set()
+        assert len(witness) == 2
+
+    def test_ordering_synchronization_is_kept(self):
+        # Here the fork is what DELAYS the race to thread 1's write; but
+        # the race between wr(1,x) and wr(0,x)#2 needs no fork... the
+        # minimal witness drops the fork and keeps two writes by two
+        # initial threads.
+        trace = [
+            ev.wr(0, "x"),
+            ev.fork(0, 1),
+            ev.wr(1, "x"),
+            ev.wr(0, "x"),
+        ]
+        witness = minimize_trace(trace, var="x")
+        assert check_feasible(witness) == []
+        assert len(witness) == 2
+        kinds = {e.kind for e in witness}
+        assert kinds == {ev.WRITE}
+
+    def test_race_free_trace_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_trace([ev.wr(0, "x"), ev.fork(0, 1), ev.rd(1, "x")])
+
+    def test_custom_predicate(self):
+        # Minimize to "Eraser warns" instead of the default.
+        from repro.detectors import Eraser
+
+        def eraser_warns(events):
+            return Eraser().process(list(events)).warning_count > 0
+
+        trace = [
+            ev.wr(0, "x"),
+            ev.fork(0, 1),
+            ev.rd(1, "noise"),
+            ev.wr(1, "x"),  # spurious for Eraser, ordered in reality
+        ]
+        witness = minimize_trace(trace, predicate=eraser_warns)
+        assert len(witness) <= 3
+        assert eraser_warns(list(witness))
+
+
+class TestOnWorkloads:
+    def test_raytracer_checksum_witness_is_tiny(self):
+        trace = WORKLOADS["raytracer"].trace(scale=120)
+        witness = minimize_trace(trace, var="checksum")
+        assert len(witness) <= 6
+        assert check_feasible(witness) == []
+        assert FastTrack().process(witness).has_warned("checksum")
+
+    def test_tsp_bound_witness(self):
+        trace = WORKLOADS["tsp"].trace(scale=120)
+        witness = minimize_trace(trace, var="best")
+        assert len(witness) <= 10
+        assert FastTrack().process(witness).has_warned("best")
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(traces(config=GeneratorConfig(max_events=60, discipline=0.3)))
+    def test_minimized_witness_is_feasible_and_racy(self, trace):
+        events = list(trace)
+        if not race_predicate()(events):
+            return  # nothing to minimize
+        witness = minimize_trace(events)
+        assert check_feasible(witness) == []
+        assert FastTrack().process(witness).warning_count > 0
+        assert len(witness) <= len(events)

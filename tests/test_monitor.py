@@ -1,0 +1,174 @@
+"""Tests for live instrumentation of real Python threads."""
+
+import time
+
+from repro.core.fasttrack import FastTrack
+from repro.detectors import Eraser
+from repro.runtime.monitor import (
+    MonitoredBarrier,
+    MonitoredCondition,
+    MonitoredLock,
+    SharedVar,
+    ThreadMonitor,
+    VolatileVar,
+)
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import racy_variables
+
+
+class TestEventCapture:
+    def test_fork_join_and_accesses_recorded(self):
+        monitor = ThreadMonitor()
+        data = SharedVar(monitor, "data", 0)
+
+        def worker():
+            data.value = data.value + 1
+
+        thread = monitor.spawn(worker)
+        monitor.join(thread)
+        trace = monitor.trace()
+        assert check_feasible(trace) == []
+        kinds = {e.kind for e in trace}
+        assert len(trace) >= 4  # fork, rd, wr, join
+
+    def test_locked_counter_is_race_free(self):
+        monitor = ThreadMonitor()
+        counter = SharedVar(monitor, "counter", 0)
+        lock = MonitoredLock(monitor, "m")
+
+        def worker():
+            for _ in range(20):
+                with lock:
+                    counter.value = counter.value + 1
+
+        threads = [monitor.spawn(worker) for _ in range(3)]
+        for thread in threads:
+            monitor.join(thread)
+        trace = monitor.trace()
+        assert check_feasible(trace) == []
+        assert racy_variables(trace) == set()
+        assert monitor.check(FastTrack()).warnings == []
+
+    def test_unlocked_counter_race_detected(self):
+        monitor = ThreadMonitor()
+        counter = SharedVar(monitor, "counter", 0)
+
+        def worker():
+            for _ in range(50):
+                counter.value = counter.value + 1
+                time.sleep(0)  # encourage interleaving
+
+        threads = [monitor.spawn(worker) for _ in range(3)]
+        for thread in threads:
+            monitor.join(thread)
+        tool = monitor.check(FastTrack())
+        assert [w.var for w in tool.warnings] == ["counter"]
+        # The trace order is a linearization of the real execution, so the
+        # oracle agrees.
+        assert racy_variables(monitor.trace()) == {"counter"}
+
+    def test_eraser_also_runs_on_live_traces(self):
+        monitor = ThreadMonitor()
+        flag = SharedVar(monitor, "flag", False)
+
+        def worker():
+            flag.value = True
+
+        a = monitor.spawn(worker)
+        b = monitor.spawn(worker)
+        monitor.join(a)
+        monitor.join(b)
+        tool = monitor.check(Eraser())
+        assert tool.warning_count == 1  # two unlocked writers
+
+    def test_volatile_publication_is_race_free(self):
+        monitor = ThreadMonitor()
+        data = SharedVar(monitor, "data", None)
+        ready = VolatileVar(monitor, "ready", False)
+
+        def producer():
+            data.value = 42
+            ready.value = True
+
+        def consumer():
+            while not ready.value:
+                time.sleep(0.001)
+            _ = data.value
+
+        p = monitor.spawn(producer)
+        c = monitor.spawn(consumer)
+        monitor.join(p)
+        monitor.join(c)
+        trace = monitor.trace()
+        assert check_feasible(trace) == []
+        assert monitor.check(FastTrack()).warnings == []
+        # The same handoff WITHOUT the volatile is a race: remove the
+        # volatile events and re-check.
+        stripped = [
+            e
+            for e in trace
+            if e.kind not in (ev.VOLATILE_READ, ev.VOLATILE_WRITE)
+        ]
+        assert FastTrack().process(stripped).warning_count == 1
+
+    def test_monitored_barrier_orders_phases(self):
+        monitor = ThreadMonitor()
+        cells = [SharedVar(monitor, ("cell", i)) for i in range(3)]
+        barrier = MonitoredBarrier(monitor, parties=3)
+
+        def worker(index):
+            cells[index].value = index  # phase 1: write own cell
+            barrier.wait()
+            for cell in cells:  # phase 2: read everyone's
+                _ = cell.value
+
+        threads = [monitor.spawn(worker, i) for i in range(3)]
+        for thread in threads:
+            monitor.join(thread)
+        trace = monitor.trace()
+        assert check_feasible(trace) == []
+        barriers = [e for e in trace if e.kind == ev.BARRIER_RELEASE]
+        assert len(barriers) == 1 and len(barriers[0].target) == 3
+        assert monitor.check(FastTrack()).warnings == []
+
+    def test_monitored_condition_guarded_handoff(self):
+        monitor = ThreadMonitor()
+        box = SharedVar(monitor, "box", None)
+        cond = MonitoredCondition(monitor, "box_cond")
+        state = {"full": False}
+
+        def producer():
+            with cond:
+                box.value = "payload"
+                state["full"] = True
+                cond.notify_all()
+
+        def consumer():
+            with cond:
+                while not state["full"]:
+                    cond.wait(timeout=1.0)
+                _ = box.value
+
+        c = monitor.spawn(consumer)
+        time.sleep(0.01)
+        p = monitor.spawn(producer)
+        monitor.join(p)
+        monitor.join(c)
+        trace = monitor.trace()
+        assert check_feasible(trace) == []
+        assert monitor.check(FastTrack()).warnings == []
+
+    def test_tids_are_dense_and_stable(self):
+        monitor = ThreadMonitor()
+        assert monitor.current_tid() == 0
+
+        def worker():
+            pass
+
+        first = monitor.spawn(worker)
+        second = monitor.spawn(worker)
+        monitor.join(first)
+        monitor.join(second)
+        trace = monitor.trace()
+        assert trace.threads() == {0, 1, 2}

@@ -1,0 +1,94 @@
+"""Properties of the *online* analysis discipline.
+
+FastTrack is an online algorithm (σ ⇒a σ′): its verdicts must not depend
+on how the event stream is delivered, must be deterministic, and must grow
+monotonically with the trace.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fasttrack import FastTrack
+from repro.detectors import DJITPlus, Eraser, Goldilocks, MultiRace
+from repro.runtime.program import Program
+from repro.runtime.scheduler import run_program
+from repro.trace.generators import traces
+
+
+def warned(tool):
+    return {tool.shadow_key(w.var) for w in tool.warnings}
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces(), st.data())
+def test_chunked_delivery_equals_batch(trace, data):
+    """Splitting the stream at any point changes nothing (online-ness)."""
+    events = list(trace)
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(events)), label="cut"
+    )
+    whole = FastTrack().process(events)
+    split = FastTrack()
+    split.process(events[:cut])
+    split.process(events[cut:])
+    assert warned(split) == warned(whole)
+    assert split.stats.rules == whole.stats.rules
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_determinism(trace):
+    events = list(trace)
+    for tool_cls in (FastTrack, DJITPlus, Eraser, MultiRace, Goldilocks):
+        first = tool_cls().process(events)
+        second = tool_cls().process(events)
+        assert first.warnings == second.warnings, tool_cls.__name__
+        assert first.stats.vc_ops == second.stats.vc_ops
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces(), st.data())
+def test_warned_variables_grow_monotonically(trace, data):
+    """A prefix's warned variables are a subset of the full trace's (once a
+    race has been observed it cannot un-happen)."""
+    events = list(trace)
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(events)), label="cut"
+    )
+    prefix_tool = FastTrack().process(events[:cut])
+    full_tool = FastTrack().process(events)
+    assert warned(prefix_tool) <= warned(full_tool)
+
+
+def test_scheduler_sink_streams_the_returned_trace():
+    def main(th):
+        child = yield th.fork(worker)
+        yield th.acquire("m")
+        yield th.write("x")
+        yield th.release("m")
+        yield th.join(child)
+
+    def worker(th):
+        yield th.acquire("m")
+        yield th.read("x")
+        yield th.release("m")
+
+    streamed = []
+    trace = run_program(Program(main), seed=9, sink=streamed.append)
+    assert streamed == trace.events
+
+
+def test_online_detection_during_execution():
+    """A detector attached as the scheduler's sink sees races live."""
+    tool = FastTrack()
+
+    def main(th):
+        child = yield th.fork(worker)
+        yield th.write("x")
+        yield th.join(child)
+
+    def worker(th):
+        yield th.write("x")
+
+    run_program(Program(main), seed=1, sink=tool.handle)
+    assert tool.has_warned("x")

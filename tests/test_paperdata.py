@@ -1,0 +1,126 @@
+"""Consistency checks on the transcribed paper data."""
+
+import pytest
+
+from repro.bench import paperdata
+from repro.bench.harness import TABLE1_ORDER, WARNING_TOOLS
+from repro.bench.workload import WORKLOADS
+
+
+class TestTable2:
+    def test_covers_all_benchmarks(self):
+        assert set(paperdata.TABLE2) == set(TABLE1_ORDER)
+
+    def test_totals_match_rows(self):
+        assert sum(r.djit_allocs for r in paperdata.TABLE2.values()) == (
+            paperdata.TABLE2_TOTALS.djit_allocs
+        )
+        assert sum(r.fasttrack_allocs for r in paperdata.TABLE2.values()) == (
+            paperdata.TABLE2_TOTALS.fasttrack_allocs
+        )
+        assert sum(r.djit_ops for r in paperdata.TABLE2.values()) == (
+            paperdata.TABLE2_TOTALS.djit_ops
+        )
+        assert sum(r.fasttrack_ops for r in paperdata.TABLE2.values()) == (
+            paperdata.TABLE2_TOTALS.fasttrack_ops
+        )
+
+    def test_fasttrack_never_allocates_more(self):
+        for name, row in paperdata.TABLE2.items():
+            assert row.fasttrack_allocs <= row.djit_allocs, name
+            assert row.fasttrack_ops <= row.djit_ops, name
+
+
+class TestTable3:
+    def test_covers_all_benchmarks(self):
+        assert set(paperdata.TABLE3) == set(TABLE1_ORDER)
+
+    def test_fasttrack_fine_memory_never_worse(self):
+        for name, row in paperdata.TABLE3.items():
+            dj, ft = row.mem_fine
+            assert ft <= dj, name
+
+    def test_coarse_reduces_memory(self):
+        for name, row in paperdata.TABLE3.items():
+            assert row.mem_coarse[0] <= row.mem_fine[0], name
+            assert row.mem_coarse[1] <= row.mem_fine[1], name
+
+
+class TestTable1CrossCheck:
+    def test_warning_totals(self):
+        totals = {tool: 0 for tool in WARNING_TOOLS}
+        for name in TABLE1_ORDER:
+            for tool, count in WORKLOADS[name].paper.warnings.items():
+                if count is not None:
+                    totals[tool] += count
+        assert totals == {
+            "Eraser": 27,
+            "MultiRace": 5,
+            "Goldilocks": 3,
+            "BasicVC": 8,
+            "DJIT+": 8,
+            "FastTrack": 8,
+        }
+
+    def test_thread_counts(self):
+        expected = {
+            "colt": 11,
+            "crypt": 7,
+            "lufact": 4,
+            "moldyn": 4,
+            "montecarlo": 4,
+            "mtrt": 5,
+            "raja": 2,
+            "raytracer": 4,
+            "sparse": 4,
+            "series": 4,
+            "sor": 4,
+            "tsp": 5,
+            "elevator": 5,
+            "philo": 6,
+            "hedc": 6,
+            "jbb": 5,
+        }
+        for name, threads in expected.items():
+            assert WORKLOADS[name].paper.threads == threads
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_workload_thread_counts_match_paper(self, name):
+        """Our model programs spawn exactly the paper's thread counts."""
+        trace = WORKLOADS[name].trace(scale=120)
+        assert len(trace.threads()) == WORKLOADS[name].paper.threads
+
+
+class TestComposition:
+    def test_grid_complete(self):
+        checkers = {"Atomizer", "Velodrome", "SingleTrack"}
+        filters = {"None", "TL", "Eraser", "DJIT+", "FastTrack"}
+        assert {c for c, _f in paperdata.COMPOSITION} == checkers
+        assert {f for _c, f in paperdata.COMPOSITION} == filters
+
+    def test_atomizer_eraser_cell_is_none(self):
+        assert paperdata.COMPOSITION[("Atomizer", "Eraser")] is None
+
+    def test_fasttrack_is_best_filter_in_paper(self):
+        for checker in ("Atomizer", "Velodrome", "SingleTrack"):
+            fasttrack = paperdata.COMPOSITION[(checker, "FastTrack")]
+            for prefilter in ("None", "TL", "Eraser", "DJIT+"):
+                published = paperdata.COMPOSITION[(checker, prefilter)]
+                if published is not None:
+                    assert fasttrack < published
+
+
+class TestEclipse:
+    def test_five_operations(self):
+        assert set(paperdata.ECLIPSE) == {
+            "Startup",
+            "Import",
+            "CleanSmall",
+            "CleanLarge",
+            "Debug",
+        }
+
+    def test_fasttrack_beats_djit_on_compute_heavy_ops(self):
+        for op in ("Import", "CleanSmall", "CleanLarge"):
+            row = paperdata.ECLIPSE[op].slowdowns
+            assert row["FastTrack"] < row["DJIT+"]

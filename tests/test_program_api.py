@@ -1,0 +1,95 @@
+"""Unit tests for the Program / ThreadHandle / Barrier construction API."""
+
+import pytest
+
+from repro.runtime.program import Barrier, Program, ThreadHandle
+from repro.runtime.scheduler import run_program
+from repro.trace import events as ev
+
+
+class TestProgram:
+    def test_positional_bodies(self):
+        def a(th):
+            yield th.write("x")
+
+        def b(th):
+            yield th.read("y")
+
+        program = Program(a, b, name="pair")
+        assert program.name == "pair"
+        trace = run_program(program, policy="roundrobin")
+        assert trace.threads() == {0, 1}
+
+    def test_with_args(self):
+        def body(th, label, count):
+            for _ in range(count):
+                yield th.write(label)
+
+        program = Program.with_args(
+            (body, ("left", 2)), (body, ("right", 3)), name="argued"
+        )
+        trace = run_program(program)
+        assert sum(1 for e in trace if e.target == "left") == 2
+        assert sum(1 for e in trace if e.target == "right") == 3
+
+    def test_empty_program_yields_empty_trace(self):
+        assert len(run_program(Program())) == 0
+
+
+class TestThreadHandle:
+    def test_action_constructors_carry_payload(self):
+        th = ThreadHandle(3)
+        assert th.read("x", site="s").var == "x"
+        assert th.read("x", site="s").site == "s"
+        assert th.write("y").var == "y"
+        assert th.acquire("m").lock == "m"
+        assert th.release("m").lock == "m"
+        assert th.join(7).tid == 7
+        assert th.wait("m").lock == "m"
+        assert th.notify_all("m").lock == "m"
+        assert th.volatile_read("v").var == "v"
+        assert th.volatile_write("v").var == "v"
+        assert th.enter("t").label == "t"
+        assert th.exit("t").label == "t"
+        fork_action = th.fork(lambda handle: iter(()), 1, 2)
+        assert fork_action.args == (1, 2)
+
+    def test_critical_sugar_shape(self):
+        th = ThreadHandle(0)
+        actions = list(th.critical("m", th.read("x"), th.write("x")))
+        assert len(actions) == 4  # acq, rd, wr, rel
+
+    def test_atomic_sugar_shape(self):
+        th = ThreadHandle(0)
+        actions = list(th.atomic("t", th.read("x")))
+        assert len(actions) == 3  # enter, rd, exit
+
+
+class TestBarrier:
+    def test_named_and_anonymous(self):
+        named = Barrier(2, name="phase")
+        assert named.name == "phase"
+        anonymous = Barrier(3)
+        assert anonymous.name.startswith("barrier")
+        assert "parties=3" in repr(anonymous)
+
+    def test_barriers_are_not_shared_across_runs_accidentally(self):
+        # A fresh barrier per program run (factory style) trips cleanly.
+        def build():
+            barrier = Barrier(2)
+
+            def main(th):
+                child = yield th.fork(worker)
+                yield th.barrier_await(barrier)
+                yield th.join(child)
+
+            def worker(th):
+                yield th.barrier_await(barrier)
+
+            return Program(main)
+
+        for seed in range(3):
+            trace = run_program(build(), seed=seed)
+            assert (
+                sum(1 for e in trace if e.kind == ev.BARRIER_RELEASE) == 1
+            )

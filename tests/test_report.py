@@ -1,0 +1,110 @@
+"""Tests for the race report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.fasttrack import FastTrack
+from repro.report import build_report
+from repro.trace import events as ev
+from repro.trace.happens_before import racy_variables
+from repro.trace.serialize import dumps
+from repro.trace.trace import Trace
+
+RACY = Trace(
+    [
+        ev.fork(0, 1),
+        ev.acq(0, "m"),
+        ev.wr(0, "safe", site="app.py:5"),
+        ev.rel(0, "m"),
+        ev.acq(1, "m"),
+        ev.rd(1, "safe", site="app.py:9"),
+        ev.rel(1, "m"),
+        ev.wr(1, "hot", site="worker.py:3"),
+        ev.wr(0, "hot", site="app.py:12"),
+    ]
+)
+
+CLEAN = Trace(
+    [ev.wr(0, "x"), ev.fork(0, 1), ev.rd(1, "x"), ev.join(0, 1)]
+)
+
+
+def racy_detector():
+    tool = FastTrack(track_sites=True)
+    tool.process(RACY)
+    return tool
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = build_report(RACY, racy_detector())
+        assert text.startswith("# Race report — FastTrack")
+        assert "## Trace profile" in text
+        assert "## Warnings" in text
+        assert "write-write" in text
+        assert "`hot`" in text
+        assert "app.py:12" in text
+        assert "worker.py:3" in text  # the prior access's site
+
+    def test_clean_trace(self):
+        tool = FastTrack().process(CLEAN)
+        text = build_report(CLEAN, tool)
+        assert "race-free" in text
+        assert "None." in text
+
+    def test_oracle_confirmation_column(self):
+        text = build_report(
+            RACY, racy_detector(), oracle_racy=racy_variables(RACY)
+        )
+        assert "confirmed" in text
+        assert "| yes |" in text
+
+    def test_context_section_lists_clean_shared_vars(self):
+        text = build_report(RACY, racy_detector())
+        assert "Racy variables in context" in text
+        assert "`safe`" in text and "lock-protected" in text
+
+    def test_classification_can_be_skipped(self):
+        text = build_report(RACY, racy_detector(), classify=False)
+        assert "sharing classes" not in text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(RACY, racy_detector(), fmt="pdf")
+
+
+class TestHtml:
+    def test_self_contained_document(self):
+        text = build_report(RACY, racy_detector(), fmt="html")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<table>" in text and "</table>" in text
+        assert "<code>" in text
+        assert "hot" in text
+
+    def test_escaping(self):
+        trace = Trace([ev.fork(0, 1), ev.wr(0, "<x&y>"), ev.wr(1, "<x&y>")])
+        tool = FastTrack().process(trace)
+        text = build_report(trace, tool, fmt="html")
+        assert "&lt;x&amp;y&gt;" in text
+        assert "<x&y>" not in text
+
+
+class TestCliIntegration:
+    def test_check_writes_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "racy.trace"
+        trace_path.write_text(dumps(RACY))
+        report_path = tmp_path / "report.md"
+        code = main(
+            ["check", str(trace_path), "--oracle", "--report", str(report_path)]
+        )
+        assert code == 1
+        text = report_path.read_text()
+        assert "# Race report" in text
+        assert "confirmed" in text
+
+    def test_html_report_by_extension(self, tmp_path):
+        trace_path = tmp_path / "racy.trace"
+        trace_path.write_text(dumps(RACY))
+        report_path = tmp_path / "report.html"
+        main(["check", str(trace_path), "--report", str(report_path)])
+        assert report_path.read_text().startswith("<!DOCTYPE html>")

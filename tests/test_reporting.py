@@ -1,0 +1,91 @@
+"""Tests for the table renderers and the bench CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench import harness, reporting
+from repro.bench.__main__ import main as bench_main
+
+
+@pytest.fixture(scope="module")
+def table1_results():
+    return harness.run_table1(scale=120, workloads=("mtrt", "hedc"))
+
+
+class TestTable1Rendering:
+    def test_not_compute_bound_star(self, table1_results):
+        text = reporting.format_table1(table1_results)
+        assert "hedc*" in text  # the paper's asterisk convention
+        assert "mtrt " in text or "mtrt" in text
+
+    def test_average_excludes_starred_rows(self, table1_results):
+        text = reporting.format_table1(table1_results)
+        assert "Average" in text
+
+    def test_paper_rows_interleaved(self, table1_results):
+        text = reporting.format_table1(table1_results)
+        assert text.count("(paper)") == 2
+
+    def test_warning_totals_row(self, table1_results):
+        text = reporting.format_table1(table1_results)
+        assert "Total" in text
+
+
+class TestOtherRenderers:
+    def test_table2_shows_paper_ratio_column(self):
+        results = harness.run_table2(scale=120, workloads=("mtrt",))
+        text = reporting.format_table2(results)
+        assert "(paper)" in text
+        assert "796,816,918" in text  # the published totals footnote
+
+    def test_composition_renders_skipped_cell_as_dash(self):
+        table = harness.run_composition(
+            scale=120,
+            workloads=("mtrt",),
+            checkers=("Atomizer",),
+            prefilters=("None", "Eraser", "FastTrack"),
+            repeats=1,
+        )
+        text = reporting.format_composition(table)
+        assert "—" in text
+
+    def test_figure2_mentions_every_rule(self):
+        freq = harness.run_rule_frequencies(scale=120, workloads=("mtrt",))
+        text = reporting.format_rule_frequencies(freq)
+        for rule in (
+            "FT READ SAME EPOCH",
+            "FT READ SHARE",
+            "FT WRITE SHARED",
+            "DJIT+ WRITE",
+        ):
+            assert rule in text
+
+
+class TestBenchCli:
+    def test_single_experiment(self, capsys):
+        assert bench_main(["figure2", "--scale", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Table 1" not in out
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "results.json"
+        assert (
+            bench_main(["figure2", "--scale", "100", "--json", str(target)])
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        assert "figure2" in payload
+        assert payload["figure2"]["reads"] > 0
+
+    def test_json_to_stdout(self, capsys):
+        assert bench_main(["figure2", "--scale", "100", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"figure2"' in out
+
+    def test_repro_cli_bench_passthrough(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "figure2", "--scale", "100"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,332 @@
+"""Tests for the simulated runtime (scheduler semantics + feasibility)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.program import Barrier, Program, ThreadHandle
+from repro.runtime.scheduler import (
+    DeadlockError,
+    Scheduler,
+    SchedulerError,
+    run_program,
+)
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+
+
+class TestBasics:
+    def test_single_thread_program(self):
+        def main(th):
+            yield th.write("x")
+            yield th.read("x")
+
+        trace = run_program(Program(main))
+        assert list(trace) == [ev.wr(0, "x"), ev.rd(0, "x")]
+
+    def test_fork_returns_child_tid(self):
+        seen = {}
+
+        def main(th):
+            child = yield th.fork(worker)
+            seen["child"] = child
+            yield th.join(child)
+
+        def worker(th):
+            yield th.write("x")
+
+        trace = run_program(Program(main))
+        assert seen["child"] == 1
+        assert ev.fork(0, 1) in list(trace)
+        assert ev.join(0, 1) in list(trace)
+
+    def test_same_seed_same_trace(self):
+        def main(th):
+            children = []
+            for _ in range(3):
+                children.append((yield th.fork(worker)))
+            for child in children:
+                yield th.join(child)
+
+        def worker(th):
+            for _ in range(5):
+                yield th.write("x")
+
+        first = run_program(Program(main), seed=7)
+        second = run_program(Program(main), seed=7)
+        assert first == second
+        other = run_program(Program(main), seed=8)
+        assert len(other) == len(first)
+
+    def test_roundrobin_is_seed_independent(self):
+        def main(th):
+            child = yield th.fork(worker)
+            yield th.write("a")
+            yield th.join(child)
+
+        def worker(th):
+            yield th.write("b")
+
+        rr1 = run_program(Program(main), seed=1, policy="roundrobin")
+        rr2 = run_program(Program(main), seed=99, policy="roundrobin")
+        assert rr1 == rr2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(Program(lambda th: iter(())), policy="fifo")
+
+
+class TestLocking:
+    def test_mutual_exclusion_blocks(self):
+        order = []
+
+        def main(th):
+            child = yield th.fork(contender)
+            yield th.acquire("m")
+            order.append("main-in")
+            for _ in range(5):
+                yield th.write("x")
+            order.append("main-out")
+            yield th.release("m")
+            yield th.join(child)
+
+        def contender(th):
+            yield th.acquire("m")
+            order.append("child-in")
+            yield th.write("x")
+            yield th.release("m")
+
+        # Regardless of seed, critical sections never interleave.
+        for seed in range(10):
+            order.clear()
+            run_program(Program(main), seed=seed)
+            assert order in (
+                ["main-in", "main-out", "child-in"],
+                ["child-in", "main-in", "main-out"],
+            )
+
+    def test_reentrant_acquires_filtered(self):
+        def main(th):
+            yield th.acquire("m")
+            yield th.acquire("m")
+            yield th.write("x")
+            yield th.release("m")
+            yield th.release("m")
+
+        trace = run_program(Program(main))
+        acqs = [e for e in trace if e.kind == ev.ACQUIRE]
+        rels = [e for e in trace if e.kind == ev.RELEASE]
+        assert len(acqs) == 1 and len(rels) == 1
+
+    def test_release_without_hold_raises(self):
+        def main(th):
+            yield th.release("m")
+
+        with pytest.raises(SchedulerError):
+            run_program(Program(main))
+
+    def test_deadlock_detected(self):
+        def one(th):
+            yield th.acquire("a")
+            yield th.write("x")
+            yield th.acquire("b")
+            yield th.release("b")
+            yield th.release("a")
+
+        def two(th):
+            yield th.acquire("b")
+            yield th.write("y")
+            yield th.acquire("a")
+            yield th.release("a")
+            yield th.release("b")
+
+        # Some interleavings deadlock; find one and check the error.
+        saw_deadlock = False
+        for seed in range(40):
+            try:
+                run_program(Program(one, two), seed=seed)
+            except DeadlockError:
+                saw_deadlock = True
+                break
+        assert saw_deadlock
+
+
+class TestWaitNotify:
+    def test_wait_emits_release_and_reacquire(self):
+        state = {"ready": False}
+
+        def waiter(th):
+            yield th.acquire("m")
+            while not state["ready"]:
+                yield th.wait("m")
+            yield th.read("data")
+            yield th.release("m")
+
+        def notifier(th):
+            yield th.write("data")
+            yield th.acquire("m")
+            state["ready"] = True
+            yield th.notify_all("m")
+            yield th.release("m")
+
+        # Round-robin guarantees the waiter enters the monitor first and
+        # actually waits (random seeds may let the notifier win the race
+        # to the monitor, in which case no wait happens at all).
+        trace = run_program(
+            Program(waiter, notifier), policy="roundrobin"
+        )
+        assert check_feasible(trace) == []
+        # The waiter's wait shows up as rel followed (eventually) by acq.
+        kinds = [(e.kind, e.tid) for e in trace if e.target == "m"]
+        assert kinds.count((ev.RELEASE, 0)) >= 2 or kinds.count(
+            (ev.ACQUIRE, 0)
+        ) >= 2
+
+    def test_wait_without_lock_raises(self):
+        def main(th):
+            yield th.wait("m")
+
+        with pytest.raises(SchedulerError):
+            run_program(Program(main))
+
+    def test_unnotified_waiter_deadlocks(self):
+        def main(th):
+            yield th.acquire("m")
+            yield th.wait("m")
+
+        with pytest.raises(DeadlockError):
+            run_program(Program(main))
+
+
+class TestBarrier:
+    def test_barrier_releases_all_parties(self):
+        barrier = Barrier(2)
+
+        def main(th):
+            child = yield th.fork(worker)
+            yield th.write("a")
+            yield th.barrier_await(barrier)
+            yield th.join(child)
+
+        def worker(th):
+            yield th.write("b")
+            yield th.barrier_await(barrier)
+
+        trace = run_program(Program(main), seed=5)
+        barriers = [e for e in trace if e.kind == ev.BARRIER_RELEASE]
+        assert barriers == [ev.barrier_rel((0, 1))]
+
+    def test_barrier_is_cyclic(self):
+        barrier = Barrier(2)
+
+        def main(th):
+            child = yield th.fork(worker)
+            for _ in range(3):
+                yield th.barrier_await(barrier)
+            yield th.join(child)
+
+        def worker(th):
+            for _ in range(3):
+                yield th.barrier_await(barrier)
+
+        trace = run_program(Program(main), seed=2)
+        assert sum(1 for e in trace if e.kind == ev.BARRIER_RELEASE) == 3
+
+    def test_invalid_barrier_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestJoin:
+    def test_join_blocks_until_child_finishes(self):
+        def main(th):
+            child = yield th.fork(worker)
+            yield th.join(child)
+            yield th.read("x")
+
+        def worker(th):
+            for _ in range(10):
+                yield th.write("x")
+
+        for seed in range(5):
+            trace = list(run_program(Program(main), seed=seed))
+            join_at = trace.index(ev.join(0, 1))
+            last_child = max(
+                i for i, e in enumerate(trace) if e.tid == 1
+            )
+            assert last_child < join_at
+
+    def test_join_unknown_thread_raises(self):
+        def main(th):
+            yield th.join(42)
+
+        with pytest.raises(SchedulerError):
+            run_program(Program(main))
+
+
+class TestHygiene:
+    def test_max_steps_guards_livelock(self):
+        def main(th):
+            while True:
+                yield th.pause()
+
+        with pytest.raises(SchedulerError, match="max_steps"):
+            run_program(Program(main), max_steps=100)
+
+    def test_sink_receives_events_online(self):
+        seen = []
+
+        def main(th):
+            yield th.write("x")
+            yield th.read("x")
+
+        run_program(Program(main), sink=seen.append)
+        assert seen == [ev.wr(0, "x"), ev.rd(0, "x")]
+
+    def test_enter_exit_and_sugar(self):
+        def main(th):
+            yield from th.atomic("t", th.read("x"), th.write("x"))
+            yield from th.critical("m", th.write("y"))
+
+        trace = list(run_program(Program(main)))
+        kinds = [e.kind for e in trace]
+        assert kinds == [
+            ev.ENTER,
+            ev.READ,
+            ev.WRITE,
+            ev.EXIT,
+            ev.ACQUIRE,
+            ev.WRITE,
+            ev.RELEASE,
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_every_schedule_is_feasible(self, seed):
+        barrier = Barrier(2)
+        state = {"flag": False}
+
+        def main(th):
+            a = yield th.fork(worker_a)
+            b = yield th.fork(worker_b)
+            yield th.acquire("m")
+            state["flag"] = True
+            yield th.notify_all("m")
+            yield th.release("m")
+            yield th.join(a)
+            yield th.join(b)
+
+        def worker_a(th):
+            yield th.acquire("m")
+            while not state["flag"]:
+                yield th.wait("m")
+            yield th.release("m")
+            yield th.barrier_await(barrier)
+
+        def worker_b(th):
+            yield th.write("x")
+            yield th.barrier_await(barrier)
+
+        barrier.arrived.clear()  # fresh barrier per example
+        trace = run_program(Program(main), seed=seed)
+        assert check_feasible(trace) == []

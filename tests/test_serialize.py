@@ -1,0 +1,129 @@
+"""Round-trip and error tests for the trace serialization formats."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.trace import events as ev
+from repro.trace.generators import traces
+from repro.trace.serialize import (
+    TraceParseError,
+    dump,
+    dumps,
+    dumps_jsonl,
+    format_event,
+    format_target,
+    load,
+    loads,
+    loads_jsonl,
+    parse_event,
+    parse_target,
+)
+from repro.trace.trace import Trace
+
+SAMPLE = Trace(
+    [
+        ev.wr(0, "x"),
+        ev.fork(0, 1),
+        ev.rd(1, ("grid", 2, 7), site="sor.rd_left"),
+        ev.acq(1, "m"),
+        ev.rel(1, ("wlock", 3)),
+        ev.vol_wr(0, "flag"),
+        ev.vol_rd(1, "flag"),
+        ev.barrier_rel((0, 1)),
+        ev.enter(0, "sweep"),
+        ev.exit_(0, "sweep"),
+        ev.join(0, 1),
+    ]
+)
+
+
+class TestTargets:
+    def test_format_scalars_and_tuples(self):
+        assert format_target("x") == "x"
+        assert format_target(7) == "7"
+        assert format_target(("grid", 2, 7)) == "grid[2][7]"
+        assert format_target(("acc", "w")) == "acc[w]"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("x", "x"),
+            ("42", 42),
+            ("grid[2][7]", ("grid", 2, 7)),
+            ("acc[w]", ("acc", "w")),
+            ("a[-1]", ("a", -1)),
+        ],
+    )
+    def test_parse_targets(self, text, expected):
+        assert parse_target(text) == expected
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_target("[3]")
+
+
+class TestTextFormat:
+    def test_format_matches_paper_syntax(self):
+        assert format_event(ev.wr(0, "x")) == "wr(0, x)"
+        assert format_event(ev.fork(0, 1)) == "fork(0, 1)"
+        assert format_event(ev.barrier_rel((1, 0))) == "barrier_rel(0, 1)"
+        assert (
+            format_event(ev.rd(1, ("a", 3), site="s"))
+            == "rd(1, a[3]) @ s"
+        )
+
+    def test_round_trip(self):
+        assert loads(dumps(SAMPLE)) == SAMPLE
+
+    def test_sites_survive_round_trip(self):
+        trip = loads(dumps(SAMPLE))
+        assert trip[2].site == "sor.rd_left"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nwr(0, x)\n  # indented comment\nrd(1, x)\n"
+        assert loads(text) == Trace([ev.wr(0, "x"), ev.rd(1, "x")])
+
+    def test_streams(self):
+        buffer = io.StringIO()
+        dump(SAMPLE, buffer)
+        buffer.seek(0)
+        assert load(buffer) == SAMPLE
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "frobnicate(0, x)",
+            "wr(zero, x)",
+            "wr(0)",
+            "rd 0 x",
+            "fork(0, child)",
+            "barrier_rel(a, b)",
+        ],
+    )
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(TraceParseError):
+            parse_event(line)
+
+    @settings(max_examples=50, deadline=None)
+    @given(traces())
+    def test_generated_traces_round_trip(self, trace):
+        assert loads(dumps(trace)) == trace
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        trip = loads_jsonl(dumps_jsonl(SAMPLE))
+        assert trip == SAMPLE
+        assert trip[2].site == "sor.rd_left"
+        assert trip[2].target == ("grid", 2, 7)
+
+    @settings(max_examples=50, deadline=None)
+    @given(traces())
+    def test_generated_traces_round_trip(self, trace):
+        assert loads_jsonl(dumps_jsonl(trace)) == trace
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceParseError):
+            loads_jsonl('{"op": "nope", "tid": 0, "target": "x"}')

@@ -1,0 +1,50 @@
+"""Tests for two-sided race reports (track_sites)."""
+
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+
+RACY = [
+    ev.fork(0, 1),
+    ev.wr(1, "x", site="worker.py:42"),
+    ev.wr(0, "x", site="main.py:10"),  # concurrent with the child's write
+]
+
+
+class TestSiteTracking:
+    def test_report_names_both_sides(self):
+        tool = FastTrack(track_sites=True).process(RACY)
+        warning = tool.warnings[0]
+        assert warning.site == "main.py:10"  # the detecting access
+        assert "worker.py:42" in warning.prior  # the prior access
+
+    def test_read_write_report_names_the_read_site(self):
+        trace = [
+            ev.fork(0, 1),
+            ev.rd(1, "x", site="reader.py:7"),
+            ev.wr(0, "x", site="writer.py:3"),
+        ]
+        tool = FastTrack(track_sites=True).process(trace)
+        assert "reader.py:7" in tool.warnings[0].prior
+
+    def test_default_mode_does_not_track(self):
+        tool = FastTrack().process(RACY)
+        assert "worker.py:42" not in tool.warnings[0].prior
+        assert tool.vars["x"].write_site is None
+
+    def test_verdicts_unchanged(self):
+        with_sites = FastTrack(track_sites=True).process(RACY)
+        without = FastTrack().process(RACY)
+        assert with_sites.warning_count == without.warning_count
+
+    def test_same_epoch_fast_path_keeps_first_site_of_epoch(self):
+        # Repeated writes in one epoch take the fast path; the recorded
+        # site stays the epoch's first write, which is the correct prior
+        # for any conflicting access.
+        trace = [
+            ev.fork(0, 1),
+            ev.wr(1, "x", site="a.py:1"),
+            ev.wr(1, "x", site="a.py:2"),  # same epoch: no site update
+            ev.wr(0, "x", site="b.py:9"),  # concurrent
+        ]
+        tool = FastTrack(track_sites=True).process(trace)
+        assert "a.py:1" in tool.warnings[0].prior

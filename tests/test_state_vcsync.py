@@ -1,0 +1,115 @@
+"""Unit tests for the shadow state (Figure 5) and the shared Figure 3
+synchronization rules."""
+
+from repro.core.epoch import EPOCH_BOTTOM, make_epoch
+from repro.core.state import LockState, ThreadState, VarState
+from repro.core.vcsync import VCSyncDetector
+from repro.core.vectorclock import VectorClock
+from repro.trace import events as ev
+
+
+class TestThreadState:
+    def test_initial_state_matches_sigma0(self):
+        t = ThreadState(3)
+        assert t.vc.as_tuple() == (0, 0, 0, 1)  # inc_3(bottom)
+        assert t.epoch == make_epoch(1, 3)
+
+    def test_refresh_epoch_tracks_clock(self):
+        t = ThreadState(0)
+        t.vc.inc(0)
+        t.refresh_epoch()
+        assert t.epoch == make_epoch(2, 0)
+
+    def test_explicit_vc(self):
+        t = ThreadState(1, VectorClock([4, 8]))
+        assert t.epoch == make_epoch(8, 1)
+
+    def test_repr(self):
+        assert "tid=2" in repr(ThreadState(2))
+
+
+class TestVarState:
+    def test_initial_epochs_are_bottom(self):
+        x = VarState()
+        assert x.write_epoch == EPOCH_BOTTOM
+        assert x.read_epoch == EPOCH_BOTTOM
+        assert x.read_vc is None
+
+    def test_shadow_words_grow_with_read_vc(self):
+        x = VarState()
+        base = x.shadow_words()
+        x.read_vc = VectorClock([1, 2, 3])
+        assert x.shadow_words() == base + 1 + 3
+
+
+class TestLockState:
+    def test_initial_vc_is_bottom(self):
+        m = LockState()
+        assert m.vc.as_tuple() == ()
+        assert m.shadow_words() >= 2
+
+
+class TestFigure3Rules:
+    """The synchronization rules, tested through the shared base class."""
+
+    def run(self, events):
+        tool = VCSyncDetector()
+        for event in events:
+            tool.handle(event)
+        return tool
+
+    def test_acquire_joins_lock_clock(self):
+        tool = self.run([ev.acq(0, "m"), ev.rel(0, "m"), ev.acq(1, "m")])
+        assert tool.threads[1].vc.get(0) == 1
+
+    def test_release_copies_and_increments(self):
+        tool = self.run([ev.acq(0, "m"), ev.rel(0, "m")])
+        assert tool.locks["m"].vc.get(0) == 1
+        assert tool.threads[0].vc.get(0) == 2
+        assert tool.threads[0].epoch == make_epoch(2, 0)
+
+    def test_fork_rule(self):
+        tool = self.run([ev.fork(0, 1)])
+        assert tool.threads[1].vc.as_tuple() == (1, 1)  # C_u ⊔ C_t
+        assert tool.threads[0].vc.as_tuple() == (2,)  # inc_t
+
+    def test_join_rule(self):
+        tool = self.run([ev.fork(0, 1), ev.join(0, 1)])
+        assert tool.threads[0].vc.get(1) == 1
+        assert tool.threads[1].vc.get(1) == 2  # inc_u after join
+
+    def test_volatile_rules(self):
+        tool = self.run(
+            [ev.vol_wr(0, "v"), ev.vol_rd(1, "v"), ev.vol_wr(1, "v")]
+        )
+        # Reader joined the writer's clock.
+        assert tool.threads[1].vc.get(0) == 1
+        # The second write accumulated into L_v without ordering writers.
+        assert tool.volatiles["v"].vc.get(0) == 1
+        assert tool.volatiles["v"].vc.get(1) == 1
+
+    def test_barrier_rule(self):
+        tool = self.run(
+            [
+                ev.acq(0, "m"),
+                ev.rel(0, "m"),  # C0 = <2>
+                ev.barrier_rel((0, 1)),
+            ]
+        )
+        # Every member gets inc_t of the join of all members.
+        assert tool.threads[0].vc.as_tuple() == (3, 1)
+        assert tool.threads[1].vc.as_tuple() == (2, 2)
+
+    def test_empty_barrier_is_a_noop(self):
+        tool = self.run([ev.barrier_rel(())])
+        assert tool.threads == {}
+
+    def test_counters(self):
+        tool = self.run([ev.acq(0, "m"), ev.rel(0, "m"), ev.fork(0, 1)])
+        # 1 thread VC + 1 lock VC + 1 child VC allocated.
+        assert tool.stats.vc_allocs == 3
+        assert tool.stats.vc_ops == 3  # join, assign, fork-join
+
+    def test_sync_shadow_words(self):
+        tool = self.run([ev.acq(0, "m"), ev.vol_wr(0, "v")])
+        assert tool.sync_shadow_words() > 0

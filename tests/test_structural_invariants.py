@@ -1,0 +1,83 @@
+"""Structural invariants that hold after any analysis run."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.checkers import Velodrome
+from repro.core.adaptive import AdaptiveFastTrack
+from repro.detectors import Goldilocks
+from repro.bench.workload import WORKLOADS
+from repro.trace import events as ev
+from repro.trace.generators import GeneratorConfig, traces
+from repro.trace.happens_before import racy_variables
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces(config=GeneratorConfig(max_events=70, p_atomic=0.4)))
+def test_velodrome_graph_stays_acyclic(trace):
+    """Velodrome refuses to materialize cycle-closing edges, so its
+    transactional graph is a DAG at all times."""
+    checker = Velodrome().process(list(trace))
+    graph = nx.DiGraph()
+    seen = {}
+    stack = list(checker.current.values())
+    while stack:
+        node = stack.pop()
+        if node.nid in seen:
+            continue
+        seen[node.nid] = node
+        for succ in node.succs:
+            stack.append(succ)
+    # Walk from every node ever linked (roots may have been superseded).
+    for source in list(seen.values()):
+        for succ in source.succs:
+            graph.add_edge(source.nid, succ.nid)
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces(config=GeneratorConfig(max_events=80, p_barrier=0.08)))
+def test_goldilocks_lazy_barriers(trace):
+    """Barrier transfer rules survive arbitrary lazy-replay interleavings
+    (tiny flush threshold = maximal laziness churn)."""
+    events = list(trace)
+    racy = racy_variables(events)
+    tool = Goldilocks(flush_threshold=3).process(events)
+    assert {tool.shadow_key(w.var) for w in tool.warnings} == racy
+
+
+class TestAdaptiveOnWorkloads:
+    def test_no_false_alarms_anywhere(self):
+        for name, workload in WORKLOADS.items():
+            trace = workload.trace(scale=160)
+            tool = AdaptiveFastTrack().process(trace)
+            oracle = racy_variables(trace)
+            for warning in tool.warnings:
+                assert warning.var in oracle, (name, warning)
+
+    def test_repeating_races_still_caught(self):
+        # The benign counters race over and over; one refinement cannot
+        # hide them.
+        for name, var in (("mtrt", "progress"), ("raytracer", "checksum"),
+                          ("tsp", "best")):
+            trace = WORKLOADS[name].trace(scale=260)
+            tool = AdaptiveFastTrack().process(trace)
+            assert tool.has_warned(var), name
+
+    def test_race_free_workloads_stay_clean(self):
+        for name in ("crypt", "moldyn", "sparse", "raja", "philo"):
+            trace = WORKLOADS[name].trace(scale=200)
+            assert AdaptiveFastTrack().process(trace).warnings == [], name
+
+
+def test_detectors_tolerate_enter_exit_noise():
+    """Race detectors ignore transaction markers entirely."""
+    from repro.core.fasttrack import FastTrack
+
+    base = [ev.fork(0, 1), ev.wr(0, "x"), ev.wr(1, "x")]
+    noisy = [ev.enter(0, "t"), *base, ev.exit_(0, "t")]
+    assert (
+        FastTrack().process(base).warning_count
+        == FastTrack().process(noisy).warning_count
+        == 1
+    )

@@ -1,0 +1,75 @@
+"""E8: Theorem 1 — FastTrack is precise.
+
+    Suppose α is a feasible trace.  Then α is race-free if and only if
+    FastTrack reports no warning on α.
+
+We test both directions against the first-principles happens-before oracle
+(:mod:`repro.trace.happens_before`), which shares no code with the epoch /
+vector-clock machinery.  Beyond the boolean verdict we check the stronger
+per-variable guarantee the paper states in footnote 3: FastTrack detects at
+least the first race on *each* variable, so the set of warned variables is
+exactly the set of racy variables.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.fasttrack import FastTrack
+from repro.trace.generators import GeneratorConfig, traces
+from repro.trace.happens_before import HappensBefore
+
+
+def warned_variables(tool):
+    return {tool.shadow_key(w.var) for w in tool.warnings}
+
+
+@settings(max_examples=120, deadline=None)
+@given(traces())
+def test_theorem1_verdict(trace):
+    oracle = HappensBefore(list(trace))
+    tool = FastTrack().process(trace)
+    assert (tool.warning_count == 0) == oracle.is_race_free()
+
+
+@settings(max_examples=120, deadline=None)
+@given(traces())
+def test_first_race_per_variable_guarantee(trace):
+    oracle = HappensBefore(list(trace))
+    tool = FastTrack().process(trace)
+    assert warned_variables(tool) == oracle.racy_variables()
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(config=GeneratorConfig(discipline=1.0, max_events=80)))
+def test_fully_disciplined_traces_are_clean(trace):
+    # Perfect lock discipline → race-free → no warnings (soundness side).
+    oracle = HappensBefore(list(trace))
+    assert oracle.is_race_free()
+    assert FastTrack().process(trace).warnings == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(config=GeneratorConfig(discipline=0.0, max_events=60)))
+def test_chaotic_traces_match_oracle(trace):
+    oracle = HappensBefore(list(trace))
+    tool = FastTrack().process(trace)
+    assert warned_variables(tool) == oracle.racy_variables()
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces())
+def test_ablated_fasttrack_is_still_precise(trace):
+    """The fast paths and adaptive demotion are pure optimizations: turning
+    them off must not change the verdict."""
+    oracle_racy = HappensBefore(list(trace)).racy_variables()
+    for kwargs in (
+        {"enable_fast_paths": False},
+        {"demote_on_shared_write": False},
+        {"shared_same_epoch": True},
+        {
+            "enable_fast_paths": False,
+            "demote_on_shared_write": False,
+            "shared_same_epoch": False,
+        },
+    ):
+        tool = FastTrack(**kwargs).process(trace)
+        assert warned_variables(tool) == oracle_racy, kwargs

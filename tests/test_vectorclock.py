@@ -1,0 +1,94 @@
+"""Property tests for the vector clock lattice (Section 2.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vectorclock import VectorClock
+
+vcs = st.lists(
+    st.integers(min_value=0, max_value=100), max_size=6
+).map(VectorClock)
+
+
+class TestLatticeLaws:
+    @given(vcs)
+    def test_leq_reflexive(self, v):
+        assert v.leq(v)
+
+    @given(vcs, vcs)
+    def test_leq_antisymmetric(self, v1, v2):
+        if v1.leq(v2) and v2.leq(v1):
+            assert v1 == v2
+
+    @given(vcs, vcs, vcs)
+    def test_leq_transitive(self, v1, v2, v3):
+        if v1.leq(v2) and v2.leq(v3):
+            assert v1.leq(v3)
+
+    @given(vcs, vcs)
+    def test_join_is_least_upper_bound(self, v1, v2):
+        joined = v1.joined(v2)
+        assert v1.leq(joined)
+        assert v2.leq(joined)
+
+    @given(vcs, vcs)
+    def test_join_commutative(self, v1, v2):
+        assert v1.joined(v2) == v2.joined(v1)
+
+    @given(vcs, vcs, vcs)
+    def test_join_associative(self, v1, v2, v3):
+        assert v1.joined(v2).joined(v3) == v1.joined(v2.joined(v3))
+
+    @given(vcs)
+    def test_join_idempotent(self, v):
+        assert v.joined(v) == v
+
+    @given(vcs)
+    def test_bottom_is_identity(self, v):
+        assert VectorClock.bottom().joined(v) == v
+        assert VectorClock.bottom().leq(v)
+
+
+class TestOperations:
+    def test_get_beyond_length_is_zero(self):
+        assert VectorClock([1, 2]).get(10) == 0
+
+    def test_set_grows(self):
+        v = VectorClock()
+        v.set(3, 7)
+        assert v.get(3) == 7
+        assert v.get(0) == 0
+
+    @given(vcs, st.integers(min_value=0, max_value=8))
+    def test_inc_increments_one_component(self, v, tid):
+        before = v.get(tid)
+        snapshot = v.copy()
+        v.inc(tid)
+        assert v.get(tid) == before + 1
+        for other in range(10):
+            if other != tid:
+                assert v.get(other) == snapshot.get(other)
+
+    @given(vcs)
+    def test_copy_is_independent(self, v):
+        fresh = v.copy()
+        fresh.inc(0)
+        assert fresh.get(0) == v.get(0) + 1
+
+    def test_assign_replaces_contents(self):
+        v = VectorClock([9, 9])
+        v.assign(VectorClock([1]))
+        assert v == VectorClock([1])
+
+    @given(vcs)
+    def test_as_tuple_trims_trailing_zeros(self, v):
+        t = v.as_tuple()
+        assert not t or t[-1] != 0
+
+    @given(vcs)
+    def test_equal_vcs_hash_equal(self, v):
+        assert hash(v.copy()) == hash(v)
+        assert VectorClock(list(v.clocks) + [0]) == v
+
+    def test_repr(self):
+        assert repr(VectorClock([4, 0])) == "<4,0,...>"

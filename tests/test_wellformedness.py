@@ -1,0 +1,78 @@
+"""Definition 1 / Lemmas 1–2: well-formedness of the analysis state.
+
+A state σ = (C, L, R, W) is well-formed if
+
+1. ∀u ≠ t:  C_u(t) < C_t(t)
+2. ∀m, t:   L_m(t) < C_t(t)
+3. ∀x, t:   R_x(t) ≤ C_t(t)   (interpreting epochs as functions)
+4. ∀x, t:   W_x(t) ≤ C_t(t)
+
+Lemma 1 says σ0 is well-formed; Lemma 2 says every transition preserves
+well-formedness.  We check the invariant after *every* event of random
+feasible traces.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.epoch import READ_SHARED, epoch_clock, epoch_tid
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+from repro.trace.generators import traces
+
+
+def assert_well_formed(tool: FastTrack) -> None:
+    threads = tool.threads
+
+    def clock_of(tid: int) -> int:
+        state = threads.get(tid)
+        return state.vc.get(tid) if state is not None else 1
+
+    for t, tstate in threads.items():
+        for u, ustate in threads.items():
+            if u != t:
+                assert ustate.vc.get(t) < clock_of(t), (u, t)
+        # The cached epoch invariant from Figure 5.
+        assert epoch_tid(tstate.epoch) == t
+        assert epoch_clock(tstate.epoch) == tstate.vc.get(t)
+
+    for name, lock in list(tool.locks.items()) + list(tool.volatiles.items()):
+        for t in threads:
+            assert lock.vc.get(t) < clock_of(t), (name, t)
+
+    for name, var in tool.vars.items():
+        write_tid = epoch_tid(var.write_epoch)
+        assert epoch_clock(var.write_epoch) <= clock_of(write_tid), name
+        if var.read_epoch == READ_SHARED:
+            for t, clock in enumerate(var.read_vc.clocks):
+                if clock:
+                    assert clock <= clock_of(t), name
+        else:
+            read_tid = epoch_tid(var.read_epoch)
+            assert epoch_clock(var.read_epoch) <= clock_of(read_tid), name
+
+
+def test_lemma1_initial_state_is_well_formed():
+    assert_well_formed(FastTrack())
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_lemma2_every_transition_preserves_well_formedness(trace):
+    tool = FastTrack()
+    for event in trace:
+        tool.handle(event)
+        assert_well_formed(tool)
+
+
+def test_well_formed_after_barrier():
+    tool = FastTrack()
+    tool.process(
+        [
+            ev.fork(0, 1),
+            ev.rd(0, "x"),
+            ev.rd(1, "x"),
+            ev.barrier_rel((0, 1)),
+            ev.wr(0, "x"),
+        ]
+    )
+    assert_well_formed(tool)

@@ -1,0 +1,90 @@
+"""Integration tests: the 16 benchmark workloads reproduce Table 1's
+warning structure for every tool, on multiple schedules."""
+
+import pytest
+
+from repro.bench.harness import TABLE1_ORDER, WARNING_TOOLS, _tool
+from repro.bench.workload import WORKLOADS, get_workload
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import HappensBefore
+
+SMALL = 260  # scale used for tests: quick but past every warm-up threshold
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_workload_traces_are_feasible(name):
+    trace = WORKLOADS[name].trace(scale=SMALL)
+    assert check_feasible(trace) == []
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_warning_counts_match_table1(name):
+    workload = WORKLOADS[name]
+    trace = workload.trace(scale=SMALL)
+    for tool_name in WARNING_TOOLS:
+        expected = workload.paper.warnings[tool_name]
+        if expected is None:
+            continue  # the paper shows "–" (did not run / out of memory)
+        tool = _tool(tool_name).process(trace)
+        assert tool.warning_count == expected, tool_name
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_precise_tool_warnings_are_real_races(name):
+    """No false alarms: every FastTrack warning corresponds to a variable
+    the happens-before oracle says is racy."""
+    trace = WORKLOADS[name].trace(scale=120)
+    racy = HappensBefore(list(trace)).racy_variables()
+    tool = _tool("FastTrack").process(trace)
+    assert {w.var for w in tool.warnings} <= racy
+    # ...and every racy variable either warned or was deduplicated into a
+    # site that warned.
+    warned_sites = {w.site for w in tool.warnings}
+    for var in racy:
+        assert tool.has_warned(var), var
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("name", ["tsp", "hedc", "jbb", "mtrt"])
+def test_racy_workloads_stable_across_schedules(name, seed):
+    """The calibrated warning counts hold on different interleavings."""
+    workload = WORKLOADS[name]
+    trace = workload.trace(scale=SMALL, seed=seed)
+    assert check_feasible(trace) == []
+    for tool_name in ("Eraser", "MultiRace", "FastTrack"):
+        expected = workload.paper.warnings[tool_name]
+        tool = _tool(tool_name).process(trace)
+        assert tool.warning_count == expected, (tool_name, seed)
+
+
+@pytest.mark.parametrize("name", ["crypt", "moldyn", "sparse", "raja"])
+@pytest.mark.parametrize("seed", [5, 9])
+def test_race_free_workloads_stay_clean_across_schedules(name, seed):
+    trace = WORKLOADS[name].trace(scale=SMALL, seed=seed)
+    for tool_name in ("FastTrack", "DJIT+", "BasicVC"):
+        assert _tool(tool_name).process(trace).warnings == []
+
+
+def test_registry_contents():
+    assert set(TABLE1_ORDER) == set(WORKLOADS)
+    assert get_workload("tsp").paper.threads == 5
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_workload("nonesuch")
+    marked_not_compute_bound = {
+        name for name in WORKLOADS if not WORKLOADS[name].compute_bound
+    }
+    assert marked_not_compute_bound == {"elevator", "philo", "hedc", "jbb"}
+
+
+def test_trace_memoization():
+    workload = WORKLOADS["philo"]
+    assert workload.trace(scale=100) is workload.trace(scale=100)
+    assert workload.trace(scale=100) is not workload.trace(scale=101)
+
+
+def test_operation_mix_is_read_dominated():
+    """Figure 2's margin: reads dominate the monitored operations."""
+    trace = WORKLOADS["crypt"].trace(scale=SMALL)
+    mix = trace.operation_mix()
+    assert mix["reads"] > 0.55
+    assert mix["other"] < 0.15
