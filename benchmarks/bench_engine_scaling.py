@@ -1,0 +1,120 @@
+"""Engine scaling: throughput (events/sec) vs worker count.
+
+The sharded engine's pitch is data-parallel scale-out of the offline
+analyses (docs/ENGINE.md): partition once, then analyze shards on N worker
+processes.  This benchmark measures exactly the parallel phase — the trace
+(an Eclipse-style ``Import`` operation, the paper's heaviest workload
+shape, ≥200k events at the default scale) is partitioned once up front,
+then the analyze+merge phase is timed at 1, 2, and 4 workers against the
+same shard files, the same way a ``--resume`` run would execute it.
+
+Results are pushed into the session recorder that
+``benchmarks/conftest.py`` serializes to ``benchmarks/BENCH_engine.json``,
+so successive PRs can track the throughput trajectory machine-readably.
+``cpus`` is recorded alongside: on a single-core container the 4-worker
+speedup is bounded at ~1.0 by hardware, not by the engine.
+
+Tunables: ``BENCH_ENGINE_SCALE`` (workload scale, default 8500 ≈ 204k
+events), ``BENCH_ENGINE_SHARDS`` (default 8), ``BENCH_ENGINE_ROUNDS``
+(default 3, min is kept).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import engine
+from repro.bench.eclipse import import_program
+from repro.engine.checkpoint import Workdir
+from repro.engine.partition import partition_events
+from repro.runtime.scheduler import run_program
+
+TOOL = "FastTrack"
+WORKER_COUNTS = (1, 2, 4)
+ENGINE_SCALE = int(os.environ.get("BENCH_ENGINE_SCALE", "8500"))
+NSHARDS = int(os.environ.get("BENCH_ENGINE_SHARDS", "8"))
+ROUNDS = int(os.environ.get("BENCH_ENGINE_ROUNDS", "3"))
+
+
+@pytest.fixture(scope="module")
+def partitioned(tmp_path_factory):
+    """One partitioned working directory shared by every worker count."""
+    trace = run_program(import_program(ENGINE_SCALE), seed=0)
+    root = str(tmp_path_factory.mktemp("engine_scaling"))
+    partition_events(iter(trace.events), Workdir(root), NSHARDS)
+    return root, len(trace)
+
+
+def _timed_analysis(root, jobs):
+    """Analyze all shards with ``jobs`` workers; partition cost excluded."""
+    Workdir(root).clear_results(TOOL, NSHARDS)
+    start = time.perf_counter()
+    report = engine.check_events(
+        (), tool=TOOL, workdir=root, resume=True, jobs=jobs
+    )
+    return time.perf_counter() - start, report
+
+
+@pytest.mark.parametrize("jobs", WORKER_COUNTS)
+def test_engine_scaling_cell(
+    benchmark, partitioned, jobs, engine_bench_recorder
+):
+    root, events = partitioned
+    best = None
+    reference_warnings = None
+    for _ in range(ROUNDS):
+        seconds, report = _timed_analysis(root, jobs)
+        best = seconds if best is None else min(best, seconds)
+        if reference_warnings is None:
+            reference_warnings = [str(w) for w in report.warnings]
+        else:
+            # Worker count must never change the verdict.
+            assert [str(w) for w in report.warnings] == reference_warnings
+    engine_bench_recorder.setdefault("engine_scaling", {}).update(
+        {
+            "workload": "eclipse-import",
+            "tool": TOOL,
+            "events": events,
+            "nshards": NSHARDS,
+            "cpus": os.cpu_count(),
+        }
+    )
+    engine_bench_recorder["engine_scaling"].setdefault("results", {})[
+        str(jobs)
+    ] = {
+        "seconds": best,
+        "events_per_sec": events / best if best else None,
+        "warnings": len(reference_warnings),
+    }
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.pedantic(
+        lambda: _timed_analysis(root, jobs), rounds=1, iterations=1
+    )
+
+
+def test_engine_scaling_summary(partitioned, engine_bench_recorder):
+    """Derive the speedup table once all cells have run (items are sorted
+    by nodeid, so `summary` follows the `cell` parametrizations)."""
+    data = engine_bench_recorder.get("engine_scaling", {})
+    results = data.get("results", {})
+    if str(WORKER_COUNTS[0]) not in results:
+        pytest.skip("scaling cells did not run")
+    base = results[str(WORKER_COUNTS[0])]["seconds"]
+    data["speedup"] = {
+        f"{jobs}v1": base / results[str(jobs)]["seconds"]
+        for jobs in WORKER_COUNTS
+        if str(jobs) in results
+    }
+    print()
+    print(f"engine scaling over {data['events']} events, {NSHARDS} shards, "
+          f"{data['cpus']} cpu(s):")
+    for jobs in WORKER_COUNTS:
+        cell = results.get(str(jobs))
+        if cell:
+            print(
+                f"  jobs={jobs}: {cell['seconds']:.3f}s "
+                f"({cell['events_per_sec']:,.0f} events/s, "
+                f"speedup {data['speedup'][f'{jobs}v1']:.2f}x)"
+            )

@@ -7,11 +7,23 @@ EXPERIMENTS.md were produced at each workload's default scale via
 ``python -m repro.bench``.
 """
 
+import json
+import os
+
 import pytest
 
 #: Workload scale used inside pytest-benchmark runs (default scales are
 #: used by ``python -m repro.bench``, which is the reference run).
 BENCH_SCALE = 400
+
+#: Machine-readable results accumulated during the session (the engine
+#: scaling benchmark writes here) and serialized to BENCH_engine.json at
+#: session end, so future PRs can track the perf trajectory.
+ENGINE_BENCH_RESULTS = {}
+
+_BENCH_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_engine.json"
+)
 
 
 @pytest.fixture(scope="session")
@@ -19,6 +31,20 @@ def bench_scale():
     return BENCH_SCALE
 
 
+@pytest.fixture(scope="session")
+def engine_bench_recorder():
+    """Session-wide dict benchmarks record machine-readable results into."""
+    return ENGINE_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not ENGINE_BENCH_RESULTS:
+        return
+    with open(_BENCH_JSON_PATH, "w", encoding="utf-8") as stream:
+        json.dump(ENGINE_BENCH_RESULTS, stream, indent=2, sort_keys=True)
+        stream.write("\n")

@@ -7,6 +7,9 @@
     repro record tsp -o tsp.trace       generate a workload's event stream
     repro check tsp.trace               run FastTrack over a trace file
     repro check tsp.trace --tool Eraser --all-tools --oracle
+    repro check big.trace --jobs 4 --shards 16 --resume work/
+                                        sharded parallel engine (streaming;
+                                        re-running resumes finished shards)
     repro annotate small.trace          print per-event vector clocks
     repro bench table1                  regenerate the paper's tables
 
@@ -37,6 +40,12 @@ def _read_trace(path: str, fmt: str) -> Trace:
     if fmt == "jsonl":
         return serialize.loads_jsonl(text)
     return serialize.loads(text)
+
+
+def _print_parse_error(path: str, error: serialize.TraceParseError) -> None:
+    print(f"error: {path}: {error}", file=sys.stderr)
+    if error.line is not None:
+        print(f"  offending line: {error.line}", file=sys.stderr)
 
 
 def _write_trace(trace: Trace, path: Optional[str], fmt: str) -> None:
@@ -94,8 +103,92 @@ def cmd_record(args) -> int:
     return 0
 
 
+def _cmd_check_sharded(args) -> int:
+    """The ``--jobs N`` / ``--shards M`` / ``--resume DIR`` engine path."""
+    import tempfile
+
+    from repro import engine
+
+    if args.oracle:
+        print(
+            "error: --oracle needs the full trace in memory; "
+            "use --jobs 1 for the oracle",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    tool_names = list(DETECTORS) if args.all_tools else [args.tool]
+    workdir = args.resume
+    owns_workdir = False
+    if workdir is None and len(tool_names) > 1:
+        # Partition once, analyze with every tool against the same shards.
+        workdir = tempfile.mkdtemp(prefix="repro-engine-")
+        owns_workdir = True
+    if args.all_tools and not args.verbose:
+        print(f"{'tool':<12s}{'warnings':>9s}")
+    worst = 0
+    selected = None
+    try:
+        for position, name in enumerate(tool_names):
+            kwargs = {"track_sites": True} if name == "FastTrack" else {}
+            # Reuse the partition for every tool after the first pass.
+            resume = args.resume is not None or position > 0
+            report = engine.check_trace_file(
+                args.trace,
+                tool=name,
+                fmt=args.format,
+                nshards=args.shards,
+                jobs=args.jobs,
+                workdir=workdir,
+                resume=resume,
+                tool_kwargs=kwargs,
+            )
+            if name == args.tool:
+                worst = report.warning_count
+                selected = report
+            if args.all_tools and not args.verbose:
+                print(f"{name:<12s}{report.warning_count:>9d}")
+            else:
+                print(f"{name}: {report.warning_count} warning(s)")
+                for warning in report.warnings:
+                    print(f"  {warning}")
+    except serialize.TraceParseError as error:
+        _print_parse_error(args.trace, error)
+        return 2
+    except engine.CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {args.trace}: {error.strerror or error}",
+              file=sys.stderr)
+        return 2
+    finally:
+        if owns_workdir:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)
+    if args.report is not None and selected is not None:
+        with open(args.report, "w", encoding="utf-8") as stream:
+            stream.write(engine.render_markdown(selected))
+        print(f"report written to {args.report}")
+    return 1 if worst else 0
+
+
 def cmd_check(args) -> int:
-    trace = _read_trace(args.trace, args.format)
+    if args.jobs > 1 or args.shards is not None or args.resume is not None:
+        return _cmd_check_sharded(args)
+    try:
+        trace = _read_trace(args.trace, args.format)
+    except serialize.TraceParseError as error:
+        _print_parse_error(args.trace, error)
+        return 2
+    except OSError as error:
+        print(f"error: {args.trace}: {error.strerror or error}",
+              file=sys.stderr)
+        return 2
     violations = check_feasible(trace)
     if violations:
         print(f"warning: trace is not feasible ({violations[0]})")
@@ -278,6 +371,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compute ground truth from the happens-before definition",
     )
     check.add_argument("--format", choices=("text", "jsonl"), default="text")
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sharded engine (1 = in-process)",
+    )
+    check.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="shard count for --jobs (default: 2 per worker)",
+    )
+    check.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="engine working directory; reuses finished shards on re-run",
+    )
     check.add_argument(
         "--report",
         metavar="FILE",

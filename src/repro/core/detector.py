@@ -48,6 +48,28 @@ class CostStats:
     def rule(self, name: str) -> None:
         self.rules[name] += 1
 
+    def merge(self, other: "CostStats") -> "CostStats":
+        """Fold another run's counters into this one (in place).
+
+        This is the primitive the sharded engine uses to combine per-shard
+        detector stats: every counter is summed, which makes the merged
+        numbers reflect the *work actually performed* across all shards.
+        Because synchronization events are broadcast to every shard, their
+        contributions (``syncs``, sync-side ``vc_ops``/``vc_allocs``) appear
+        once per shard; :func:`repro.engine.merge.merge_stats` corrects the
+        event-mix counters back to trace-accurate totals.
+        """
+        self.events += other.events
+        self.reads += other.reads
+        self.writes += other.writes
+        self.syncs += other.syncs
+        self.boundaries += other.boundaries
+        self.vc_allocs += other.vc_allocs
+        self.vc_ops += other.vc_ops
+        self.fast_ops += other.fast_ops
+        self.rules.update(other.rules)
+        return self
+
     def summary(self) -> Dict[str, object]:
         data = {
             "events": self.events,
@@ -157,14 +179,22 @@ class Detector:
         self.absorb_kind_counts(events)
         return self
 
-    def handle(self, event: ev.Event) -> None:
+    def handle(self, event: ev.Event, index: Optional[int] = None) -> None:
         """Feed a single event to the analysis.
 
         Deliberately minimal: per-event kind tallies are taken in bulk by
         :meth:`absorb_kind_counts` so the analysis hot paths are measured,
         not the bookkeeping.
+
+        ``index`` overrides the running event counter: the sharded engine
+        passes each event's *original* trace position so that warnings from
+        a shard worker (which sees only a sub-stream) carry the same
+        ``event_index`` a single-threaded run would report.
         """
-        self._index += 1
+        if index is None:
+            self._index += 1
+        else:
+            self._index = index
         self._dispatch[event.kind](event)
 
     @property

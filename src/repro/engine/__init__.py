@@ -1,0 +1,212 @@
+"""Sharded, streaming, parallel offline race-checking engine.
+
+``repro.engine`` scales the offline analyses to traces that are too large
+for a single in-memory pass and to machines with more than one core, with
+*zero* precision loss.  Four layers (one module each):
+
+1. :mod:`~repro.engine.partition` — a single streaming pass routes each
+   read/write to ``stable_hash(variable) % nshards`` and broadcasts every
+   synchronization event to all shards;
+2. :mod:`~repro.engine.worker` — per-shard detector runs (optionally in
+   ``multiprocessing`` workers), each seeing the complete sync order plus
+   its variables' accesses, so per-variable analysis is exact;
+3. :mod:`~repro.engine.merge` — deterministic merge of warnings, cost
+   stats, and sharing-classifier counts, ordered by original trace
+   position and deduplicated with the single-threaded reporting
+   discipline;
+4. :mod:`~repro.engine.checkpoint` — crash-safe per-shard progress records
+   so an interrupted run resumes without re-analyzing finished shards.
+
+Entry points::
+
+    from repro.engine import check_trace_file, check_events
+
+    report = check_trace_file("big.trace", tool="FastTrack", jobs=4)
+    report = check_events(trace.events, tool="DJIT+", nshards=8)
+
+Both return a :class:`~repro.engine.merge.MergedReport` whose warnings are
+bit-identical to ``make_detector(tool).process(trace).warnings`` (the
+differential suite ``tests/test_engine_equivalence.py`` enforces this).
+The CLI exposes the engine as ``repro check --jobs N [--shards M]
+[--resume DIR]``; see docs/ENGINE.md for the precision argument and the
+checkpoint layout.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import shutil
+import tempfile
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.engine.checkpoint import CheckpointError, Workdir
+from repro.engine.merge import (
+    MergedReport,
+    merge_shard_results,
+    merge_stats,
+    merge_warnings,
+    render_markdown,
+)
+from repro.engine.partition import iter_shard, partition_events, shard_of
+from repro.engine.worker import analyze_shard, load_payloads, run_shard
+from repro.trace import events as ev
+from repro.trace import serialize
+
+__all__ = [
+    "CheckpointError",
+    "MergedReport",
+    "Workdir",
+    "analyze_shard",
+    "check_events",
+    "check_trace_file",
+    "default_nshards",
+    "iter_shard",
+    "load_payloads",
+    "merge_shard_results",
+    "merge_stats",
+    "merge_warnings",
+    "partition_events",
+    "render_markdown",
+    "run_shard",
+    "shard_of",
+]
+
+
+def default_nshards(jobs: int) -> int:
+    """Two shards per worker: variable weight is skewed, so over-sharding
+    lets fast workers steal a second helping instead of idling."""
+    return max(1, 2 * max(1, jobs))
+
+
+def _pick_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    # fork starts ~100x faster than spawn and the workers hold no locks or
+    # threads at fork time; fall back to spawn where fork is unavailable.
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _run_pending(
+    root: str,
+    pending: List[int],
+    tool: str,
+    tool_kwargs: Optional[Dict],
+    jobs: int,
+    classify: bool,
+) -> None:
+    if jobs <= 1 or len(pending) <= 1:
+        for shard in pending:
+            run_shard(root, shard, tool, tool_kwargs, classify)
+        return
+    context = multiprocessing.get_context(_pick_start_method())
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)), mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(run_shard, root, shard, tool, tool_kwargs, classify)
+            for shard in pending
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            future.result()  # re-raise the first worker failure
+
+
+def _run(
+    events_factory: Callable[[], Iterator[ev.Event]],
+    tool: str,
+    nshards: Optional[int],
+    jobs: int,
+    workdir: Optional[str],
+    resume: bool,
+    classify: bool,
+    tool_kwargs: Optional[Dict],
+) -> MergedReport:
+    owns_workdir = workdir is None
+    root = workdir if workdir is not None else tempfile.mkdtemp(
+        prefix="repro-engine-"
+    )
+    try:
+        wd = Workdir(root)
+        meta = wd.read_meta() if resume else None
+        if meta is not None:
+            # A complete partition is already on disk: validate and reuse it
+            # (re-partitioning would be wasted work and, worse, a different
+            # shard count would orphan the existing checkpoints).
+            wd.validate_meta(meta, nshards)
+        else:
+            shards = nshards if nshards is not None else default_nshards(jobs)
+            meta = partition_events(events_factory(), wd, shards)
+        count = meta["nshards"]
+        if not resume:
+            wd.clear_results(tool, count)
+        completed = set(wd.completed_shards(tool, count))
+        pending = [shard for shard in range(count) if shard not in completed]
+        _run_pending(root, pending, tool, tool_kwargs, jobs, classify)
+        return merge_shard_results(load_payloads(wd, tool, count))
+    finally:
+        if owns_workdir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def check_events(
+    events: Iterable[ev.Event],
+    tool: str = "FastTrack",
+    *,
+    nshards: Optional[int] = None,
+    jobs: int = 1,
+    workdir: Optional[str] = None,
+    resume: bool = False,
+    classify: bool = False,
+    tool_kwargs: Optional[Dict] = None,
+) -> MergedReport:
+    """Shard-check an in-memory event sequence (or any one-shot iterable)."""
+    return _run(
+        lambda: iter(events),
+        tool,
+        nshards,
+        jobs,
+        workdir,
+        resume,
+        classify,
+        tool_kwargs,
+    )
+
+
+def check_trace_file(
+    path: str,
+    tool: str = "FastTrack",
+    fmt: str = "text",
+    *,
+    nshards: Optional[int] = None,
+    jobs: int = 1,
+    workdir: Optional[str] = None,
+    resume: bool = False,
+    classify: bool = False,
+    tool_kwargs: Optional[Dict] = None,
+) -> MergedReport:
+    """Shard-check a serialized trace file, streaming it during partition.
+
+    The file is read through :func:`repro.trace.serialize.iter_load` (or
+    ``iter_load_jsonl``), so the full event list is never materialized; a
+    resumed run whose partition already exists does not read it at all.
+    """
+
+    def events_factory() -> Iterator[ev.Event]:
+        def generate() -> Iterator[ev.Event]:
+            with open(path, "r", encoding="utf-8") as stream:
+                if fmt == "jsonl":
+                    yield from serialize.iter_load_jsonl(stream)
+                else:
+                    yield from serialize.iter_load(stream)
+
+        return generate()
+
+    return _run(
+        events_factory,
+        tool,
+        nshards,
+        jobs,
+        workdir,
+        resume,
+        classify,
+        tool_kwargs,
+    )

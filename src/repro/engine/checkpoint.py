@@ -1,0 +1,134 @@
+"""On-disk layout and crash-safe persistence for an engine run.
+
+An engine working directory survives worker crashes and process kills, so a
+``repro check --jobs N --resume DIR`` re-run only analyzes the shards that
+never finished::
+
+    DIR/
+      meta.json                     partition metadata (written last, so its
+                                    presence certifies a complete partition)
+      shards/shard_0007.bin         one pickle-framed event file per shard
+      results/FastTrack/shard_0007.json
+                                    one checkpoint per (tool, shard); the
+                                    file's existence is the progress record
+
+Every write here is atomic (temp file + ``os.replace``): a killed worker
+leaves either a complete checkpoint or none, never a truncated one.
+Results are grouped per tool so one partition can serve several detectors
+(``--all-tools``) and each resumes independently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Dict, List, Optional
+
+#: Bump when the shard file or checkpoint format changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A resume directory does not match the requested run."""
+
+
+def _tool_dirname(tool: str) -> str:
+    """A filesystem-safe directory name for a tool (``DJIT+`` → ``DJIT_``)."""
+    return re.sub(r"[^A-Za-z0-9.-]", "_", tool)
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class Workdir:
+    """Handle on one engine working directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.shards_dir = os.path.join(root, "shards")
+        self.results_dir = os.path.join(root, "results")
+        self.meta_path = os.path.join(root, "meta.json")
+        os.makedirs(self.shards_dir, exist_ok=True)
+        os.makedirs(self.results_dir, exist_ok=True)
+
+    # -- partition metadata --------------------------------------------------
+
+    def write_meta(self, meta: Dict) -> None:
+        meta = dict(meta)
+        meta["format_version"] = FORMAT_VERSION
+        _atomic_write(self.meta_path, json.dumps(meta, indent=2) + "\n")
+
+    def read_meta(self) -> Optional[Dict]:
+        """The partition metadata, or ``None`` if no complete partition
+        exists here (meta.json is written only after all shards are)."""
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as stream:
+                meta = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if meta.get("format_version") != FORMAT_VERSION:
+            return None
+        return meta
+
+    def validate_meta(self, meta: Dict, nshards: Optional[int]) -> None:
+        """Reject a resume against a partition with a different geometry."""
+        if nshards is not None and meta.get("nshards") != nshards:
+            raise CheckpointError(
+                f"resume directory was partitioned into {meta.get('nshards')} "
+                f"shards but {nshards} were requested; drop --shards or use "
+                "a fresh directory"
+            )
+        for shard in range(meta.get("nshards", 0)):
+            if not os.path.exists(self.shard_path(shard)):
+                raise CheckpointError(
+                    f"resume directory is missing shard file "
+                    f"{self.shard_path(shard)!r}"
+                )
+
+    # -- shard event files ---------------------------------------------------
+
+    def shard_path(self, shard: int) -> str:
+        return os.path.join(self.shards_dir, f"shard_{shard:04d}.bin")
+
+    # -- per-(tool, shard) result checkpoints --------------------------------
+
+    def result_path(self, tool: str, shard: int) -> str:
+        return os.path.join(
+            self.results_dir, _tool_dirname(tool), f"shard_{shard:04d}.json"
+        )
+
+    def completed_shards(self, tool: str, nshards: int) -> List[int]:
+        return [
+            shard
+            for shard in range(nshards)
+            if os.path.exists(self.result_path(tool, shard))
+        ]
+
+    def write_result(self, tool: str, shard: int, payload: Dict) -> str:
+        path = self.result_path(tool, shard)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(path, json.dumps(payload) + "\n")
+        return path
+
+    def read_result(self, tool: str, shard: int) -> Dict:
+        with open(self.result_path(tool, shard), "r", encoding="utf-8") as f:
+            return json.load(f)
+
+    def clear_results(self, tool: str, nshards: int) -> None:
+        """Drop a tool's checkpoints (a non-resume run starts clean)."""
+        for shard in range(nshards):
+            path = self.result_path(tool, shard)
+            if os.path.exists(path):
+                os.unlink(path)

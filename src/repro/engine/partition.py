@@ -1,0 +1,125 @@
+"""Streaming trace partitioner: one pass, bounded memory, N shard files.
+
+FastTrack's analysis state factors into (a) the synchronization order —
+thread/lock/volatile vector clocks, advanced only by sync operations — and
+(b) per-variable shadow state, advanced only by that variable's accesses
+(PAPER.md Figure 5).  The partitioner exploits this: it streams the event
+sequence once and
+
+* **broadcasts** every non-access event (acquire/release, fork/join,
+  volatile accesses, barrier releases, enter/exit boundaries) to *all*
+  shard files, and
+* **routes** each read/write to the single shard
+  ``stable_hash(variable) % nshards``,
+
+preserving relative order within each shard.  Every shard therefore sees
+the complete sync order interleaved with its own variables' accesses — by
+the paper's Theorem 1 argument, exactly the information needed to check
+those variables with full precision (docs/ENGINE.md spells the argument
+out).
+
+Shard files are sequences of pickle frames, each a batch of
+``(original_index, Event)`` pairs; carrying the original trace position lets
+shard workers report warnings with single-threaded-identical
+``event_index`` values.  The variable hash is ``zlib.crc32`` over ``repr``
+rather than builtin ``hash`` because the latter is randomized per process:
+shard assignment must be stable across the CLI invocations of an
+interrupted-then-resumed run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.engine.checkpoint import Workdir
+from repro.trace import events as ev
+
+#: Events appended to a batch before it is pickled out (bounds memory).
+BATCH_EVENTS = 8192
+
+_ACCESS_KINDS = (ev.READ, ev.WRITE)
+
+
+def shard_of(target: Hashable, nshards: int) -> int:
+    """Deterministic, process-stable shard assignment for a variable."""
+    return zlib.crc32(repr(target).encode("utf-8")) % nshards
+
+
+def partition_events(
+    events: Iterable[ev.Event],
+    workdir: Workdir,
+    nshards: int,
+    batch_events: int = BATCH_EVENTS,
+) -> Dict:
+    """Stream ``events`` into ``nshards`` shard files under ``workdir``.
+
+    Returns the partition metadata (also persisted as ``meta.json``; its
+    write is the last step, so a half-partitioned directory is recognizably
+    incomplete and gets re-partitioned on resume).
+    """
+    if nshards < 1:
+        raise ValueError(f"nshards must be >= 1, got {nshards}")
+    streams = [open(workdir.shard_path(s), "wb") for s in range(nshards)]
+    batches: List[List[Tuple[int, ev.Event]]] = [[] for _ in range(nshards)]
+    shard_events = [0] * nshards
+    total = reads = writes = 0
+
+    def flush(shard: int) -> None:
+        if batches[shard]:
+            pickle.dump(
+                batches[shard], streams[shard], protocol=pickle.HIGHEST_PROTOCOL
+            )
+            batches[shard].clear()
+
+    try:
+        for index, event in enumerate(events):
+            kind = event.kind
+            if kind in _ACCESS_KINDS:
+                shard = shard_of(event.target, nshards)
+                batches[shard].append((index, event))
+                shard_events[shard] += 1
+                if kind == ev.READ:
+                    reads += 1
+                else:
+                    writes += 1
+                if len(batches[shard]) >= batch_events:
+                    flush(shard)
+            else:
+                # Sync / boundary event: every shard needs the full
+                # synchronization order to keep its vector clocks exact.
+                for shard in range(nshards):
+                    batches[shard].append((index, event))
+                    shard_events[shard] += 1
+                    if len(batches[shard]) >= batch_events:
+                        flush(shard)
+            total += 1
+        for shard in range(nshards):
+            flush(shard)
+    finally:
+        for stream in streams:
+            stream.close()
+
+    meta = {
+        "nshards": nshards,
+        "events": total,
+        "reads": reads,
+        "writes": writes,
+        "other": total - reads - writes,
+        "shard_events": shard_events,
+    }
+    workdir.write_meta(meta)
+    return meta
+
+
+def iter_shard(workdir: Workdir, shard: int) -> Iterable[Tuple[int, ev.Event]]:
+    """Yield a shard's ``(original_index, event)`` pairs in order."""
+    with open(workdir.shard_path(shard), "rb") as stream:
+        while True:
+            try:
+                batch = pickle.load(stream)
+            except EOFError:
+                return
+            for pair in batch:
+                yield pair

@@ -1,0 +1,175 @@
+"""Shard workers: full-precision detection over one shard's sub-stream.
+
+A worker replays its shard file — the complete synchronization order plus
+the accesses of the variables hashed to this shard — through a fresh
+detector instance from :mod:`repro.detectors.registry`.  Each event is fed
+with its *original* trace index, so the warnings a worker records are
+field-for-field identical to the ones a single-threaded run reports for the
+same variables (same ``event_index``, same ``prior`` description — the
+per-variable shadow state evolves identically because the sync order is
+complete).
+
+The worker's result — warnings, detector cost stats, optional
+sharing-classifier counts — is checkpointed as JSON through
+:class:`~repro.engine.checkpoint.Workdir` before the function returns, so a
+run killed between shards loses at most the shards in flight.  The module
+is import-clean and the entry point takes only picklable primitives: it is
+the ``multiprocessing`` target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.detector import CostStats, Detector, RaceWarning
+from repro.detectors.registry import make_detector
+from repro.engine.checkpoint import Workdir
+from repro.engine.partition import iter_shard
+from repro.trace import events as ev
+from repro.trace.serialize import _target_from_json, _target_to_json
+
+PAYLOAD_VERSION = 1
+
+
+def _encode_hashable(value: Optional[Hashable]):
+    return None if value is None else _target_to_json(value)
+
+
+def _decode_hashable(value) -> Optional[Hashable]:
+    return None if value is None else _target_from_json(value)
+
+
+def warning_to_json(warning: RaceWarning) -> Dict:
+    return {
+        "var": _encode_hashable(warning.var),
+        "kind": warning.kind,
+        "tid": warning.tid,
+        "prior": warning.prior,
+        "event_index": warning.event_index,
+        "site": _encode_hashable(warning.site),
+    }
+
+
+def warning_from_json(record: Dict) -> RaceWarning:
+    return RaceWarning(
+        var=_decode_hashable(record["var"]),
+        kind=record["kind"],
+        tid=record["tid"],
+        prior=record["prior"],
+        event_index=record["event_index"],
+        site=_decode_hashable(record["site"]),
+    )
+
+
+def stats_to_json(stats: CostStats) -> Dict:
+    return {
+        "events": stats.events,
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "syncs": stats.syncs,
+        "boundaries": stats.boundaries,
+        "vc_allocs": stats.vc_allocs,
+        "vc_ops": stats.vc_ops,
+        "fast_ops": stats.fast_ops,
+        "rules": dict(stats.rules),
+    }
+
+
+def stats_from_json(record: Dict) -> CostStats:
+    stats = CostStats(
+        events=record["events"],
+        reads=record["reads"],
+        writes=record["writes"],
+        syncs=record["syncs"],
+        boundaries=record["boundaries"],
+        vc_allocs=record["vc_allocs"],
+        vc_ops=record["vc_ops"],
+        fast_ops=record["fast_ops"],
+    )
+    stats.rules.update(record["rules"])
+    return stats
+
+
+def _tally_kinds(stats: CostStats, kind_counts: Dict[int, int]) -> None:
+    """Per-shard equivalent of :meth:`Detector.absorb_kind_counts`, taken
+    from counts accumulated while streaming (the stream is consumed once)."""
+    for kind, count in kind_counts.items():
+        stats.events += count
+        if kind == ev.READ:
+            stats.reads += count
+        elif kind == ev.WRITE:
+            stats.writes += count
+        elif kind in (ev.ENTER, ev.EXIT):
+            stats.boundaries += count
+        else:
+            stats.syncs += count
+
+
+def analyze_shard(
+    workdir: Workdir,
+    shard: int,
+    tool: str,
+    tool_kwargs: Optional[Dict] = None,
+    classify: bool = False,
+) -> Dict:
+    """Run ``tool`` over one shard and checkpoint + return the payload."""
+    detector: Detector = make_detector(tool, **(tool_kwargs or {}))
+    classifier = None
+    if classify:
+        from repro.detectors.classifier import SharingClassifier
+
+        classifier = SharingClassifier()
+    kind_counts: Dict[int, int] = {}
+    handle = detector.handle
+    for index, event in iter_shard(workdir, shard):
+        handle(event, index=index)
+        if classifier is not None:
+            classifier.handle(event)
+        kind = event.kind
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    _tally_kinds(detector.stats, kind_counts)
+
+    classifier_payload = None
+    if classifier is not None:
+        access_counts: Dict[str, int] = {}
+        variable_counts: Dict[str, int] = {}
+        for key, cls in classifier.classify().items():
+            profile = classifier.profiles[key]
+            access_counts[cls] = access_counts.get(cls, 0) + profile.accesses
+            variable_counts[cls] = variable_counts.get(cls, 0) + 1
+        classifier_payload = {
+            "access_counts": access_counts,
+            "variable_counts": variable_counts,
+        }
+
+    payload = {
+        "payload_version": PAYLOAD_VERSION,
+        "shard": shard,
+        "tool": tool,
+        "events": sum(kind_counts.values()),
+        "warnings": [warning_to_json(w) for w in detector.warnings],
+        "suppressed": detector.suppressed_warnings,
+        "stats": stats_to_json(detector.stats),
+        "classifier": classifier_payload,
+    }
+    workdir.write_result(tool, shard, payload)
+    return payload
+
+
+def run_shard(
+    root: str,
+    shard: int,
+    tool: str,
+    tool_kwargs: Optional[Dict] = None,
+    classify: bool = False,
+) -> int:
+    """Multiprocessing entry point: picklable args, result left on disk."""
+    analyze_shard(Workdir(root), shard, tool, tool_kwargs, classify)
+    return shard
+
+
+def load_payloads(
+    workdir: Workdir, tool: str, nshards: int
+) -> List[Dict]:
+    """Read every shard's checkpointed payload, in shard order."""
+    return [workdir.read_result(tool, shard) for shard in range(nshards)]

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Hashable, Iterable, List, TextIO, Tuple, Union
+from typing import Hashable, Iterable, Iterator, Optional, TextIO, Union
 
 from repro.trace import events as ev
 from repro.trace.trace import Trace
@@ -63,7 +63,27 @@ _TARGET = re.compile(r"^(?P<base>[^\[\]]+)(?P<indices>(\[[^\[\]]+\])*)$")
 
 
 class TraceParseError(ValueError):
-    """A line of a serialized trace could not be parsed."""
+    """A line of a serialized trace could not be parsed.
+
+    When raised by the file-level parsers (:func:`loads`, :func:`load`,
+    :func:`iter_parse`, :func:`iter_load` and their JSONL counterparts),
+    ``lineno`` carries the 1-based line number and ``line`` the offending
+    line text, so malformed trace files are debuggable from the CLI.
+    Token-level parsers (:func:`parse_event`, :func:`parse_target`) raise
+    with both set to ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lineno: Optional[int] = None,
+        line: Optional[str] = None,
+    ) -> None:
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+        self.line = line
 
 
 # -- target encoding -----------------------------------------------------------
@@ -153,15 +173,32 @@ def dumps(trace: Iterable[ev.Event]) -> str:
     return "\n".join(format_event(event) for event in trace) + "\n"
 
 
-def loads(text: str) -> Trace:
-    """Parse the text format back into a :class:`Trace`."""
-    events: List[ev.Event] = []
-    for raw_line in text.splitlines():
+def iter_parse(lines: Iterable[str]) -> Iterator[ev.Event]:
+    """Stream-parse the text format, one event at a time.
+
+    Comments and blank lines are skipped.  Parse failures re-raise with the
+    1-based line number and offending text attached.  This is the streaming
+    entry point the sharded engine uses: it never materializes the full
+    event list, so traces larger than memory can be partitioned.
+    """
+    for lineno, raw_line in enumerate(lines, start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
-        events.append(parse_event(line))
-    return Trace(events)
+        try:
+            yield parse_event(line)
+        except TraceParseError as error:
+            raise TraceParseError(str(error), lineno=lineno, line=line) from None
+
+
+def iter_load(stream: Iterable[str]) -> Iterator[ev.Event]:
+    """Stream-parse an open text-format file (or any iterable of lines)."""
+    return iter_parse(stream)
+
+
+def loads(text: str) -> Trace:
+    """Parse the text format back into a :class:`Trace`."""
+    return Trace(iter_parse(text.splitlines()))
 
 
 def dump(trace: Iterable[ev.Event], stream: TextIO) -> None:
@@ -169,7 +206,7 @@ def dump(trace: Iterable[ev.Event], stream: TextIO) -> None:
 
 
 def load(stream: TextIO) -> Trace:
-    return loads(stream.read())
+    return Trace(iter_load(stream))
 
 
 # -- JSON lines -------------------------------------------------------------------
@@ -215,11 +252,32 @@ def dumps_jsonl(trace: Iterable[ev.Event]) -> str:
     )
 
 
-def loads_jsonl(text: str) -> Trace:
-    events = []
-    for line in text.splitlines():
-        line = line.strip()
+def iter_parse_jsonl(lines: Iterable[str]) -> Iterator[ev.Event]:
+    """Stream-parse JSON lines; errors carry the line number and text."""
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
         if not line:
             continue
-        events.append(event_from_json(json.loads(line)))
-    return Trace(events)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceParseError(
+                f"invalid JSON ({error.msg})", lineno=lineno, line=line
+            ) from None
+        try:
+            yield event_from_json(record)
+        except TraceParseError as error:
+            raise TraceParseError(str(error), lineno=lineno, line=line) from None
+
+
+def iter_load_jsonl(stream: Iterable[str]) -> Iterator[ev.Event]:
+    """Stream-parse an open JSONL file (or any iterable of lines)."""
+    return iter_parse_jsonl(stream)
+
+
+def loads_jsonl(text: str) -> Trace:
+    return Trace(iter_parse_jsonl(text.splitlines()))
+
+
+def load_jsonl(stream: TextIO) -> Trace:
+    return Trace(iter_load_jsonl(stream))

@@ -85,6 +85,84 @@ class TestCheck:
         assert "not feasible" in out
 
 
+class TestCheckSharded:
+    """The ``--jobs`` / ``--shards`` / ``--resume`` engine path."""
+
+    def test_sharded_warnings_identical_to_in_process(self, racy_file, capsys):
+        assert main(["check", racy_file]) == 1
+        single_out = capsys.readouterr().out
+        assert main(["check", racy_file, "--jobs", "1", "--shards", "2"]) == 1
+        sharded_out = capsys.readouterr().out
+        # Identical modulo the feasibility pre-check (needs the full trace).
+        single_lines = [
+            line
+            for line in single_out.splitlines()
+            if "not feasible" not in line
+        ]
+        assert sharded_out.splitlines() == single_lines
+
+    def test_sharded_clean_trace_exits_zero(self, clean_file):
+        assert main(["check", clean_file, "--shards", "3"]) == 0
+
+    def test_multiprocess_jobs(self, racy_file, capsys):
+        assert main(["check", racy_file, "--jobs", "2"]) == 1
+        assert "write-write race on 'x'" in capsys.readouterr().out
+
+    def test_resume_reuses_partition_and_checkpoints(
+        self, racy_file, tmp_path, capsys
+    ):
+        workdir = str(tmp_path / "work")
+        assert main(["check", racy_file, "--shards", "2", "--resume", workdir]) == 1
+        first = capsys.readouterr().out
+        import os
+
+        results = os.path.join(workdir, "results", "FastTrack")
+        mtimes = {
+            name: os.path.getmtime(os.path.join(results, name))
+            for name in os.listdir(results)
+        }
+        assert main(["check", racy_file, "--resume", workdir]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        for name, mtime in mtimes.items():
+            assert os.path.getmtime(os.path.join(results, name)) == mtime
+
+    def test_resume_shard_mismatch_is_an_error(self, racy_file, tmp_path, capsys):
+        workdir = str(tmp_path / "work")
+        assert main(["check", racy_file, "--shards", "2", "--resume", workdir]) == 1
+        capsys.readouterr()
+        assert main(["check", racy_file, "--shards", "5", "--resume", workdir]) == 2
+        assert "partitioned into 2 shards" in capsys.readouterr().err
+
+    def test_sharded_all_tools(self, racy_file, capsys):
+        assert main(["check", racy_file, "--shards", "2", "--all-tools"]) == 1
+        out = capsys.readouterr().out
+        for name in ("Empty", "Eraser", "Goldilocks", "DJIT+"):
+            assert name in out
+
+    def test_sharded_oracle_rejected(self, racy_file, capsys):
+        assert main(["check", racy_file, "--jobs", "2", "--oracle"]) == 2
+        assert "--oracle" in capsys.readouterr().err
+
+    def test_sharded_report(self, racy_file, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert (
+            main(["check", racy_file, "--shards", "2", "--report", str(report)])
+            == 1
+        )
+        assert "Engine report" in report.read_text()
+
+    def test_parse_error_shows_line_number(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_text("wr(0, x)\nfrobnicate(1, y)\n")
+        assert main(["check", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "frobnicate" in err
+        assert main(["check", str(path), "--shards", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+
 class TestRecordAndAnnotate:
     def test_record_to_file_and_check(self, tmp_path, capsys):
         path = tmp_path / "tsp.trace"

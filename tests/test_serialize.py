@@ -14,7 +14,12 @@ from repro.trace.serialize import (
     dumps_jsonl,
     format_event,
     format_target,
+    iter_load,
+    iter_load_jsonl,
+    iter_parse,
+    iter_parse_jsonl,
     load,
+    load_jsonl,
     loads,
     loads_jsonl,
     parse_event,
@@ -110,6 +115,74 @@ class TestTextFormat:
     @given(traces())
     def test_generated_traces_round_trip(self, trace):
         assert loads(dumps(trace)) == trace
+
+
+class TestStreaming:
+    """The engine's streaming entry points: iter_parse / iter_load."""
+
+    def test_iter_parse_is_lazy(self):
+        lines = iter(dumps(SAMPLE).splitlines())
+        stream = iter_parse(lines)
+        first = next(stream)
+        assert first == SAMPLE[0]
+        # The source has not been consumed past what was requested (+1 for
+        # generator read-ahead is not a thing here: one line per event).
+        assert list(stream) == list(SAMPLE)[1:]
+
+    def test_iter_parse_skips_comments_and_blanks(self):
+        text = "# header\n\nwr(0, x)\n  # indented\nrd(1, x)\n"
+        assert list(iter_parse(text.splitlines())) == [
+            ev.wr(0, "x"),
+            ev.rd(1, "x"),
+        ]
+
+    def test_iter_load_from_open_stream(self):
+        buffer = io.StringIO(dumps(SAMPLE))
+        assert Trace(iter_load(buffer)) == SAMPLE
+
+    def test_iter_load_jsonl_from_open_stream(self):
+        buffer = io.StringIO(dumps_jsonl(SAMPLE))
+        assert Trace(iter_load_jsonl(buffer)) == SAMPLE
+        assert load_jsonl(io.StringIO(dumps_jsonl(SAMPLE))) == SAMPLE
+
+
+class TestParseErrorLocation:
+    """Satellite bugfix: file-level parse errors carry line number + text."""
+
+    def test_loads_reports_line_number_and_text(self):
+        text = "# comment\nwr(0, x)\n\nfrobnicate(1, y)\n"
+        with pytest.raises(TraceParseError) as excinfo:
+            loads(text)
+        error = excinfo.value
+        assert error.lineno == 4
+        assert error.line == "frobnicate(1, y)"
+        assert "line 4" in str(error)
+        assert "frobnicate" in str(error)
+
+    def test_load_stream_reports_line_number(self):
+        with pytest.raises(TraceParseError) as excinfo:
+            load(io.StringIO("wr(0, x)\nwr(zero, x)\n"))
+        assert excinfo.value.lineno == 2
+
+    def test_jsonl_invalid_json_reports_line_number(self):
+        text = '{"op": "wr", "tid": 0, "target": "x"}\n{not json\n'
+        with pytest.raises(TraceParseError) as excinfo:
+            loads_jsonl(text)
+        assert excinfo.value.lineno == 2
+        assert "invalid JSON" in str(excinfo.value)
+
+    def test_jsonl_unknown_op_reports_line_number(self):
+        text = '{"op": "wr", "tid": 0, "target": "x"}\n' * 2
+        text += '{"op": "nope", "tid": 0, "target": "x"}\n'
+        with pytest.raises(TraceParseError) as excinfo:
+            list(iter_parse_jsonl(text.splitlines()))
+        assert excinfo.value.lineno == 3
+
+    def test_token_level_errors_have_no_location(self):
+        with pytest.raises(TraceParseError) as excinfo:
+            parse_event("frobnicate(0, x)")
+        assert excinfo.value.lineno is None
+        assert excinfo.value.line is None
 
 
 class TestJsonl:
