@@ -86,6 +86,9 @@ def test_engine_scaling_cell(
         "seconds": best,
         "events_per_sec": events / best if best else None,
         "warnings": len(reference_warnings),
+        # More workers than cores: wall-clock reflects contention, not
+        # the engine (flagged so trend tooling can discount the cell).
+        "oversubscribed": jobs > (os.cpu_count() or 1),
     }
     benchmark.extra_info["events"] = events
     benchmark.extra_info["jobs"] = jobs

@@ -21,9 +21,12 @@ BENCH_SCALE = 400
 #: session end, so future PRs can track the perf trajectory.
 ENGINE_BENCH_RESULTS = {}
 
-_BENCH_JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "BENCH_engine.json"
-)
+#: Same idea for the fused-kernel benchmarks → BENCH_kernels.json.
+KERNEL_BENCH_RESULTS = {}
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
+_KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
 
 
 @pytest.fixture(scope="session")
@@ -37,14 +40,24 @@ def engine_bench_recorder():
     return ENGINE_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def kernel_bench_recorder():
+    """Session-wide dict for fused-kernel results (→ BENCH_kernels.json)."""
+    return KERNEL_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not ENGINE_BENCH_RESULTS:
-        return
-    with open(_BENCH_JSON_PATH, "w", encoding="utf-8") as stream:
-        json.dump(ENGINE_BENCH_RESULTS, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    for results, path in (
+        (ENGINE_BENCH_RESULTS, _BENCH_JSON_PATH),
+        (KERNEL_BENCH_RESULTS, _KERNEL_JSON_PATH),
+    ):
+        if not results:
+            continue
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(results, stream, indent=2, sort_keys=True)
+            stream.write("\n")

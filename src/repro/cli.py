@@ -22,6 +22,7 @@ gate a CI job.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -103,16 +104,49 @@ def cmd_record(args) -> int:
     return 0
 
 
+def _parse_jobs(value: str):
+    """``--jobs`` argument: a positive integer or ``auto`` (= CPU count)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
+def _resolve_jobs(args) -> int:
+    """Resolve ``--jobs auto`` and warn when workers outnumber CPUs."""
+    cpus = os.cpu_count() or 1
+    jobs = cpus if args.jobs == "auto" else args.jobs
+    if jobs > cpus:
+        print(
+            f"warning: --jobs {jobs} exceeds the {cpus} available CPU(s); "
+            "workers will contend for cores",
+            file=sys.stderr,
+        )
+    return jobs
+
+
 def _cmd_check_sharded(args) -> int:
     """The ``--jobs N`` / ``--shards M`` / ``--resume DIR`` engine path."""
     import tempfile
 
     from repro import engine
 
+    from repro.kernels import has_kernel
+
     if args.oracle:
         print(
             "error: --oracle needs the full trace in memory; "
             "use --jobs 1 for the oracle",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kernel == "fused" and not has_kernel(args.tool):
+        print(
+            f"error: --kernel fused: {args.tool!r} has no fused kernel",
             file=sys.stderr,
         )
         return 2
@@ -136,6 +170,11 @@ def _cmd_check_sharded(args) -> int:
             kwargs = {"track_sites": True} if name == "FastTrack" else {}
             # Reuse the partition for every tool after the first pass.
             resume = args.resume is not None or position > 0
+            # ``--all-tools --kernel fused`` only binds the selected tool;
+            # companion tools without a kernel fall back to the object path.
+            kernel = args.kernel
+            if kernel == "fused" and name != args.tool:
+                kernel = "auto"
             report = engine.check_trace_file(
                 args.trace,
                 tool=name,
@@ -145,6 +184,7 @@ def _cmd_check_sharded(args) -> int:
                 workdir=workdir,
                 resume=resume,
                 tool_kwargs=kwargs,
+                kernel=kernel,
             )
             if name == args.tool:
                 worst = report.warning_count
@@ -178,8 +218,17 @@ def _cmd_check_sharded(args) -> int:
 
 
 def cmd_check(args) -> int:
+    args.jobs = _resolve_jobs(args)
     if args.jobs > 1 or args.shards is not None or args.resume is not None:
         return _cmd_check_sharded(args)
+    from repro.kernels import has_kernel, run_kernel
+
+    if args.kernel == "fused" and not has_kernel(args.tool):
+        print(
+            f"error: --kernel fused: {args.tool!r} has no fused kernel",
+            file=sys.stderr,
+        )
+        return 2
     try:
         trace = _read_trace(args.trace, args.format)
     except serialize.TraceParseError as error:
@@ -193,6 +242,11 @@ def cmd_check(args) -> int:
     if violations:
         print(f"warning: trace is not feasible ({violations[0]})")
     tool_names = list(DETECTORS) if args.all_tools else [args.tool]
+    columns = None
+    if args.kernel != "generic" and any(has_kernel(n) for n in tool_names):
+        from repro.trace.columnar import ColumnarTrace
+
+        columns = ColumnarTrace.from_events(trace)
     report_target = None
     if args.all_tools and not args.verbose:
         print(f"{'tool':<12s}{'warnings':>9s}")
@@ -201,7 +255,10 @@ def cmd_check(args) -> int:
         # FastTrack reports name both sides of the race when sites exist.
         kwargs = {"track_sites": True} if name == "FastTrack" else {}
         detector = make_detector(name, **kwargs)
-        detector.process(trace)
+        if columns is not None and has_kernel(name):
+            run_kernel(name, columns, detector=detector)
+        else:
+            detector.process(trace)
         if name == args.tool:
             worst = detector.warning_count
             report_target = detector
@@ -373,10 +430,18 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--format", choices=("text", "jsonl"), default="text")
     check.add_argument(
         "--jobs",
-        type=int,
+        type=_parse_jobs,
         default=1,
         metavar="N",
-        help="worker processes for the sharded engine (1 = in-process)",
+        help="worker processes for the sharded engine (1 = in-process; "
+        "'auto' = one per CPU)",
+    )
+    check.add_argument(
+        "--kernel",
+        choices=("auto", "fused", "generic"),
+        default="auto",
+        help="analysis loop: fused columnar kernel, generic object path, "
+        "or auto (fused when the tool has one)",
     )
     check.add_argument(
         "--shards",

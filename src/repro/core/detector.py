@@ -172,11 +172,37 @@ class Detector:
     # -- driving ------------------------------------------------------------
 
     def process(self, trace: Iterable[ev.Event]) -> "Detector":
-        """Run the analysis over an entire event stream."""
-        events = list(trace) if not isinstance(trace, list) else trace
-        for event in events:
+        """Run the analysis over an entire event stream in one pass.
+
+        The operation-mix tallies are folded into the same loop — the
+        stream is walked exactly once and never materialized, so one-shot
+        iterables (``iter_load``, generators) stream through.
+        :meth:`absorb_kind_counts` remains for callers that drive
+        :meth:`handle` event by event themselves.
+        """
+        stats = self.stats
+        READ = ev.READ
+        WRITE = ev.WRITE
+        ENTER = ev.ENTER
+        EXIT = ev.EXIT
+        reads = writes = syncs = boundaries = total = 0
+        for event in trace:
+            kind = event.kind
+            if kind == READ:
+                reads += 1
+            elif kind == WRITE:
+                writes += 1
+            elif kind == ENTER or kind == EXIT:
+                boundaries += 1
+            else:
+                syncs += 1
+            total += 1
             self.handle(event)
-        self.absorb_kind_counts(events)
+        stats.events += total
+        stats.reads += reads
+        stats.writes += writes
+        stats.syncs += syncs
+        stats.boundaries += boundaries
         return self
 
     def handle(self, event: ev.Event, index: Optional[int] = None) -> None:

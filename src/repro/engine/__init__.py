@@ -6,10 +6,13 @@ for a single in-memory pass and to machines with more than one core, with
 
 1. :mod:`~repro.engine.partition` — a single streaming pass routes each
    read/write to ``stable_hash(variable) % nshards`` and broadcasts every
-   synchronization event to all shards;
+   synchronization event to all shards, writing columnar batches against
+   shared intern tables (format v2);
 2. :mod:`~repro.engine.worker` — per-shard detector runs (optionally in
    ``multiprocessing`` workers), each seeing the complete sync order plus
    its variables' accesses, so per-variable analysis is exact;
+   kernel-equipped tools consume the shard columns through the fused
+   kernels of :mod:`repro.kernels` (``kernel='auto'|'fused'|'generic'``);
 3. :mod:`~repro.engine.merge` — deterministic merge of warnings, cost
    stats, and sharing-classifier counts, ordered by original trace
    position and deduplicated with the single-threaded reporting
@@ -48,7 +51,12 @@ from repro.engine.merge import (
     merge_warnings,
     render_markdown,
 )
-from repro.engine.partition import iter_shard, partition_events, shard_of
+from repro.engine.partition import (
+    iter_shard,
+    load_shard_columns,
+    partition_events,
+    shard_of,
+)
 from repro.engine.worker import analyze_shard, load_payloads, run_shard
 from repro.trace import events as ev
 from repro.trace import serialize
@@ -63,6 +71,7 @@ __all__ = [
     "default_nshards",
     "iter_shard",
     "load_payloads",
+    "load_shard_columns",
     "merge_shard_results",
     "merge_stats",
     "merge_warnings",
@@ -93,17 +102,20 @@ def _run_pending(
     tool_kwargs: Optional[Dict],
     jobs: int,
     classify: bool,
+    kernel: str,
 ) -> None:
     if jobs <= 1 or len(pending) <= 1:
         for shard in pending:
-            run_shard(root, shard, tool, tool_kwargs, classify)
+            run_shard(root, shard, tool, tool_kwargs, classify, kernel)
         return
     context = multiprocessing.get_context(_pick_start_method())
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)), mp_context=context
     ) as pool:
         futures = [
-            pool.submit(run_shard, root, shard, tool, tool_kwargs, classify)
+            pool.submit(
+                run_shard, root, shard, tool, tool_kwargs, classify, kernel
+            )
             for shard in pending
         ]
         for future in concurrent.futures.as_completed(futures):
@@ -119,6 +131,7 @@ def _run(
     resume: bool,
     classify: bool,
     tool_kwargs: Optional[Dict],
+    kernel: str,
 ) -> MergedReport:
     owns_workdir = workdir is None
     root = workdir if workdir is not None else tempfile.mkdtemp(
@@ -140,7 +153,7 @@ def _run(
             wd.clear_results(tool, count)
         completed = set(wd.completed_shards(tool, count))
         pending = [shard for shard in range(count) if shard not in completed]
-        _run_pending(root, pending, tool, tool_kwargs, jobs, classify)
+        _run_pending(root, pending, tool, tool_kwargs, jobs, classify, kernel)
         return merge_shard_results(load_payloads(wd, tool, count))
     finally:
         if owns_workdir:
@@ -157,6 +170,7 @@ def check_events(
     resume: bool = False,
     classify: bool = False,
     tool_kwargs: Optional[Dict] = None,
+    kernel: str = "auto",
 ) -> MergedReport:
     """Shard-check an in-memory event sequence (or any one-shot iterable)."""
     return _run(
@@ -168,6 +182,7 @@ def check_events(
         resume,
         classify,
         tool_kwargs,
+        kernel,
     )
 
 
@@ -182,6 +197,7 @@ def check_trace_file(
     resume: bool = False,
     classify: bool = False,
     tool_kwargs: Optional[Dict] = None,
+    kernel: str = "auto",
 ) -> MergedReport:
     """Shard-check a serialized trace file, streaming it during partition.
 
@@ -209,4 +225,5 @@ def check_trace_file(
         resume,
         classify,
         tool_kwargs,
+        kernel,
     )

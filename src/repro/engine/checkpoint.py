@@ -7,7 +7,10 @@ never finished::
     DIR/
       meta.json                     partition metadata (written last, so its
                                     presence certifies a complete partition)
-      shards/shard_0007.bin         one pickle-framed event file per shard
+      intern.bin                    the shared target/site intern tables all
+                                    shards' columns index into
+      shards/shard_0007.bin         one pickle-framed columnar batch file
+                                    per shard
       results/FastTrack/shard_0007.json
                                     one checkpoint per (tool, shard); the
                                     file's existence is the progress record
@@ -22,12 +25,17 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import re
 import tempfile
-from typing import Dict, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 #: Bump when the shard file or checkpoint format changes incompatibly.
-FORMAT_VERSION = 1
+#: Version 2: shard files hold columnar batches (index/kind/tid/target/site
+#: arrays) indexing the shared ``intern.bin`` tables, instead of pickled
+#: ``Event`` objects.  A v1 directory fails ``read_meta`` and is simply
+#: re-partitioned on resume.
+FORMAT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -60,6 +68,7 @@ class Workdir:
         self.shards_dir = os.path.join(root, "shards")
         self.results_dir = os.path.join(root, "results")
         self.meta_path = os.path.join(root, "meta.json")
+        self.intern_path = os.path.join(root, "intern.bin")
         os.makedirs(self.shards_dir, exist_ok=True)
         os.makedirs(self.results_dir, exist_ok=True)
 
@@ -96,11 +105,39 @@ class Workdir:
                     f"resume directory is missing shard file "
                     f"{self.shard_path(shard)!r}"
                 )
+        if not os.path.exists(self.intern_path):
+            raise CheckpointError(
+                f"resume directory is missing the intern table "
+                f"{self.intern_path!r}"
+            )
 
     # -- shard event files ---------------------------------------------------
 
     def shard_path(self, shard: int) -> str:
         return os.path.join(self.shards_dir, f"shard_{shard:04d}.bin")
+
+    # -- shared intern tables ------------------------------------------------
+
+    def write_intern(
+        self, targets: List[Hashable], sites: List[Hashable]
+    ) -> None:
+        """Persist the intern tables every shard's columns index into."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(
+                    (targets, sites), stream,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, self.intern_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def read_intern(self) -> Tuple[List[Hashable], List[Hashable]]:
+        with open(self.intern_path, "rb") as stream:
+            return pickle.load(stream)
 
     # -- per-(tool, shard) result checkpoints --------------------------------
 

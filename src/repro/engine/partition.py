@@ -18,28 +18,40 @@ the paper's Theorem 1 argument, exactly the information needed to check
 those variables with full precision (docs/ENGINE.md spells the argument
 out).
 
-Shard files are sequences of pickle frames, each a batch of
-``(original_index, Event)`` pairs; carrying the original trace position lets
-shard workers report warnings with single-threaded-identical
-``event_index`` values.  The variable hash is ``zlib.crc32`` over ``repr``
-rather than builtin ``hash`` because the latter is randomized per process:
-shard assignment must be stable across the CLI invocations of an
-interrupted-then-resumed run.
+Shard files are **columnar** (format v2): sequences of pickle frames, each
+a batch of five parallel columns ``(indices, kinds, tids, target_ids,
+site_ids)`` — original trace positions as ``array('q')``, event kinds as
+``bytes``, and dense interned target/site ids indexing the partition-wide
+intern tables persisted once in ``intern.bin``.  Workers hand these
+columns straight to the fused kernels of :mod:`repro.kernels` (zero
+``Event`` reconstruction on the fast path); :func:`iter_shard`
+reconstructs ``(original_index, Event)`` pairs for the generic object
+path.  Carrying the original trace position lets shard workers report
+warnings with single-threaded-identical ``event_index`` values.  The
+variable hash is ``zlib.crc32`` over ``repr`` rather than builtin ``hash``
+because the latter is randomized per process: shard assignment must be
+stable across the CLI invocations of an interrupted-then-resumed run.
 """
 
 from __future__ import annotations
 
 import pickle
 import zlib
-from typing import Dict, Hashable, Iterable, List, Tuple
+from array import array
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.engine.checkpoint import Workdir
 from repro.trace import events as ev
+from repro.trace.columnar import ColumnarTrace
 
 #: Events appended to a batch before it is pickled out (bounds memory).
 BATCH_EVENTS = 8192
 
 _ACCESS_KINDS = (ev.READ, ev.WRITE)
+
+#: One shard's in-flight columnar batch: parallel lists for original trace
+#: index, kind, tid, interned target id, interned site id.
+_BatchColumns = Tuple[list, list, list, list, list]
 
 
 def shard_of(target: Hashable, nshards: int) -> int:
@@ -53,47 +65,85 @@ def partition_events(
     nshards: int,
     batch_events: int = BATCH_EVENTS,
 ) -> Dict:
-    """Stream ``events`` into ``nshards`` shard files under ``workdir``.
+    """Stream ``events`` into ``nshards`` columnar shard files.
 
-    Returns the partition metadata (also persisted as ``meta.json``; its
-    write is the last step, so a half-partitioned directory is recognizably
-    incomplete and gets re-partitioned on resume).
+    Targets and sites are interned into partition-wide tables (written to
+    ``intern.bin`` before the metadata), so every shard's columns index
+    the same tables and workers can share one loaded copy.  Returns the
+    partition metadata (also persisted as ``meta.json``; its write is the
+    last step, so a half-partitioned directory is recognizably incomplete
+    and gets re-partitioned on resume).
     """
     if nshards < 1:
         raise ValueError(f"nshards must be >= 1, got {nshards}")
     streams = [open(workdir.shard_path(s), "wb") for s in range(nshards)]
-    batches: List[List[Tuple[int, ev.Event]]] = [[] for _ in range(nshards)]
+    batches: list = [([], [], [], [], []) for _ in range(nshards)]
     shard_events = [0] * nshards
     total = reads = writes = 0
+    targets: list = []
+    sites: list = []
+    target_index: Dict[Hashable, int] = {}
+    site_index: Dict[Hashable, int] = {}
 
     def flush(shard: int) -> None:
-        if batches[shard]:
+        b_idx, b_kind, b_tid, b_target, b_site = batches[shard]
+        if b_idx:
             pickle.dump(
-                batches[shard], streams[shard], protocol=pickle.HIGHEST_PROTOCOL
+                (
+                    array("q", b_idx),
+                    bytes(b_kind),
+                    array("q", b_tid),
+                    array("q", b_target),
+                    array("q", b_site),
+                ),
+                streams[shard],
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
-            batches[shard].clear()
+            for column in batches[shard]:
+                column.clear()
+
+    def append(shard: int, index: int, kind: int, tid: int,
+               target_id: int, site_id: int) -> None:
+        b_idx, b_kind, b_tid, b_target, b_site = batches[shard]
+        b_idx.append(index)
+        b_kind.append(kind)
+        b_tid.append(tid)
+        b_target.append(target_id)
+        b_site.append(site_id)
+        shard_events[shard] += 1
+        if len(b_idx) >= batch_events:
+            flush(shard)
 
     try:
         for index, event in enumerate(events):
             kind = event.kind
+            target = event.target
+            target_id = target_index.get(target)
+            if target_id is None:
+                target_id = len(targets)
+                target_index[target] = target_id
+                targets.append(target)
+            site = event.site
+            if site is None:
+                site_id = -1
+            else:
+                site_id = site_index.get(site)
+                if site_id is None:
+                    site_id = len(sites)
+                    site_index[site] = site_id
+                    sites.append(site)
             if kind in _ACCESS_KINDS:
-                shard = shard_of(event.target, nshards)
-                batches[shard].append((index, event))
-                shard_events[shard] += 1
+                shard = shard_of(target, nshards)
+                append(shard, index, kind, event.tid, target_id, site_id)
                 if kind == ev.READ:
                     reads += 1
                 else:
                     writes += 1
-                if len(batches[shard]) >= batch_events:
-                    flush(shard)
             else:
                 # Sync / boundary event: every shard needs the full
                 # synchronization order to keep its vector clocks exact.
                 for shard in range(nshards):
-                    batches[shard].append((index, event))
-                    shard_events[shard] += 1
-                    if len(batches[shard]) >= batch_events:
-                        flush(shard)
+                    append(shard, index, kind, event.tid, target_id, site_id)
             total += 1
         for shard in range(nshards):
             flush(shard)
@@ -101,6 +151,7 @@ def partition_events(
         for stream in streams:
             stream.close()
 
+    workdir.write_intern(targets, sites)
     meta = {
         "nshards": nshards,
         "events": total,
@@ -108,18 +159,75 @@ def partition_events(
         "writes": writes,
         "other": total - reads - writes,
         "shard_events": shard_events,
+        "targets": len(targets),
+        "sites": len(sites),
     }
     workdir.write_meta(meta)
     return meta
 
 
-def iter_shard(workdir: Workdir, shard: int) -> Iterable[Tuple[int, ev.Event]]:
-    """Yield a shard's ``(original_index, event)`` pairs in order."""
+def iter_shard_batches(
+    workdir: Workdir, shard: int
+) -> Iterator[Tuple[array, bytes, array, array, array]]:
+    """Yield a shard's raw columnar batches
+    ``(indices, kinds, tids, target_ids, site_ids)`` in order."""
     with open(workdir.shard_path(shard), "rb") as stream:
         while True:
             try:
-                batch = pickle.load(stream)
+                yield pickle.load(stream)
             except EOFError:
                 return
-            for pair in batch:
-                yield pair
+
+
+def load_shard_columns(
+    workdir: Workdir,
+    shard: int,
+    intern: Optional[Tuple[list, list]] = None,
+) -> Tuple[ColumnarTrace, array]:
+    """Load one shard as ``(columns, original_indices)``.
+
+    The returned :class:`~repro.trace.columnar.ColumnarTrace` shares the
+    partition-wide intern tables (pass ``intern`` to reuse an already
+    loaded copy across shards), so fused kernels can run on it directly;
+    ``original_indices[i]`` is the trace position of the shard's ``i``-th
+    event, for single-threaded-identical warning indices.
+    """
+    if intern is None:
+        intern = workdir.read_intern()
+    targets, sites = intern
+    indices = array("q")
+    kinds = array("b")
+    tids = array("q")
+    target_ids = array("q")
+    site_ids = array("q")
+    for b_idx, b_kinds, b_tids, b_targets, b_sites in iter_shard_batches(
+        workdir, shard
+    ):
+        indices.extend(b_idx)
+        kinds.frombytes(b_kinds)
+        tids.extend(b_tids)
+        target_ids.extend(b_targets)
+        site_ids.extend(b_sites)
+    columns = ColumnarTrace.from_columns(
+        kinds, tids, target_ids, site_ids, targets, sites
+    )
+    return columns, indices
+
+
+def iter_shard(workdir: Workdir, shard: int) -> Iterable[Tuple[int, ev.Event]]:
+    """Yield a shard's ``(original_index, event)`` pairs in order,
+    reconstructing :class:`Event` objects for the generic object path."""
+    targets, sites = workdir.read_intern()
+    Event = ev.Event
+    for b_idx, b_kinds, b_tids, b_targets, b_sites in iter_shard_batches(
+        workdir, shard
+    ):
+        for index, kind, tid, target_id, site_id in zip(
+            b_idx, b_kinds, b_tids, b_targets, b_sites
+        ):
+            yield index, Event(
+                kind,
+                tid,
+                targets[target_id],
+                sites[site_id] if site_id >= 0 else None,
+            )

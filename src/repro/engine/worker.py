@@ -9,6 +9,15 @@ same variables (same ``event_index``, same ``prior`` description — the
 per-variable shadow state evolves identically because the sync order is
 complete).
 
+Kernel-equipped tools (``repro.kernels.KERNEL_TOOLS``) skip ``Event``
+reconstruction entirely: the shard's columnar batches are concatenated by
+:func:`~repro.engine.partition.load_shard_columns` and handed to the fused
+kernel together with the original-index column.  ``kernel='auto'`` (the
+default) picks the kernel when one exists and falls back to the object
+path otherwise; ``'fused'`` demands one; ``'generic'`` forces the object
+path.  Either way the payload is bit-identical — the kernels' equivalence
+contract plus the shard replay argument compose.
+
 The worker's result — warnings, detector cost stats, optional
 sharing-classifier counts — is checkpointed as JSON through
 :class:`~repro.engine.checkpoint.Workdir` before the function returns, so a
@@ -24,11 +33,36 @@ from typing import Dict, Hashable, List, Optional
 from repro.core.detector import CostStats, Detector, RaceWarning
 from repro.detectors.registry import make_detector
 from repro.engine.checkpoint import Workdir
-from repro.engine.partition import iter_shard
+from repro.engine.partition import iter_shard, load_shard_columns
+from repro.kernels import has_kernel, run_kernel
 from repro.trace import events as ev
 from repro.trace.serialize import _target_from_json, _target_to_json
 
 PAYLOAD_VERSION = 1
+
+#: Accepted values for the ``kernel`` selector.
+KERNEL_MODES = ("auto", "fused", "generic")
+
+
+def resolve_kernel(kernel: str, tool: str) -> bool:
+    """Decide whether ``tool`` runs through its fused kernel.
+
+    ``auto`` uses the kernel when one exists; ``fused`` requires one
+    (``ValueError`` otherwise); ``generic`` always uses the object path.
+    """
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "generic":
+        return False
+    if has_kernel(tool):
+        return True
+    if kernel == "fused":
+        raise ValueError(
+            f"--kernel fused requested but {tool!r} has no fused kernel"
+        )
+    return False
 
 
 def _encode_hashable(value: Optional[Hashable]):
@@ -111,23 +145,37 @@ def analyze_shard(
     tool: str,
     tool_kwargs: Optional[Dict] = None,
     classify: bool = False,
+    kernel: str = "auto",
 ) -> Dict:
     """Run ``tool`` over one shard and checkpoint + return the payload."""
     detector: Detector = make_detector(tool, **(tool_kwargs or {}))
+    use_fused = resolve_kernel(kernel, tool)
     classifier = None
     if classify:
         from repro.detectors.classifier import SharingClassifier
 
         classifier = SharingClassifier()
-    kind_counts: Dict[int, int] = {}
-    handle = detector.handle
-    for index, event in iter_shard(workdir, shard):
-        handle(event, index=index)
+    if use_fused:
+        columns, indices = load_shard_columns(workdir, shard)
+        run_kernel(tool, columns, indices=indices, detector=detector)
+        events_seen = len(columns)
         if classifier is not None:
-            classifier.handle(event)
-        kind = event.kind
-        kind_counts[kind] = kind_counts.get(kind, 0) + 1
-    _tally_kinds(detector.stats, kind_counts)
+            # The classifier has no fused form; replay the shard's events
+            # for it alone (the detector's pass above stays columnar).
+            for event in columns.iter_events():
+                classifier.handle(event)
+    else:
+        kind_counts: Dict[int, int] = {}
+        events_seen = 0
+        handle = detector.handle
+        for index, event in iter_shard(workdir, shard):
+            handle(event, index=index)
+            if classifier is not None:
+                classifier.handle(event)
+            kind = event.kind
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            events_seen += 1
+        _tally_kinds(detector.stats, kind_counts)
 
     classifier_payload = None
     if classifier is not None:
@@ -146,7 +194,8 @@ def analyze_shard(
         "payload_version": PAYLOAD_VERSION,
         "shard": shard,
         "tool": tool,
-        "events": sum(kind_counts.values()),
+        "events": events_seen,
+        "kernel": "fused" if use_fused else "generic",
         "warnings": [warning_to_json(w) for w in detector.warnings],
         "suppressed": detector.suppressed_warnings,
         "stats": stats_to_json(detector.stats),
@@ -162,9 +211,10 @@ def run_shard(
     tool: str,
     tool_kwargs: Optional[Dict] = None,
     classify: bool = False,
+    kernel: str = "auto",
 ) -> int:
     """Multiprocessing entry point: picklable args, result left on disk."""
-    analyze_shard(Workdir(root), shard, tool, tool_kwargs, classify)
+    analyze_shard(Workdir(root), shard, tool, tool_kwargs, classify, kernel)
     return shard
 
 

@@ -1,0 +1,90 @@
+"""Dense shadow-slot assignment shared by all fused kernels.
+
+The object-path detectors key their shadow state by
+``self.shadow_key(event.target)`` in a dict.  The kernels replace that
+per-access hash lookup with two array indexings: every interned target id
+is mapped once, up front, to a dense *slot* (distinct shadow keys get
+distinct slots, in first-occurrence order), and the per-access lookup
+becomes ``shadows[slots[target_ids[i]]]``.
+
+The slot table is computed over the whole intern table — including lock
+and thread-target names that never reach an access path — which costs a
+few spare slots but keeps the mapping a single pass.  Shadow states are
+created lazily, so unused slots stay ``None`` and are dropped when the
+kernel publishes its dense list back into ``detector.vars``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Hashable, List, Sequence, Tuple
+
+
+def slot_map(
+    targets: Sequence[Hashable],
+    shadow_key: Callable[[Hashable], Hashable],
+) -> Tuple[array, List[Hashable]]:
+    """Map interned target ids to dense shadow slots.
+
+    Returns ``(slots, keys)`` where ``slots[target_id]`` is the shadow slot
+    for that target and ``keys[slot]`` is the shadow key the object path
+    would have used for the same state.
+    """
+    index: dict = {}
+    keys: List[Hashable] = []
+    slots = array("q")
+    for target in targets:
+        key = shadow_key(target)
+        slot = index.get(key)
+        if slot is None:
+            slot = len(keys)
+            index[key] = slot
+            keys.append(key)
+        slots.append(slot)
+    return slots, keys
+
+
+def seed_shadows(detector, keys: List[Hashable]) -> list:
+    """A dense shadow list pre-seeded from ``detector.vars``.
+
+    Fresh detectors get all-``None`` slots; a pre-warmed detector (an
+    engine shard resuming from a checkpoint) contributes its existing
+    shadow states so the kernel keeps mutating the *same* objects the
+    object path would have."""
+    shadows = [None] * len(keys)
+    vars_dict = detector.vars
+    if vars_dict:
+        slot_of = {key: slot for slot, key in enumerate(keys)}
+        for key, state in vars_dict.items():
+            slot = slot_of.get(key)
+            if slot is not None:
+                shadows[slot] = state
+    return shadows
+
+
+def publish_vars(
+    detector,
+    keys: List[Hashable],
+    shadows: list,
+    order: Sequence[int] = None,
+) -> None:
+    """Copy the kernel's dense shadow list into ``detector.vars`` so
+    post-run introspection (``shadow_memory_words``, tests) sees the same
+    mapping the object path would have built.
+
+    ``order`` is the kernel's shadow-*creation* order (slot indices, each
+    at most once).  The object path inserts a var on its first access, but
+    the intern table (and hence slot order) records the first appearance
+    of a target in *any* event — a volatile access or lock name can intern
+    a key well before its first plain access — so slot order alone would
+    misplace such keys in the dict.  Pre-seeded slots (a pre-warmed engine
+    shard) keep their existing dict positions; ``order`` only appends.
+    """
+    vars_dict = detector.vars
+    if order is None:
+        order = [slot for slot, state in enumerate(shadows) if state is not None]
+    if not vars_dict:
+        detector.vars = {keys[slot]: shadows[slot] for slot in order}
+        return
+    for slot in order:
+        vars_dict[keys[slot]] = shadows[slot]

@@ -1,0 +1,268 @@
+"""Fused BasicVC kernel: the no-fast-path vector-clock detector, columnar.
+
+BasicVC performs an O(n) VC comparison on *every* access by design
+(Section 5.1), so there is no same-epoch shortcut to inline — the win
+here is structural: no per-event ``handle`` call, no dict dispatch, no
+``self.var``/``self.thread`` method calls, no ``Event`` allocation
+outside of race reports, dense tid-indexed thread tables, and the
+`[FT ACQUIRE]`/`[FT RELEASE]` rules inlined exactly as in
+:mod:`repro.kernels.fasttrack` (plain compare-loop join, slice-assign
+release, no epoch refresh on acquire).  ``vc_ops`` is fully derivable for
+BasicVC — one per read, two per write, one per acquire/release — so the
+whole charge comes from ``bytes.count`` over the kind column.  The rule
+bodies mirror :class:`repro.detectors.basicvc.BasicVC` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.detector import fine_grain
+from repro.core.epoch import CLOCK_BITS
+from repro.core.state import LockState
+from repro.detectors.basicvc import BasicVC, _BasicVarState
+from repro.kernels._slots import publish_vars, seed_shadows, slot_map
+from repro.trace import events as ev
+
+DETECTOR_CLS = BasicVC
+
+
+def run(
+    detector: BasicVC,
+    col,
+    indices: Optional[Sequence[int]] = None,
+) -> BasicVC:
+    """Run BasicVC over columnar ``col`` (see :func:`repro.kernels.run_kernel`)."""
+    if type(detector) is not BasicVC:
+        raise TypeError(
+            f"fused BasicVC kernel requires a BasicVC instance, "
+            f"got {type(detector).__name__}"
+        )
+    tids = col.tids
+    target_ids = col.target_ids
+    site_ids = col.site_ids
+    targets = col.targets
+    sites = col.sites
+    n = len(col.kinds)
+    stats = detector.stats
+    report = detector.report
+    warned_keys = detector._warned_keys
+    warned_sites = detector._warned_sites
+    threads = detector.threads
+    make_thread = detector.thread
+    locks = detector.locks
+    lock_get = locks.get
+    dispatch = detector._dispatch
+    ident = detector.shadow_key is fine_grain
+    if ident:
+        slot_keys = targets
+        acc_col = target_ids
+    else:
+        slots, slot_keys = slot_map(targets, detector.shadow_key)
+        slot_list = list(slots)
+        acc_col = [slot_list[t] for t in target_ids]
+    shadows = seed_shadows(detector, slot_keys)
+    created = []  # slot creation order, for publish_vars
+    lock_states = [None] * len(targets)
+    size = col.max_tid + 1
+    if threads:
+        size = max(size, max(threads) + 1)
+    tlist = [None] * size
+    clk = [None] * size
+    for tid, t in threads.items():
+        tlist[tid] = t
+        clk[tid] = t.vc.clocks
+    CBITS = CLOCK_BITS
+    tshift = [tid << CBITS for tid in range(size)]
+    VarState = _BasicVarState
+    Event = ev.Event
+    READ = ev.READ
+    WRITE = ev.WRITE
+    ACQUIRE = ev.ACQUIRE
+    RELEASE = ev.RELEASE
+    ENTER = ev.ENTER
+    EXIT = ev.EXIT
+    kb = col.kinds.tobytes()
+
+    for i, kind, tid, acc in zip(range(n), kb, tids, acc_col):
+        if kind == READ:
+            t = tlist[tid]
+            if t is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                clk[tid] = t.vc.clocks
+            x = shadows[acc]
+            if x is None:
+                x = VarState()
+                stats.vc_allocs += 2
+                shadows[acc] = x
+                created.append(acc)
+            if not x.write_vc.leq(t.vc):
+                key = slot_keys[acc]
+                site_id = site_ids[i]
+                site = sites[site_id] if site_id >= 0 else None
+                if key in warned_keys or (
+                    site is not None and site in warned_sites
+                ):
+                    warned_keys.add(key)
+                    detector.suppressed_warnings += 1
+                else:
+                    detector._index = i if indices is None else indices[i]
+                    report(
+                        Event(
+                            kind,
+                            tid,
+                            targets[acc if ident else target_ids[i]],
+                            site,
+                        ),
+                        "write-read",
+                        f"write history {x.write_vc!r}",
+                    )
+            x.read_vc.set(tid, clk[tid][tid])
+        elif kind == WRITE:
+            t = tlist[tid]
+            if t is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                clk[tid] = t.vc.clocks
+            x = shadows[acc]
+            if x is None:
+                x = VarState()
+                stats.vc_allocs += 2
+                shadows[acc] = x
+                created.append(acc)
+            if not x.write_vc.leq(t.vc):
+                key = slot_keys[acc]
+                site_id = site_ids[i]
+                site = sites[site_id] if site_id >= 0 else None
+                if key in warned_keys or (
+                    site is not None and site in warned_sites
+                ):
+                    warned_keys.add(key)
+                    detector.suppressed_warnings += 1
+                else:
+                    detector._index = i if indices is None else indices[i]
+                    report(
+                        Event(
+                            kind,
+                            tid,
+                            targets[acc if ident else target_ids[i]],
+                            site,
+                        ),
+                        "write-write",
+                        f"write history {x.write_vc!r}",
+                    )
+            if not x.read_vc.leq(t.vc):
+                key = slot_keys[acc]
+                site_id = site_ids[i]
+                site = sites[site_id] if site_id >= 0 else None
+                if key in warned_keys or (
+                    site is not None and site in warned_sites
+                ):
+                    warned_keys.add(key)
+                    detector.suppressed_warnings += 1
+                else:
+                    detector._index = i if indices is None else indices[i]
+                    report(
+                        Event(
+                            kind,
+                            tid,
+                            targets[acc if ident else target_ids[i]],
+                            site,
+                        ),
+                        "read-write",
+                        f"read history {x.read_vc!r}",
+                    )
+            x.write_vc.set(tid, clk[tid][tid])
+        elif kind == ACQUIRE:
+            # [FT ACQUIRE]  C_t := C_t ⊔ L_m  (no epoch refresh: the join
+            # cannot raise the thread's own clock component).
+            mine = clk[tid]
+            if mine is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                mine = clk[tid] = t.vc.clocks
+            tgt = acc if ident else target_ids[i]
+            m = lock_states[tgt]
+            if m is None:
+                target = targets[tgt]
+                m = lock_get(target)
+                if m is None:
+                    m = LockState()
+                    stats.vc_allocs += 1
+                    locks[target] = m
+                lock_states[tgt] = m
+            theirs = m.vc.clocks
+            k = 0
+            try:
+                for c in theirs:
+                    if c > mine[k]:
+                        mine[k] = c
+                    k += 1
+            except IndexError:
+                mine.extend([0] * (len(theirs) - len(mine)))
+                for k2 in range(k, len(theirs)):
+                    c = theirs[k2]
+                    if c > mine[k2]:
+                        mine[k2] = c
+        elif kind == RELEASE:
+            # [FT RELEASE]  L_m := C_t;  C_t := inc_t(C_t)
+            mine = clk[tid]
+            if mine is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                mine = clk[tid] = t.vc.clocks
+            tgt = acc if ident else target_ids[i]
+            m = lock_states[tgt]
+            if m is None:
+                target = targets[tgt]
+                m = lock_get(target)
+                if m is None:
+                    m = LockState()
+                    stats.vc_allocs += 1
+                    locks[target] = m
+                lock_states[tgt] = m
+            m.vc.clocks[:] = mine
+            c = mine[tid] + 1
+            mine[tid] = c
+            tlist[tid].epoch = tshift[tid] | c
+        elif kind == ENTER or kind == EXIT:
+            pass  # boundaries: no analysis, counted in bulk below
+        else:
+            # fork/join/volatile/barrier: rare O(n) rules — object path.
+            site_id = site_ids[i]
+            tgt = acc if ident else target_ids[i]
+            event = Event(
+                kind,
+                tid,
+                targets[tgt],
+                sites[site_id] if site_id >= 0 else None,
+            )
+            detector._index = i if indices is None else indices[i]
+            dispatch[kind](event)
+            for tid2, t2 in threads.items():
+                if tid2 >= len(tlist):
+                    grow = tid2 + 1 - len(tlist)
+                    tlist.extend([None] * grow)
+                    clk.extend([None] * grow)
+                    tshift.extend(
+                        t3 << CBITS for t3 in range(len(tshift), tid2 + 1)
+                    )
+                tlist[tid2] = t2
+                clk[tid2] = t2.vc.clocks
+
+    if n:
+        detector._index = (n - 1) if indices is None else indices[n - 1]
+    reads = kb.count(READ)
+    writes = kb.count(WRITE)
+    boundaries = kb.count(ENTER) + kb.count(EXIT)
+    stats.events += n
+    stats.reads += reads
+    stats.writes += writes
+    stats.syncs += n - reads - writes - boundaries
+    stats.boundaries += boundaries
+    # One O(n) vc_op per read, two per write, one per acquire/release;
+    # dispatch handlers charged theirs directly.
+    stats.vc_ops += reads + 2 * writes + kb.count(ACQUIRE) + kb.count(RELEASE)
+    publish_vars(detector, slot_keys, shadows, created)
+    return detector

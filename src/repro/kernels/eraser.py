@@ -1,0 +1,165 @@
+"""Fused Eraser kernel: the LockSet state machine, columnar.
+
+Eraser's per-access work is the VIRGIN → EXCLUSIVE → SHARED(_MODIFIED)
+ownership automaton plus candidate-lockset intersection; none of it needs
+vector clocks, so the whole analysis inlines into one loop over the int
+kind column.  Lock acquire/release collapse to a ``set.add``/``discard``
+on the thread's held-lock set, and a ``barrier_rel`` resets every created
+shadow state, exactly as :meth:`repro.detectors.eraser.Eraser.
+on_barrier_release` does over ``self.vars``.  Rule counters, warnings,
+and the lockset contents match the object path bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.detectors.eraser import (
+    EXCLUSIVE,
+    SHARED,
+    SHARED_MODIFIED,
+    VIRGIN,
+    Eraser,
+    _EraserVarState,
+)
+from repro.kernels._slots import publish_vars, slot_map
+from repro.trace import events as ev
+
+DETECTOR_CLS = Eraser
+
+
+def run(
+    detector: Eraser,
+    col,
+    indices: Optional[Sequence[int]] = None,
+) -> Eraser:
+    """Run Eraser over columnar ``col`` (see :func:`repro.kernels.run_kernel`)."""
+    if type(detector) is not Eraser:
+        raise TypeError(
+            f"fused Eraser kernel requires an Eraser instance, "
+            f"got {type(detector).__name__}"
+        )
+    kinds = col.kinds
+    tids = col.tids
+    target_ids = col.target_ids
+    site_ids = col.site_ids
+    targets = col.targets
+    sites = col.sites
+    stats = detector.stats
+    rules = stats.rules
+    report = detector.report
+    held_map = detector.held
+    held_get = held_map.get
+    handle_barriers = detector.handle_barriers
+    slots, slot_keys = slot_map(targets, detector.shadow_key)
+    shadows = [None] * len(slot_keys)
+    created = []  # slot creation order, for publish_vars
+    Event = ev.Event
+    READ = ev.READ
+    WRITE = ev.WRITE
+    ACQUIRE = ev.ACQUIRE
+    RELEASE = ev.RELEASE
+    BARRIER_RELEASE = ev.BARRIER_RELEASE
+    ENTER = ev.ENTER
+    EXIT = ev.EXIT
+    reads = writes = syncs = boundaries = 0
+
+    for i, kind in enumerate(kinds):
+        if kind == READ or kind == WRITE:
+            if kind == READ:
+                reads += 1
+                is_write = False
+            else:
+                writes += 1
+                is_write = True
+            x = shadows[slots[target_ids[i]]]
+            if x is None:
+                x = _EraserVarState()
+                shadows[slots[target_ids[i]]] = x
+                created.append(slots[target_ids[i]])
+            tid = tids[i]
+            state = x.state
+            if state == VIRGIN:
+                rules["ERASER FIRST ACCESS"] += 1
+                x.state = EXCLUSIVE
+                x.owner = tid
+                continue
+            if state == EXCLUSIVE:
+                if tid == x.owner:
+                    rules["ERASER EXCLUSIVE"] += 1
+                    continue
+                held = held_get(tid)
+                if held is None:
+                    held = set()
+                    held_map[tid] = held
+                x.lockset = frozenset(held)
+                x.state = SHARED_MODIFIED if is_write else SHARED
+                rules["ERASER SHARE TRANSITION"] += 1
+            else:
+                held = held_get(tid)
+                if held is None:
+                    held = set()
+                    held_map[tid] = held
+                current = (
+                    x.lockset if x.lockset is not None else frozenset(held)
+                )
+                x.lockset = (
+                    current & frozenset(held) if current else frozenset()
+                )
+                if is_write and state == SHARED:
+                    x.state = SHARED_MODIFIED
+                rules["ERASER LOCKSET REFINE"] += 1
+            if x.state == SHARED_MODIFIED and not x.lockset:
+                detector._index = i if indices is None else indices[i]
+                site_id = site_ids[i]
+                report(
+                    Event(
+                        kind,
+                        tid,
+                        targets[target_ids[i]],
+                        sites[site_id] if site_id >= 0 else None,
+                    ),
+                    "lockset-empty",
+                    "no lock consistently protects this variable",
+                )
+        elif kind == ACQUIRE:
+            syncs += 1
+            tid = tids[i]
+            held = held_get(tid)
+            if held is None:
+                held = set()
+                held_map[tid] = held
+            held.add(targets[target_ids[i]])
+        elif kind == RELEASE:
+            syncs += 1
+            tid = tids[i]
+            held = held_get(tid)
+            if held is None:
+                held = set()
+                held_map[tid] = held
+            held.discard(targets[target_ids[i]])
+        elif kind == ENTER or kind == EXIT:
+            boundaries += 1
+        elif kind == BARRIER_RELEASE:
+            syncs += 1
+            if handle_barriers:
+                rules["ERASER BARRIER RESET"] += 1
+                for x in shadows:
+                    if x is not None:
+                        x.state = VIRGIN
+                        x.owner = -1
+                        x.lockset = None
+        else:
+            # fork/join/volatile: Eraser has no happens-before reasoning.
+            syncs += 1
+
+    n = len(kinds)
+    if n:
+        detector._index = (n - 1) if indices is None else indices[n - 1]
+    stats.events += n
+    stats.reads += reads
+    stats.writes += writes
+    stats.syncs += syncs
+    stats.boundaries += boundaries
+    publish_vars(detector, slot_keys, shadows, created)
+    return detector

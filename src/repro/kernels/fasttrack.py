@@ -1,0 +1,504 @@
+"""Fused FastTrack kernel: the Figure 5 rules over columnar traces.
+
+One monomorphic loop replaces the generic ``handle → dict dispatch →
+on_read/on_write`` chain of the object path.  The loop zips straight
+over the int columns (no per-event indexing) and keeps every piece of
+analysis state in dense lists indexed by tid or interned target id:
+
+* ``shadows``     — variable shadow state (``VarState``) by shadow slot;
+* ``clk``         — each thread's ``C_t`` clocks *list* (cached once:
+  ``VectorClock.clocks`` is only ever mutated in place and
+  ``ThreadState.vc`` is never rebound, so the cache cannot go stale);
+* ``elist``       — each thread's current epoch ``E(t)`` as a plain int,
+  written back to ``ThreadState.epoch`` before any object-path handler
+  runs and once more at the end of the run;
+* ``lock_states`` — ``LockState`` by interned lock target id.
+
+The `[FT ACQUIRE]`/`[FT RELEASE]` vector-clock rules — the bulk of
+lock-heavy traces — inline to a compare loop and a slice assignment.
+Acquire does not even refresh the epoch: a join can never raise the
+thread's *own* clock component (every stored VC satisfies
+``V[t] <= C_t[t]``, an invariant of all Figure 3 rules), so
+``refresh_epoch`` after ``C_t ⊔ L_m`` recomputes the value it already
+had.  Event-kind tallies and the acquire/release ``vc_ops`` charges come
+from C-level ``bytes.count`` over the kind column instead of per-event
+increments, and rule tallies accumulate in local ints (folded into the
+``Counter`` once, preserving first-fire key order).  Source sites and
+``detector._index`` are only materialized where they are observable:
+inside race reports.
+
+Equivalence contract (enforced by ``tests/test_kernels.py`` and the
+differential fuzz suite): driving the *same* :class:`FastTrack` instance
+through this kernel produces bit-identical warnings, ``CostStats``, rule
+counters, and shadow state as ``detector.process(trace)`` — the kernel
+only re-orders when thread/variable shadow records are *allocated* past
+fast-path hits that provably cannot observe the difference (a same-epoch
+hit requires the thread and variable state to exist already).
+
+Fork, join, volatile, and barrier operations (rare in every workload the
+paper measures) go through the detector's ordinary ``on_*`` handlers;
+the dense tables are synchronized around each call because those
+handlers may create or update thread states themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.detector import fine_grain
+from repro.core.epoch import (
+    CLOCK_BITS,
+    EPOCH_BOTTOM,
+    READ_SHARED,
+    _CLOCK_MASK,
+    format_epoch,
+)
+from repro.core.fasttrack import FastTrack
+from repro.core.state import LockState, VarState
+from repro.core.vectorclock import VectorClock
+from repro.kernels._slots import publish_vars, seed_shadows, slot_map
+from repro.trace import events as ev
+
+DETECTOR_CLS = FastTrack
+
+
+def run(
+    detector: FastTrack,
+    col,
+    indices: Optional[Sequence[int]] = None,
+) -> FastTrack:
+    """Run FastTrack over ``col`` (a :class:`ColumnarTrace` or shard view).
+
+    ``indices`` optionally maps loop positions to original trace indices,
+    so shard replays stamp single-threaded-identical ``event_index``
+    values on their warnings.
+    """
+    if type(detector) is not FastTrack:
+        raise TypeError(
+            f"fused FastTrack kernel requires a FastTrack instance, "
+            f"got {type(detector).__name__}"
+        )
+    # -- hoist everything the hot loop touches into locals ------------------
+    kinds = col.kinds
+    tids = col.tids
+    target_ids = col.target_ids
+    site_ids = col.site_ids
+    targets = col.targets
+    sites = col.sites
+    n = len(kinds)
+    stats = detector.stats
+    rules = stats.rules
+    report = detector.report
+    warned_keys = detector._warned_keys
+    warned_sites = detector._warned_sites
+    threads = detector.threads
+    make_thread = detector.thread
+    locks = detector.locks
+    lock_get = locks.get
+    dispatch = detector._dispatch
+    ident = detector.shadow_key is fine_grain
+    if ident:
+        # Default granularity: the shadow key IS the target, so interned
+        # target ids already are dense shadow slots.
+        slot_keys = targets
+        acc_col = target_ids
+    else:
+        slots, slot_keys = slot_map(targets, detector.shadow_key)
+        slot_list = list(slots)
+        acc_col = [slot_list[t] for t in target_ids]
+    shadows = seed_shadows(detector, slot_keys)
+    created = []  # slot creation order, for publish_vars
+    lock_states = [None] * len(targets)
+    # Dense tid-indexed tables: thread state, cached clocks list, cached
+    # epoch int, and the precomputed ``tid << CLOCK_BITS`` epoch base.
+    size = col.max_tid + 1
+    if threads:
+        size = max(size, max(threads) + 1)
+    tlist = [None] * size
+    clk = [None] * size
+    elist = [None] * size
+    for tid, t in threads.items():
+        tlist[tid] = t
+        clk[tid] = t.vc.clocks
+        elist[tid] = t.epoch
+    CBITS = CLOCK_BITS
+    CMASK = _CLOCK_MASK
+    tshift = [tid << CBITS for tid in range(size)]
+    enable_fp = detector.enable_fast_paths
+    shared_same_epoch = detector.shared_same_epoch
+    demote = detector.demote_on_shared_write
+    track_sites = detector.track_sites
+    BOTTOM = EPOCH_BOTTOM
+    new_var = VarState.__new__
+    VarState_cls = VarState
+    Event = ev.Event
+    READ = ev.READ
+    WRITE = ev.WRITE
+    ACQUIRE = ev.ACQUIRE
+    RELEASE = ev.RELEASE
+    ENTER = ev.ENTER
+    EXIT = ev.EXIT
+    # Rule tallies: local ints in the loop; the Counter is touched once on
+    # first fire (preserving the object path's key insertion order) and
+    # topped up after the loop.
+    r_rshared = r_rexcl = r_rshare = r_rsse = r_wexcl = r_wshared = 0
+    # Iterate the kind column as bytes: the bytes iterator yields cached
+    # small ints a shade faster than array('b'), and the post-loop bulk
+    # tallies reuse the same buffer.
+    kb = kinds.tobytes()
+
+    for i, kind, tid, acc in zip(range(n), kb, tids, acc_col):
+        if kind == READ:
+            x = shadows[acc]
+            e = elist[tid]
+            # [FT READ SAME EPOCH] — hottest path; no counters (paper §3).
+            # ``e`` is None for an unseen thread: the == is then False.
+            if x is not None and x.read_epoch == e and enable_fp:
+                continue
+            # A fast-path hit needs both shadow records to exist already
+            # (epochs embed the owner tid at clock >= 1), so creating them
+            # only here cannot change any observable outcome.
+            if e is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                clk[tid] = t.vc.clocks
+                e = elist[tid] = t.epoch
+            if x is None:
+                x = new_var(VarState_cls)
+                x.write_epoch = BOTTOM
+                x.read_epoch = BOTTOM
+                x.read_vc = None
+                x.write_site = None
+                x.read_site = None
+                shadows[acc] = x
+                created.append(acc)
+            # -- slow paths: mirror FastTrack.on_read line for line --------
+            clocks = clk[tid]
+            read_epoch = x.read_epoch
+            if (
+                shared_same_epoch
+                and read_epoch == READ_SHARED
+                and x.read_vc.get(tid) == clocks[tid]
+            ):
+                if r_rsse:
+                    r_rsse += 1
+                else:
+                    r_rsse = 1
+                    rules["FT READ SAME EPOCH SHARED"] += 1
+                continue
+            write_epoch = x.write_epoch
+            try:
+                wc = clocks[write_epoch >> CBITS]
+            except IndexError:
+                wc = 0
+            if (write_epoch & CMASK) > wc:
+                # Inlined ``report`` dedup: races keep firing on the same
+                # variable long after the first warning, so skip the Event
+                # and message construction when the report would be
+                # suppressed anyway.
+                key = slot_keys[acc]
+                site_id = site_ids[i]
+                site = sites[site_id] if site_id >= 0 else None
+                if key in warned_keys or (
+                    site is not None and site in warned_sites
+                ):
+                    warned_keys.add(key)
+                    detector.suppressed_warnings += 1
+                else:
+                    detector._index = i if indices is None else indices[i]
+                    report(
+                        Event(
+                            kind,
+                            tid,
+                            targets[acc if ident else target_ids[i]],
+                            site,
+                        ),
+                        "write-read",
+                        f"write {format_epoch(write_epoch)}"
+                        + (
+                            f" at {x.write_site}"
+                            if x.write_site is not None
+                            else ""
+                        ),
+                    )
+            if read_epoch == READ_SHARED:
+                if r_rshared:
+                    r_rshared += 1
+                else:
+                    r_rshared = 1
+                    rules["FT READ SHARED"] += 1
+                x.read_vc.set(tid, clocks[tid])
+            else:
+                rtid = read_epoch >> CBITS
+                try:
+                    rc = clocks[rtid]
+                except IndexError:
+                    rc = 0
+                if (read_epoch & CMASK) <= rc:
+                    if r_rexcl:
+                        r_rexcl += 1
+                    else:
+                        r_rexcl = 1
+                        rules["FT READ EXCLUSIVE"] += 1
+                    x.read_epoch = e
+                    if track_sites:
+                        site_id = site_ids[i]
+                        x.read_site = sites[site_id] if site_id >= 0 else None
+                else:
+                    if r_rshare:
+                        r_rshare += 1
+                    else:
+                        r_rshare = 1
+                        rules["FT READ SHARE"] += 1
+                    read_vc = VectorClock.bottom()
+                    stats.vc_allocs += 1
+                    read_vc.set(rtid, read_epoch & CMASK)
+                    read_vc.set(tid, clocks[tid])
+                    x.read_vc = read_vc
+                    x.read_epoch = READ_SHARED
+        elif kind == WRITE:
+            x = shadows[acc]
+            e = elist[tid]
+            # [FT WRITE SAME EPOCH] — counted by derivation, like the read.
+            if x is not None and x.write_epoch == e and enable_fp:
+                continue
+            if e is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                clk[tid] = t.vc.clocks
+                e = elist[tid] = t.epoch
+            if x is None:
+                x = new_var(VarState_cls)
+                x.write_epoch = BOTTOM
+                x.read_epoch = BOTTOM
+                x.read_vc = None
+                x.write_site = None
+                x.read_site = None
+                shadows[acc] = x
+                created.append(acc)
+            # -- slow paths: mirror FastTrack.on_write line for line -------
+            clocks = clk[tid]
+            write_epoch = x.write_epoch
+            try:
+                wc = clocks[write_epoch >> CBITS]
+            except IndexError:
+                wc = 0
+            if (write_epoch & CMASK) > wc:
+                key = slot_keys[acc]
+                site_id = site_ids[i]
+                site = sites[site_id] if site_id >= 0 else None
+                if key in warned_keys or (
+                    site is not None and site in warned_sites
+                ):
+                    warned_keys.add(key)
+                    detector.suppressed_warnings += 1
+                else:
+                    detector._index = i if indices is None else indices[i]
+                    report(
+                        Event(
+                            kind,
+                            tid,
+                            targets[acc if ident else target_ids[i]],
+                            site,
+                        ),
+                        "write-write",
+                        f"write {format_epoch(write_epoch)}"
+                        + (
+                            f" at {x.write_site}"
+                            if x.write_site is not None
+                            else ""
+                        ),
+                    )
+            read_epoch = x.read_epoch
+            if read_epoch != READ_SHARED:
+                if r_wexcl:
+                    r_wexcl += 1
+                else:
+                    r_wexcl = 1
+                    rules["FT WRITE EXCLUSIVE"] += 1
+                try:
+                    rc = clocks[read_epoch >> CBITS]
+                except IndexError:
+                    rc = 0
+                if (read_epoch & CMASK) > rc:
+                    key = slot_keys[acc]
+                    site_id = site_ids[i]
+                    site = sites[site_id] if site_id >= 0 else None
+                    if key in warned_keys or (
+                        site is not None and site in warned_sites
+                    ):
+                        warned_keys.add(key)
+                        detector.suppressed_warnings += 1
+                    else:
+                        detector._index = i if indices is None else indices[i]
+                        report(
+                            Event(
+                                kind,
+                                tid,
+                                targets[acc if ident else target_ids[i]],
+                                site,
+                            ),
+                            "read-write",
+                            f"read {format_epoch(read_epoch)}"
+                            + (
+                                f" at {x.read_site}"
+                                if x.read_site is not None
+                                else ""
+                            ),
+                        )
+            else:
+                if r_wshared:
+                    r_wshared += 1
+                else:
+                    r_wshared = 1
+                    rules["FT WRITE SHARED"] += 1
+                # (the O(n) vc_op charge is added from r_wshared after
+                # the loop)
+                if not x.read_vc.leq(tlist[tid].vc):
+                    key = slot_keys[acc]
+                    site_id = site_ids[i]
+                    site = sites[site_id] if site_id >= 0 else None
+                    if key in warned_keys or (
+                        site is not None and site in warned_sites
+                    ):
+                        warned_keys.add(key)
+                        detector.suppressed_warnings += 1
+                    else:
+                        racer = FastTrack._some_concurrent_reader(
+                            x.read_vc, tlist[tid].vc
+                        )
+                        detector._index = i if indices is None else indices[i]
+                        report(
+                            Event(
+                                kind,
+                                tid,
+                                targets[acc if ident else target_ids[i]],
+                                site,
+                            ),
+                            "read-write",
+                            f"shared read by {racer}",
+                        )
+                if demote:
+                    x.read_epoch = BOTTOM
+                    x.read_vc = None
+            x.write_epoch = e
+            if track_sites:
+                site_id = site_ids[i]
+                x.write_site = sites[site_id] if site_id >= 0 else None
+        elif kind == ACQUIRE:
+            # [FT ACQUIRE]  C_t := C_t ⊔ L_m  — the join mutates the cached
+            # clocks list in place, so ``clk[tid]`` identity is preserved.
+            # No epoch refresh: the join cannot raise ``C_t(t)``.
+            mine = clk[tid]
+            if mine is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                mine = clk[tid] = t.vc.clocks
+                elist[tid] = t.epoch
+            tgt = acc if ident else target_ids[i]
+            m = lock_states[tgt]
+            if m is None:
+                target = targets[tgt]
+                m = lock_get(target)
+                if m is None:
+                    m = LockState()
+                    stats.vc_allocs += 1
+                    locks[target] = m
+                lock_states[tgt] = m
+            theirs = m.vc.clocks
+            k = 0
+            try:
+                for c in theirs:
+                    if c > mine[k]:
+                        mine[k] = c
+                    k += 1
+            except IndexError:
+                # L_m knows more threads than C_t: grow and finish the join.
+                mine.extend([0] * (len(theirs) - len(mine)))
+                for k2 in range(k, len(theirs)):
+                    c = theirs[k2]
+                    if c > mine[k2]:
+                        mine[k2] = c
+        elif kind == RELEASE:
+            # [FT RELEASE]  L_m := C_t;  C_t := inc_t(C_t)
+            mine = clk[tid]
+            if mine is None:
+                t = make_thread(tid)
+                tlist[tid] = t
+                mine = clk[tid] = t.vc.clocks
+            tgt = acc if ident else target_ids[i]
+            m = lock_states[tgt]
+            if m is None:
+                target = targets[tgt]
+                m = lock_get(target)
+                if m is None:
+                    m = LockState()
+                    stats.vc_allocs += 1
+                    locks[target] = m
+                lock_states[tgt] = m
+            m.vc.clocks[:] = mine
+            c = mine[tid] + 1
+            mine[tid] = c
+            elist[tid] = tshift[tid] | c
+        elif kind == ENTER or kind == EXIT:
+            pass  # on_enter/on_exit are no-ops for FastTrack
+        else:
+            # fork/join/volatile/barrier: rare O(n) rules — object path.
+            # Flush cached epochs first (handlers see live ThreadStates),
+            # then refresh every dense table from the dict afterwards
+            # (handlers may create or update thread states).
+            for tid2, t2 in threads.items():
+                t2.epoch = elist[tid2]
+            site_id = site_ids[i]
+            tgt = acc if ident else target_ids[i]
+            event = Event(
+                kind,
+                tid,
+                targets[tgt],
+                sites[site_id] if site_id >= 0 else None,
+            )
+            detector._index = i if indices is None else indices[i]
+            dispatch[kind](event)
+            for tid2, t2 in threads.items():
+                if tid2 >= len(tlist):
+                    grow = tid2 + 1 - len(tlist)
+                    tlist.extend([None] * grow)
+                    clk.extend([None] * grow)
+                    elist.extend([None] * grow)
+                    tshift.extend(
+                        t3 << CBITS for t3 in range(len(tshift), tid2 + 1)
+                    )
+                tlist[tid2] = t2
+                clk[tid2] = t2.vc.clocks
+                elist[tid2] = t2.epoch
+
+    # -- writeback + bulk accounting ----------------------------------------
+    for tid2, t2 in threads.items():
+        t2.epoch = elist[tid2]
+    if n:
+        detector._index = (n - 1) if indices is None else indices[n - 1]
+    reads = kb.count(READ)
+    writes = kb.count(WRITE)
+    boundaries = kb.count(ENTER) + kb.count(EXIT)
+    stats.events += n
+    stats.reads += reads
+    stats.writes += writes
+    stats.syncs += n - reads - writes - boundaries
+    stats.boundaries += boundaries
+    # One O(n) vc_op per acquire/release (Figure 3) plus one per
+    # [FT WRITE SHARED] firing; dispatch handlers charged theirs directly.
+    stats.vc_ops += kb.count(ACQUIRE) + kb.count(RELEASE) + r_wshared
+    if r_rshared > 1:
+        rules["FT READ SHARED"] += r_rshared - 1
+    if r_rexcl > 1:
+        rules["FT READ EXCLUSIVE"] += r_rexcl - 1
+    if r_rshare > 1:
+        rules["FT READ SHARE"] += r_rshare - 1
+    if r_rsse > 1:
+        rules["FT READ SAME EPOCH SHARED"] += r_rsse - 1
+    if r_wexcl > 1:
+        rules["FT WRITE EXCLUSIVE"] += r_wexcl - 1
+    if r_wshared > 1:
+        rules["FT WRITE SHARED"] += r_wshared - 1
+    publish_vars(detector, slot_keys, shadows, created)
+    return detector

@@ -2,6 +2,8 @@
 
 * :mod:`repro.trace.events` — operation kinds and constructors.
 * :mod:`repro.trace.trace` — the :class:`Trace` container.
+* :mod:`repro.trace.columnar` — the array-backed :class:`ColumnarTrace`
+  representation the fused kernels of :mod:`repro.kernels` consume.
 * :mod:`repro.trace.feasibility` — Section 2.1's feasibility constraints.
 * :mod:`repro.trace.happens_before` — the happens-before relation computed
   from first principles (the oracle the precision tests compare against).
@@ -37,6 +39,7 @@ from repro.trace.events import (
     wr,
 )
 from repro.trace.trace import Trace
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.clocks import EventClocks, annotate
 from repro.trace.minimize import minimize_trace, race_predicate
 from repro.trace.feasibility import FeasibilityError, check_feasible, is_feasible
@@ -52,6 +55,7 @@ from repro.trace.happens_before import (
 __all__ = [
     "Event",
     "Trace",
+    "ColumnarTrace",
     "rd",
     "wr",
     "acq",

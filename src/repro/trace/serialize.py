@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Hashable, Iterable, Iterator, Optional, TextIO, Union
+from typing import Hashable, Iterable, Iterator, Optional, TextIO, Tuple, Union
 
 from repro.trace import events as ev
 from repro.trace.trace import Trace
@@ -135,8 +135,14 @@ def format_event(event: ev.Event) -> str:
     return body
 
 
-def parse_event(line: str) -> ev.Event:
-    """Inverse of :func:`format_event`."""
+def parse_event_parts(line: str) -> Tuple[int, int, Hashable, Optional[str]]:
+    """Parse one text-format line to ``(kind, tid, target, site)``.
+
+    This is the allocation-light core of :func:`parse_event`: the columnar
+    ingest path (:meth:`repro.trace.columnar.ColumnarTrace.from_text_lines`)
+    appends these fields straight into its columns without ever building an
+    :class:`~repro.trace.events.Event`.
+    """
     match = _LINE.match(line.strip())
     if match is None:
         raise TraceParseError(f"unparseable line {line!r}")
@@ -148,10 +154,10 @@ def parse_event(line: str) -> ev.Event:
     site = match.group("site")
     if kind == ev.BARRIER_RELEASE:
         try:
-            tids = tuple(int(part) for part in args)
+            tids = tuple(sorted(int(part) for part in args))
         except ValueError:
             raise TraceParseError(f"barrier members must be tids: {line!r}")
-        return ev.barrier_rel(tids)
+        return kind, -1, tids, None
     if len(args) != 2:
         raise TraceParseError(f"expected two arguments in {line!r}")
     try:
@@ -165,7 +171,31 @@ def parse_event(line: str) -> ev.Event:
             raise TraceParseError(f"fork/join target must be a tid: {line!r}")
     else:
         target = parse_target(args[1])
+    return kind, tid, target, site
+
+
+def parse_event(line: str) -> ev.Event:
+    """Inverse of :func:`format_event`."""
+    kind, tid, target, site = parse_event_parts(line)
     return ev.Event(kind, tid, target, site)
+
+
+def iter_parse_parts(
+    lines: Iterable[str],
+) -> Iterator[Tuple[int, int, Hashable, Optional[str]]]:
+    """Stream-parse the text format to ``(kind, tid, target, site)`` tuples.
+
+    The event-free twin of :func:`iter_parse`: comments and blank lines are
+    skipped, and errors carry the 1-based line number and offending text.
+    """
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            yield parse_event_parts(line)
+        except TraceParseError as error:
+            raise TraceParseError(str(error), lineno=lineno, line=line) from None
 
 
 def dumps(trace: Iterable[ev.Event]) -> str:
@@ -235,15 +265,44 @@ def event_to_json(event: ev.Event) -> dict:
     return record
 
 
-def event_from_json(record: dict) -> ev.Event:
+def event_parts_from_json(
+    record: dict,
+) -> Tuple[int, int, Hashable, Optional[Hashable]]:
+    """Decode one JSONL record to ``(kind, tid, target, site)`` (the
+    allocation-light core of :func:`event_from_json`)."""
     try:
         kind = _KIND_BY_NAME[record["op"]]
     except KeyError:
         raise TraceParseError(f"unknown operation in record {record!r}")
     target = _target_from_json(record["target"])
     if kind == ev.BARRIER_RELEASE:
-        return ev.barrier_rel(tuple(target))
-    return ev.Event(kind, record["tid"], target, record.get("site"))
+        return kind, -1, tuple(sorted(target)), None
+    return kind, record["tid"], target, record.get("site")
+
+
+def event_from_json(record: dict) -> ev.Event:
+    kind, tid, target, site = event_parts_from_json(record)
+    return ev.Event(kind, tid, target, site)
+
+
+def iter_parse_parts_jsonl(
+    lines: Iterable[str],
+) -> Iterator[Tuple[int, int, Hashable, Optional[Hashable]]]:
+    """Stream-parse JSON lines to ``(kind, tid, target, site)`` tuples."""
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceParseError(
+                f"invalid JSON ({error.msg})", lineno=lineno, line=line
+            ) from None
+        try:
+            yield event_parts_from_json(record)
+        except TraceParseError as error:
+            raise TraceParseError(str(error), lineno=lineno, line=line) from None
 
 
 def dumps_jsonl(trace: Iterable[ev.Event]) -> str:

@@ -13,6 +13,9 @@ import pytest
 
 from repro.core.fasttrack import FastTrack
 from repro.detectors import BasicVC, DJITPlus, Eraser, Goldilocks, MultiRace
+from repro.detectors.registry import make_detector
+from repro.kernels import KERNEL_TOOLS, run_kernel
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.feasibility import check_feasible
 from repro.trace.generators import GeneratorConfig, random_feasible_trace
 from repro.trace.happens_before import HappensBefore
@@ -68,3 +71,26 @@ def test_differential(round_index, trace):
     unsound = Goldilocks(unsound_thread_local=True).process(events)
     assert {unsound.shadow_key(w.var) for w in unsound.warnings} <= oracle
     Eraser().process(events)  # must not crash on any feasible trace
+
+
+@pytest.mark.parametrize("round_index,trace", list(corpus()))
+def test_fused_kernels_match_generic(round_index, trace):
+    """Every fused kernel is bit-identical to the object path over the
+    same corpus: warnings (order, indices, priors), CostStats, rule
+    counters, and the suppressed-warning tally."""
+    events = list(trace)
+    columns = ColumnarTrace.from_events(events)
+    for tool in KERNEL_TOOLS:
+        generic = make_detector(tool).process(events)
+        fused = run_kernel(tool, columns)
+        context = (round_index, tool)
+        assert [str(w) for w in generic.warnings] == [
+            str(w) for w in fused.warnings
+        ], context
+        assert generic.stats.summary() == fused.stats.summary(), context
+        assert list(generic.stats.rules.items()) == list(
+            fused.stats.rules.items()
+        ), context
+        assert generic.suppressed_warnings == fused.suppressed_warnings, (
+            context
+        )
