@@ -1,0 +1,151 @@
+"""Service throughput: ``repro serve`` under 1, 4, and 16 concurrent clients.
+
+Each client submits a fixed number of jobs over the real HTTP stack
+(chunked upload, job queue, runner threads, disk store) and polls each
+to completion.  Per sweep point we record jobs/sec, p50/p95 end-to-end
+job latency, and aggregate analyzed events/sec into the session
+recorder that ``benchmarks/conftest.py`` serializes to
+``benchmarks/BENCH_service.json``, so successive PRs can track the
+daemon's throughput trajectory machine-readably.
+
+The daemon runs in-process with two runner threads — the sweep measures
+queueing and service overhead as client parallelism grows past the
+worker count, not detector speed (bench_table1 et al. cover that).
+
+Tunables: ``BENCH_SERVICE_EVENTS`` (trace size, default 20000),
+``BENCH_SERVICE_JOBS`` (jobs per client, default 3).
+"""
+
+import os
+import random
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.service.client import Client
+from repro.service.server import ServiceConfig, start_in_thread
+from repro.trace import serialize
+from repro.trace.generators import GeneratorConfig, random_feasible_trace
+
+CLIENT_COUNTS = (1, 4, 16)
+EVENTS = int(os.environ.get("BENCH_SERVICE_EVENTS", "20000"))
+JOBS_PER_CLIENT = int(os.environ.get("BENCH_SERVICE_JOBS", "3"))
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    handle = start_in_thread(
+        ServiceConfig(
+            port=0,
+            workers=WORKERS,
+            queue_size=256,
+            store_dir=str(tmp_path_factory.mktemp("bench-store")),
+        )
+    )
+    try:
+        yield handle
+    finally:
+        handle.stop(grace=10.0)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    trace = random_feasible_trace(
+        random.Random(20090615),
+        GeneratorConfig(max_events=EVENTS, max_threads=6, n_vars=40,
+                        n_locks=4, discipline=0.4, p_fork=0.03,
+                        p_volatile=0.03),
+    )
+    path = tmp_path_factory.mktemp("bench-trace") / "service.trace"
+    path.write_text(serialize.dumps(trace))
+    return str(path), len(trace)
+
+
+def _client_loop(port, path, latencies, errors):
+    client = Client(port=port, timeout=120.0)
+    for _ in range(JOBS_PER_CLIENT):
+        started = time.perf_counter()
+        try:
+            job = client.submit(path=path)
+            client.wait(job["id"], timeout=120.0, poll=0.02)
+        except Exception as error:  # noqa: BLE001 - recorded, then raised
+            errors.append(repr(error))
+            return
+        latencies.append(time.perf_counter() - started)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+@pytest.mark.parametrize("clients", CLIENT_COUNTS)
+def test_service_throughput_cell(
+    daemon, trace_path, clients, service_bench_recorder
+):
+    path, events = trace_path
+    latencies, errors = [], []
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(daemon.port, path, latencies, errors),
+        )
+        for _ in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    assert not errors, errors
+    jobs = clients * JOBS_PER_CLIENT
+    assert len(latencies) == jobs
+
+    record = service_bench_recorder.setdefault("service_throughput", {})
+    record.update(
+        {
+            "events_per_job": events,
+            "jobs_per_client": JOBS_PER_CLIENT,
+            "workers": WORKERS,
+            "cpus": os.cpu_count(),
+        }
+    )
+    record.setdefault("results", {})[str(clients)] = {
+        "jobs": jobs,
+        "seconds": wall,
+        "jobs_per_sec": jobs / wall,
+        "latency_p50_s": statistics.median(latencies),
+        "latency_p95_s": _percentile(latencies, 0.95),
+        "events_per_sec": jobs * events / wall,
+        # Clients beyond the runner count measure queueing, by design.
+        "oversubscribed": clients > WORKERS,
+    }
+
+
+def test_service_throughput_summary(service_bench_recorder, capsys):
+    """Print the sweep table once all cells have run (items are sorted
+    by nodeid, so `summary` follows the `cell` parametrizations)."""
+    data = service_bench_recorder.get("service_throughput", {})
+    results = data.get("results", {})
+    if str(CLIENT_COUNTS[0]) not in results:
+        pytest.skip("throughput cells did not run")
+    with capsys.disabled():
+        print()
+        print(
+            f"service throughput, {data['events_per_job']} events/job, "
+            f"{data['workers']} runner(s), {data['cpus']} cpu(s):"
+        )
+        for clients in CLIENT_COUNTS:
+            cell = results.get(str(clients))
+            if cell:
+                print(
+                    f"  clients={clients:>2}: "
+                    f"{cell['jobs_per_sec']:.2f} jobs/s, "
+                    f"p50 {cell['latency_p50_s'] * 1000:.0f}ms, "
+                    f"p95 {cell['latency_p95_s'] * 1000:.0f}ms, "
+                    f"{cell['events_per_sec']:,.0f} events/s"
+                )

@@ -24,9 +24,13 @@ ENGINE_BENCH_RESULTS = {}
 #: Same idea for the fused-kernel benchmarks → BENCH_kernels.json.
 KERNEL_BENCH_RESULTS = {}
 
+#: And for the ``repro serve`` throughput sweep → BENCH_service.json.
+SERVICE_BENCH_RESULTS = {}
+
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
 _KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
+_SERVICE_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
 
 
 @pytest.fixture(scope="session")
@@ -46,6 +50,12 @@ def kernel_bench_recorder():
     return KERNEL_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def service_bench_recorder():
+    """Session-wide dict for service throughput (→ BENCH_service.json)."""
+    return SERVICE_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
@@ -55,6 +65,7 @@ def pytest_sessionfinish(session, exitstatus):
     for results, path in (
         (ENGINE_BENCH_RESULTS, _BENCH_JSON_PATH),
         (KERNEL_BENCH_RESULTS, _KERNEL_JSON_PATH),
+        (SERVICE_BENCH_RESULTS, _SERVICE_JSON_PATH),
     ):
         if not results:
             continue

@@ -7,16 +7,22 @@
     repro record tsp -o tsp.trace       generate a workload's event stream
     repro check tsp.trace               run FastTrack over a trace file
     repro check tsp.trace --tool Eraser --all-tools --oracle
+    repro check tsp.trace --json        machine-readable result document
     repro check big.trace --jobs 4 --shards 16 --resume work/
                                         sharded parallel engine (streaming;
                                         re-running resumes finished shards)
+    repro serve --port 8077 --store work/service
+                                        long-running race-checking daemon
+    repro submit tsp.trace --wait       send a trace to a running daemon
+    repro status JOB / repro result JOB poll a daemon job / fetch its result
     repro annotate small.trace          print per-event vector clocks
     repro bench table1                  regenerate the paper's tables
 
 Trace files use the text format of :mod:`repro.trace.serialize` (the
 paper's concrete syntax; ``--format jsonl`` for JSON lines).  ``check``
 exits with status 1 when the selected tool reports warnings, so it can
-gate a CI job.
+gate a CI job; a run drained by SIGTERM exits with 3 after checkpointing
+(re-run with ``--resume`` to finish).
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench.workload import WORKLOADS
-from repro.detectors import DETECTORS, make_detector
+from repro.detectors import DETECTORS, default_tool_kwargs, make_detector
 from repro.trace import serialize
 from repro.trace.clocks import annotate as annotate_clocks
 from repro.trace.feasibility import check_feasible
@@ -129,6 +135,16 @@ def _resolve_jobs(args) -> int:
     return jobs
 
 
+def _print_json_results(json_results, args) -> None:
+    """Emit the canonical result document(s) for ``check --json``."""
+    from repro.report import dumps_result, result_set
+
+    if args.all_tools:
+        sys.stdout.write(dumps_result(result_set(json_results)))
+    else:
+        sys.stdout.write(dumps_result(json_results[args.tool]))
+
+
 def _cmd_check_sharded(args) -> int:
     """The ``--jobs N`` / ``--shards M`` / ``--resume DIR`` engine path."""
     import tempfile
@@ -161,13 +177,14 @@ def _cmd_check_sharded(args) -> int:
         # Partition once, analyze with every tool against the same shards.
         workdir = tempfile.mkdtemp(prefix="repro-engine-")
         owns_workdir = True
-    if args.all_tools and not args.verbose:
+    if args.all_tools and not args.verbose and not args.json:
         print(f"{'tool':<12s}{'warnings':>9s}")
     worst = 0
     selected = None
+    json_results = {}
     try:
         for position, name in enumerate(tool_names):
-            kwargs = {"track_sites": True} if name == "FastTrack" else {}
+            kwargs = default_tool_kwargs(name)
             # Reuse the partition for every tool after the first pass.
             resume = args.resume is not None or position > 0
             # ``--all-tools --kernel fused`` only binds the selected tool;
@@ -183,13 +200,16 @@ def _cmd_check_sharded(args) -> int:
                 jobs=args.jobs,
                 workdir=workdir,
                 resume=resume,
+                classify=args.json,
                 tool_kwargs=kwargs,
                 kernel=kernel,
             )
             if name == args.tool:
                 worst = report.warning_count
                 selected = report
-            if args.all_tools and not args.verbose:
+            if args.json:
+                json_results[name] = report.to_json()
+            elif args.all_tools and not args.verbose:
                 print(f"{name:<12s}{report.warning_count:>9d}")
             else:
                 print(f"{name}: {report.warning_count} warning(s)")
@@ -198,6 +218,9 @@ def _cmd_check_sharded(args) -> int:
     except serialize.TraceParseError as error:
         _print_parse_error(args.trace, error)
         return 2
+    except engine.DrainRequested as error:
+        print(f"drained: {error}", file=sys.stderr)
+        return 3
     except engine.CheckpointError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -210,10 +233,15 @@ def _cmd_check_sharded(args) -> int:
             import shutil
 
             shutil.rmtree(workdir, ignore_errors=True)
+    if args.json:
+        _print_json_results(json_results, args)
     if args.report is not None and selected is not None:
         with open(args.report, "w", encoding="utf-8") as stream:
             stream.write(engine.render_markdown(selected))
-        print(f"report written to {args.report}")
+        print(
+            f"report written to {args.report}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     return 1 if worst else 0
 
 
@@ -240,21 +268,30 @@ def cmd_check(args) -> int:
         return 2
     violations = check_feasible(trace)
     if violations:
-        print(f"warning: trace is not feasible ({violations[0]})")
+        print(
+            f"warning: trace is not feasible ({violations[0]})",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     tool_names = list(DETECTORS) if args.all_tools else [args.tool]
     columns = None
     if args.kernel != "generic" and any(has_kernel(n) for n in tool_names):
         from repro.trace.columnar import ColumnarTrace
 
         columns = ColumnarTrace.from_events(trace)
+    classifier = None
+    if args.json:
+        from repro.detectors.classifier import SharingClassifier
+
+        classifier = SharingClassifier()
+        classifier.process(trace)
     report_target = None
-    if args.all_tools and not args.verbose:
+    if args.all_tools and not args.verbose and not args.json:
         print(f"{'tool':<12s}{'warnings':>9s}")
     worst = 0
+    json_results = {}
     for name in tool_names:
-        # FastTrack reports name both sides of the race when sites exist.
-        kwargs = {"track_sites": True} if name == "FastTrack" else {}
-        detector = make_detector(name, **kwargs)
+        # FastTrack names both sides of the race when sites exist.
+        detector = make_detector(name, **default_tool_kwargs(name))
         if columns is not None and has_kernel(name):
             run_kernel(name, columns, detector=detector)
         else:
@@ -262,17 +299,26 @@ def cmd_check(args) -> int:
         if name == args.tool:
             worst = detector.warning_count
             report_target = detector
-        if args.all_tools and not args.verbose:
+        if args.json:
+            from repro.report import detector_result
+
+            json_results[name] = detector_result(detector, classifier)
+        elif args.all_tools and not args.verbose:
             print(f"{name:<12s}{detector.warning_count:>9d}")
         else:
             print(f"{name}: {detector.warning_count} warning(s)")
             for warning in detector.warnings:
                 print(f"  {warning}")
+    if args.json:
+        _print_json_results(json_results, args)
     oracle_set = None
     if args.oracle:
         oracle_set = racy_variables(trace)
         rendered = ", ".join(sorted(map(str, oracle_set))) or "none"
-        print(f"happens-before oracle: racy variables: {rendered}")
+        print(
+            f"happens-before oracle: racy variables: {rendered}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     if args.report is not None and report_target is not None:
         from repro.report import build_report
 
@@ -282,7 +328,10 @@ def cmd_check(args) -> int:
         )
         with open(args.report, "w", encoding="utf-8") as stream:
             stream.write(text)
-        print(f"report written to {args.report}")
+        print(
+            f"report written to {args.report}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     return 1 if worst else 0
 
 
@@ -392,6 +441,95 @@ def cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def _add_service_endpoint_args(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request timeout in seconds",
+    )
+
+
+def _service_client(args):
+    from repro.service.client import Client
+
+    return Client(host=args.host, port=args.port, timeout=args.timeout)
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        engine_jobs=args.engine_jobs,
+        queue_size=args.queue_size,
+        ttl_seconds=args.ttl,
+        store_dir=args.store,
+    )
+    return serve(config)
+
+
+def cmd_submit(args) -> int:
+    from repro.report import dumps_result
+    from repro.service.client import JobFailed, ServiceError
+
+    client = _service_client(args)
+    tools = list(DETECTORS) if args.all_tools else [args.tool]
+    try:
+        job = client.submit(
+            path=args.trace,
+            tools=tools,
+            shards=args.shards,
+            kernel=args.kernel,
+            fmt=args.format,
+        )
+        if not args.wait:
+            print(job["id"])
+            return 0
+        document = client.wait(job["id"])
+    except JobFailed as error:
+        print(f"error: job failed: {error}", file=sys.stderr)
+        return 2
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sys.stdout.write(dumps_result(document))
+    if document.get("schema") == "repro.result-set/1":
+        selected = document["results"].get(args.tool, {})
+    else:
+        selected = document
+    return 1 if selected.get("warning_count") else 0
+
+
+def cmd_status(args) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceError
+
+    try:
+        job = _service_client(args).status(args.job)
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(_json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_result(args) -> int:
+    from repro.report import dumps_result
+    from repro.service.client import JobFailed, ServiceError
+
+    try:
+        document = _service_client(args).result(args.job)
+    except (JobFailed, ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sys.stdout.write(dumps_result(document))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -462,8 +600,75 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a markdown (.md) or HTML (.html) race report",
     )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical repro.result/1 JSON document instead of "
+        "text (the same schema the repro serve daemon returns)",
+    )
     check.add_argument("-v", "--verbose", action="store_true")
     check.set_defaults(func=cmd_check)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived race-checking daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job-runner threads (default 2)",
+    )
+    serve.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="size of the persistent shard-worker process pool shared by "
+        "all jobs (1 = analyze in the runner thread)",
+    )
+    serve.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="job/result store directory (jobs survive daemon restarts)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded job queue; submissions beyond it get HTTP 429",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=3600.0, metavar="SECONDS",
+        help="evict finished jobs from the store after this long",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a trace file to a running daemon"
+    )
+    submit.add_argument("trace")
+    submit.add_argument("--tool", default="FastTrack", choices=list(DETECTORS))
+    submit.add_argument(
+        "--all-tools", action="store_true", help="run every detector"
+    )
+    submit.add_argument("--format", choices=("text", "jsonl"), default="text")
+    submit.add_argument("--shards", type=int, default=None, metavar="M")
+    submit.add_argument(
+        "--kernel", choices=("auto", "fused", "generic"), default="auto"
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its result document "
+        "(exit 1 when the selected tool warns, as repro check does)",
+    )
+    _add_service_endpoint_args(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser("status", help="show a daemon job's status")
+    status.add_argument("job")
+    _add_service_endpoint_args(status)
+    status.set_defaults(func=cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch a daemon job's result document"
+    )
+    result.add_argument("job")
+    _add_service_endpoint_args(result)
+    result.set_defaults(func=cmd_result)
 
     annotate = sub.add_parser(
         "annotate", help="print per-event vector clocks for a trace"

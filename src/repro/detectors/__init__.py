@@ -32,7 +32,12 @@ from repro.detectors.multirace import MultiRace
 from repro.detectors.goldilocks import Goldilocks
 from repro.detectors.classifier import SharingClassifier
 from repro.core.fasttrack import FastTrack
-from repro.detectors.registry import DETECTORS, PRECISE_DETECTORS, make_detector
+from repro.detectors.registry import (
+    DETECTORS,
+    PRECISE_DETECTORS,
+    default_tool_kwargs,
+    make_detector,
+)
 
 __all__ = [
     "CostStats",
@@ -51,5 +56,6 @@ __all__ = [
     "SharingClassifier",
     "DETECTORS",
     "PRECISE_DETECTORS",
+    "default_tool_kwargs",
     "make_detector",
 ]

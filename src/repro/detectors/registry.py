@@ -27,6 +27,14 @@ DETECTORS: Dict[str, Type[Detector]] = {
 PRECISE_DETECTORS = ("Goldilocks", "BasicVC", "DJIT+", "FastTrack")
 
 
+def default_tool_kwargs(name: str) -> Dict[str, object]:
+    """The constructor kwargs every result-emitting surface (CLI ``check``,
+    the engine path, the ``repro serve`` daemon) applies by default, so
+    their outputs stay comparable: FastTrack tracks source sites to name
+    both sides of a race."""
+    return {"track_sites": True} if name == "FastTrack" else {}
+
+
 def make_detector(name: str, **kwargs) -> Detector:
     """Instantiate a tool by its Table 1 name (e.g. ``"DJIT+"``)."""
     try:

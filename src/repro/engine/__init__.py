@@ -40,6 +40,7 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import shutil
+import signal
 import tempfile
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
@@ -57,18 +58,30 @@ from repro.engine.partition import (
     partition_events,
     shard_of,
 )
-from repro.engine.worker import analyze_shard, load_payloads, run_shard
+from repro.engine.worker import (
+    DrainRequested,
+    analyze_shard,
+    drain_requested,
+    install_drain_handler,
+    load_payloads,
+    request_drain,
+    reset_drain,
+    run_shard,
+)
 from repro.trace import events as ev
 from repro.trace import serialize
 
 __all__ = [
     "CheckpointError",
+    "DrainRequested",
     "MergedReport",
     "Workdir",
     "analyze_shard",
     "check_events",
     "check_trace_file",
     "default_nshards",
+    "drain_requested",
+    "install_drain_handler",
     "iter_shard",
     "load_payloads",
     "load_shard_columns",
@@ -77,6 +90,8 @@ __all__ = [
     "merge_warnings",
     "partition_events",
     "render_markdown",
+    "request_drain",
+    "reset_drain",
     "run_shard",
     "shard_of",
 ]
@@ -95,6 +110,15 @@ def _pick_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def _restore_sigterm(previous) -> None:
+    if previous is None:
+        return
+    try:
+        signal.signal(signal.SIGTERM, previous)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+
+
 def _run_pending(
     root: str,
     pending: List[int],
@@ -103,23 +127,66 @@ def _run_pending(
     jobs: int,
     classify: bool,
     kernel: str,
+    executor: Optional[concurrent.futures.Executor] = None,
 ) -> None:
-    if jobs <= 1 or len(pending) <= 1:
-        for shard in pending:
-            run_shard(root, shard, tool, tool_kwargs, classify, kernel)
+    """Analyze the pending shards, honouring SIGTERM drain requests.
+
+    With ``executor`` (the daemon's persistent pool) all shards are
+    submitted there; otherwise ``jobs`` decides between the in-process
+    sequential loop and a throwaway :class:`ProcessPoolExecutor`.  Either
+    way a SIGTERM lets in-flight shards checkpoint and then raises
+    :class:`DrainRequested` instead of losing work.
+    """
+    total = len(pending)
+    if executor is None and (jobs <= 1 or total <= 1):
+        previous = install_drain_handler()
+        try:
+            for position, shard in enumerate(pending):
+                if drain_requested():
+                    raise DrainRequested(completed=position, total=total)
+                run_shard(root, shard, tool, tool_kwargs, classify, kernel)
+        finally:
+            _restore_sigterm(previous)
         return
-    context = multiprocessing.get_context(_pick_start_method())
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(jobs, len(pending)), mp_context=context
-    ) as pool:
+    owns_pool = executor is None
+    previous = install_drain_handler() if owns_pool else None
+    if owns_pool:
+        context = multiprocessing.get_context(_pick_start_method())
+        pool: concurrent.futures.Executor = (
+            concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, total), mp_context=context
+            )
+        )
+    else:
+        pool = executor
+    try:
         futures = [
             pool.submit(
                 run_shard, root, shard, tool, tool_kwargs, classify, kernel
             )
             for shard in pending
         ]
-        for future in concurrent.futures.as_completed(futures):
-            future.result()  # re-raise the first worker failure
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                future.result()  # re-raise the first worker failure
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker exiting after a drain checkpoint breaks the pool by
+            # design; only translate when a drain was actually requested.
+            if drain_requested():
+                checkpointed = set(
+                    Workdir(root).completed_shards(tool, max(pending) + 1)
+                )
+                done = sum(1 for shard in pending if shard in checkpointed)
+                raise DrainRequested(completed=done, total=total) from None
+            raise
+        if drain_requested() and owns_pool:
+            # The signal arrived after the last shard checkpointed: all
+            # work is done, so complete normally.
+            pass
+    finally:
+        if owns_pool:
+            pool.shutdown(wait=False, cancel_futures=True)
+            _restore_sigterm(previous)
 
 
 def _run(
@@ -132,6 +199,7 @@ def _run(
     classify: bool,
     tool_kwargs: Optional[Dict],
     kernel: str,
+    executor: Optional[concurrent.futures.Executor] = None,
 ) -> MergedReport:
     owns_workdir = workdir is None
     root = workdir if workdir is not None else tempfile.mkdtemp(
@@ -146,6 +214,11 @@ def _run(
             # shard count would orphan the existing checkpoints).
             wd.validate_meta(meta, nshards)
         else:
+            if resume:
+                # No usable partition: refuse to trust whatever result
+                # checkpoints are lying around (they belong to a layout we
+                # can no longer identify).
+                wd.ensure_resumable_layout(meta)
             shards = nshards if nshards is not None else default_nshards(jobs)
             meta = partition_events(events_factory(), wd, shards)
         count = meta["nshards"]
@@ -153,7 +226,10 @@ def _run(
             wd.clear_results(tool, count)
         completed = set(wd.completed_shards(tool, count))
         pending = [shard for shard in range(count) if shard not in completed]
-        _run_pending(root, pending, tool, tool_kwargs, jobs, classify, kernel)
+        _run_pending(
+            root, pending, tool, tool_kwargs, jobs, classify, kernel,
+            executor=executor,
+        )
         return merge_shard_results(load_payloads(wd, tool, count))
     finally:
         if owns_workdir:
@@ -171,8 +247,14 @@ def check_events(
     classify: bool = False,
     tool_kwargs: Optional[Dict] = None,
     kernel: str = "auto",
+    executor: Optional[concurrent.futures.Executor] = None,
 ) -> MergedReport:
-    """Shard-check an in-memory event sequence (or any one-shot iterable)."""
+    """Shard-check an in-memory event sequence (or any one-shot iterable).
+
+    ``executor`` lends the run an already-running pool (the daemon keeps
+    one across jobs to amortize worker startup); without it, ``jobs``
+    decides whether a throwaway pool is spun up.
+    """
     return _run(
         lambda: iter(events),
         tool,
@@ -183,6 +265,7 @@ def check_events(
         classify,
         tool_kwargs,
         kernel,
+        executor=executor,
     )
 
 
@@ -198,12 +281,14 @@ def check_trace_file(
     classify: bool = False,
     tool_kwargs: Optional[Dict] = None,
     kernel: str = "auto",
+    executor: Optional[concurrent.futures.Executor] = None,
 ) -> MergedReport:
     """Shard-check a serialized trace file, streaming it during partition.
 
     The file is read through :func:`repro.trace.serialize.iter_load` (or
     ``iter_load_jsonl``), so the full event list is never materialized; a
     resumed run whose partition already exists does not read it at all.
+    ``executor`` lends the run a persistent pool (see :func:`check_events`).
     """
 
     def events_factory() -> Iterator[ev.Event]:
@@ -226,4 +311,5 @@ def check_trace_file(
         classify,
         tool_kwargs,
         kernel,
+        executor=executor,
     )

@@ -42,6 +42,9 @@ class CheckpointError(RuntimeError):
     """A resume directory does not match the requested run."""
 
 
+_RESULT_FILE = re.compile(r"^shard_\d+\.json$")
+
+
 def _tool_dirname(tool: str) -> str:
     """A filesystem-safe directory name for a tool (``DJIT+`` → ``DJIT_``)."""
     return re.sub(r"[^A-Za-z0-9.-]", "_", tool)
@@ -153,6 +156,46 @@ class Workdir:
             if os.path.exists(self.result_path(tool, shard))
         ]
 
+    def result_files(self) -> List[str]:
+        """Every checkpointed result file under ``results/``, any tool."""
+        found = []
+        try:
+            tool_dirs = sorted(os.listdir(self.results_dir))
+        except OSError:
+            return found
+        for tool_dir in tool_dirs:
+            directory = os.path.join(self.results_dir, tool_dir)
+            if not os.path.isdir(directory):
+                continue
+            for name in sorted(os.listdir(directory)):
+                if _RESULT_FILE.match(name):
+                    found.append(os.path.join(directory, name))
+        return found
+
+    def ensure_resumable_layout(self, meta: Optional[Dict]) -> None:
+        """Fail fast when a resume would silently mix shard layouts.
+
+        A result checkpoint is only meaningful relative to the partition it
+        was computed against.  When ``meta.json`` is missing, corrupt, or
+        from an incompatible format version, a resume would re-partition —
+        possibly into a different shard count — while ``completed_shards``
+        happily trusts the stale checkpoints, merging results from two
+        different layouts.  Refuse instead: the caller must use a fresh
+        directory (or delete the stale results) to proceed.
+        """
+        if meta is not None:
+            return
+        stale = self.result_files()
+        if stale:
+            raise CheckpointError(
+                f"resume directory {self.root!r} has {len(stale)} result "
+                "checkpoint(s) but no valid partition metadata (meta.json "
+                "missing, corrupt, or from an incompatible format); "
+                "resuming would mix shard layouts — use a fresh directory "
+                f"or delete {self.results_dir!r} first "
+                f"(first stale file: {stale[0]!r})"
+            )
+
     def write_result(self, tool: str, shard: int, payload: Dict) -> str:
         path = self.result_path(tool, shard)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -163,9 +206,21 @@ class Workdir:
         with open(self.result_path(tool, shard), "r", encoding="utf-8") as f:
             return json.load(f)
 
-    def clear_results(self, tool: str, nshards: int) -> None:
-        """Drop a tool's checkpoints (a non-resume run starts clean)."""
-        for shard in range(nshards):
-            path = self.result_path(tool, shard)
-            if os.path.exists(path):
-                os.unlink(path)
+    def clear_results(self, tool: str, nshards: Optional[int] = None) -> None:
+        """Drop *all* of a tool's checkpoints (a non-resume run starts
+        clean).
+
+        Removal is by directory listing rather than ``range(nshards)`` so a
+        re-partition into fewer shards cannot leave high-index checkpoints
+        from the previous layout behind (a later resume would mistake them
+        for finished work).  ``nshards`` is accepted for symmetry with
+        :meth:`completed_shards` but no longer bounds the sweep.
+        """
+        directory = os.path.join(self.results_dir, _tool_dirname(tool))
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return
+        for name in names:
+            if _RESULT_FILE.match(name):
+                os.unlink(os.path.join(directory, name))

@@ -66,6 +66,26 @@ class MergedReport:
 
         return {cls: counts.get(cls, 0) / denominator for cls in CLASSES}
 
+    def to_json(self) -> Dict:
+        """The canonical ``repro.result/1`` document for this run — the
+        same schema ``repro check --json`` and the service's ``/result``
+        endpoint emit (see :mod:`repro.report`)."""
+        from repro.report import result_to_json
+
+        classifier = None
+        if self.classifier_access_counts is not None:
+            classifier = {
+                "access_counts": dict(self.classifier_access_counts),
+                "variable_counts": dict(self.classifier_variable_counts or {}),
+            }
+        return result_to_json(
+            self.tool,
+            self.stats,
+            self.warnings,
+            self.suppressed_warnings,
+            classifier=classifier,
+        )
+
 
 def merge_warnings(
     shard_warning_lists: List[List[RaceWarning]],

@@ -28,20 +28,109 @@ the ``multiprocessing`` target.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+import multiprocessing
+import os
+import signal
+from typing import Dict, List, Optional
 
-from repro.core.detector import CostStats, Detector, RaceWarning
+from repro.core.detector import CostStats, Detector
 from repro.detectors.registry import make_detector
 from repro.engine.checkpoint import Workdir
 from repro.engine.partition import iter_shard, load_shard_columns
 from repro.kernels import has_kernel, run_kernel
+from repro.report import (
+    classifier_counts,
+    stats_from_json,
+    stats_to_json,
+    warning_from_json,
+    warning_to_json,
+)
 from repro.trace import events as ev
-from repro.trace.serialize import _target_from_json, _target_to_json
+
+__all__ = [
+    "DrainRequested",
+    "KERNEL_MODES",
+    "analyze_shard",
+    "drain_requested",
+    "install_drain_handler",
+    "load_payloads",
+    "request_drain",
+    "reset_drain",
+    "resolve_kernel",
+    "run_shard",
+    "stats_from_json",
+    "stats_to_json",
+    "warning_from_json",
+    "warning_to_json",
+]
 
 PAYLOAD_VERSION = 1
 
 #: Accepted values for the ``kernel`` selector.
 KERNEL_MODES = ("auto", "fused", "generic")
+
+#: Exit status of a shard worker that drained on SIGTERM (128 + 15, the
+#: conventional "terminated" code — but only *after* checkpointing).
+DRAIN_EXIT_CODE = 143
+
+
+class DrainRequested(RuntimeError):
+    """An engine run stopped early because SIGTERM asked it to drain.
+
+    Every shard finished before the stop is checkpointed; re-running with
+    the same working directory (``--resume DIR`` / the daemon's restart
+    recovery) completes only the remaining shards.
+    """
+
+    def __init__(self, completed: Optional[int] = None,
+                 total: Optional[int] = None) -> None:
+        self.completed = completed
+        self.total = total
+        progress = (
+            f" ({completed}/{total} pending shard(s) checkpointed)"
+            if completed is not None and total is not None
+            else ""
+        )
+        super().__init__(
+            "drain requested by SIGTERM; finished shards are "
+            f"checkpointed{progress} — re-run with the same working "
+            "directory to complete the remainder"
+        )
+
+
+# A SIGTERM must not kill a worker mid-shard (that would forfeit the whole
+# shard's work): the handler only raises this flag, and the analysis loops
+# stop at the next shard boundary — after the in-flight shard's checkpoint
+# is on disk.
+_DRAIN = {"requested": False}
+
+
+def request_drain(signum=None, frame=None) -> None:
+    """Signal-handler-shaped: mark that the current process should stop
+    taking new shards once the in-flight one is checkpointed."""
+    _DRAIN["requested"] = True
+
+
+def drain_requested() -> bool:
+    return _DRAIN["requested"]
+
+
+def reset_drain() -> None:
+    _DRAIN["requested"] = False
+
+
+def install_drain_handler():
+    """Route SIGTERM to :func:`request_drain`.
+
+    Returns the previous handler so callers can restore it, or ``None``
+    when installation is impossible (signal handlers can only be set from
+    the main thread — the daemon's job-runner threads land here and rely
+    on the daemon's own SIGTERM handling instead).
+    """
+    try:
+        return signal.signal(signal.SIGTERM, request_drain)
+    except ValueError:
+        return None
 
 
 def resolve_kernel(kernel: str, tool: str) -> bool:
@@ -63,65 +152,6 @@ def resolve_kernel(kernel: str, tool: str) -> bool:
             f"--kernel fused requested but {tool!r} has no fused kernel"
         )
     return False
-
-
-def _encode_hashable(value: Optional[Hashable]):
-    return None if value is None else _target_to_json(value)
-
-
-def _decode_hashable(value) -> Optional[Hashable]:
-    return None if value is None else _target_from_json(value)
-
-
-def warning_to_json(warning: RaceWarning) -> Dict:
-    return {
-        "var": _encode_hashable(warning.var),
-        "kind": warning.kind,
-        "tid": warning.tid,
-        "prior": warning.prior,
-        "event_index": warning.event_index,
-        "site": _encode_hashable(warning.site),
-    }
-
-
-def warning_from_json(record: Dict) -> RaceWarning:
-    return RaceWarning(
-        var=_decode_hashable(record["var"]),
-        kind=record["kind"],
-        tid=record["tid"],
-        prior=record["prior"],
-        event_index=record["event_index"],
-        site=_decode_hashable(record["site"]),
-    )
-
-
-def stats_to_json(stats: CostStats) -> Dict:
-    return {
-        "events": stats.events,
-        "reads": stats.reads,
-        "writes": stats.writes,
-        "syncs": stats.syncs,
-        "boundaries": stats.boundaries,
-        "vc_allocs": stats.vc_allocs,
-        "vc_ops": stats.vc_ops,
-        "fast_ops": stats.fast_ops,
-        "rules": dict(stats.rules),
-    }
-
-
-def stats_from_json(record: Dict) -> CostStats:
-    stats = CostStats(
-        events=record["events"],
-        reads=record["reads"],
-        writes=record["writes"],
-        syncs=record["syncs"],
-        boundaries=record["boundaries"],
-        vc_allocs=record["vc_allocs"],
-        vc_ops=record["vc_ops"],
-        fast_ops=record["fast_ops"],
-    )
-    stats.rules.update(record["rules"])
-    return stats
 
 
 def _tally_kinds(stats: CostStats, kind_counts: Dict[int, int]) -> None:
@@ -177,18 +207,9 @@ def analyze_shard(
             events_seen += 1
         _tally_kinds(detector.stats, kind_counts)
 
-    classifier_payload = None
-    if classifier is not None:
-        access_counts: Dict[str, int] = {}
-        variable_counts: Dict[str, int] = {}
-        for key, cls in classifier.classify().items():
-            profile = classifier.profiles[key]
-            access_counts[cls] = access_counts.get(cls, 0) + profile.accesses
-            variable_counts[cls] = variable_counts.get(cls, 0) + 1
-        classifier_payload = {
-            "access_counts": access_counts,
-            "variable_counts": variable_counts,
-        }
+    classifier_payload = (
+        classifier_counts(classifier) if classifier is not None else None
+    )
 
     payload = {
         "payload_version": PAYLOAD_VERSION,
@@ -213,8 +234,20 @@ def run_shard(
     classify: bool = False,
     kernel: str = "auto",
 ) -> int:
-    """Multiprocessing entry point: picklable args, result left on disk."""
+    """Multiprocessing entry point: picklable args, result left on disk.
+
+    Installs the drain handler so a SIGTERM delivered mid-shard does not
+    kill the worker: the in-flight shard finishes and checkpoints, and
+    only then does the worker exit (child processes with
+    :data:`DRAIN_EXIT_CODE`; the in-process sequential path returns
+    normally and lets the caller stop at the shard boundary).
+    """
+    install_drain_handler()
     analyze_shard(Workdir(root), shard, tool, tool_kwargs, classify, kernel)
+    if multiprocessing.parent_process() is not None and drain_requested():
+        # Pool worker: the checkpoint is on disk; exiting here refuses
+        # further shards so the parent's drain can proceed.
+        os._exit(DRAIN_EXIT_CODE)
     return shard
 
 

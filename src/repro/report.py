@@ -1,4 +1,4 @@
-"""Human-readable race reports (markdown or self-contained HTML).
+"""Race reports: human-readable renderings and the canonical JSON schema.
 
 Bundles everything a developer triaging a race wants in one artifact:
 
@@ -11,17 +11,175 @@ Used by ``repro check --report out.md`` and importable directly::
 
     from repro.report import build_report
     text = build_report(trace, detector, fmt="markdown")
+
+This module also owns the **machine-readable result schema**
+(``repro.result/1``) shared by every surface that emits analysis results:
+``repro check --json``, the sharded engine's
+:meth:`repro.engine.merge.MergedReport.to_json`, and the ``repro serve``
+daemon's ``GET /v1/jobs/{id}/result`` endpoint all produce the same
+document, so results can be diffed bit-for-bit across execution paths
+(serialize with :func:`dumps_result`, which sorts keys)::
+
+    {
+      "schema": "repro.result/1",
+      "tool": "FastTrack",
+      "events": 20,
+      "warning_count": 1,
+      "warnings": [{"var": ..., "kind": ..., "tid": ..., "prior": ...,
+                    "event_index": ..., "site": ...}],
+      "suppressed_warnings": 0,
+      "stats": {"events": ..., "reads": ..., ..., "rules": {...}},
+      "classifier": {"access_counts": {...}, "variable_counts": {...}}
+    }
+
+The warning/stats JSON codecs live here (the engine's shard checkpoints
+reuse them), so the checkpoint wire format and the public schema cannot
+drift apart.
 """
 
 from __future__ import annotations
 
 import html
-from typing import Iterable, Optional
+import json
+from typing import Dict, Hashable, Iterable, Optional
 
-from repro.core.detector import Detector
+from repro.core.detector import CostStats, Detector, RaceWarning
 from repro.detectors.classifier import SharingClassifier
 from repro.trace import events as ev
+from repro.trace.serialize import _target_from_json, _target_to_json
 from repro.trace.trace import Trace
+
+#: Schema tags stamped into every result document.
+RESULT_SCHEMA = "repro.result/1"
+RESULT_SET_SCHEMA = "repro.result-set/1"
+
+
+# -- JSON codecs (shared with the engine's shard checkpoints) ----------------
+
+
+def _encode_hashable(value: Optional[Hashable]):
+    return None if value is None else _target_to_json(value)
+
+
+def _decode_hashable(value) -> Optional[Hashable]:
+    return None if value is None else _target_from_json(value)
+
+
+def warning_to_json(warning: RaceWarning) -> Dict:
+    return {
+        "var": _encode_hashable(warning.var),
+        "kind": warning.kind,
+        "tid": warning.tid,
+        "prior": warning.prior,
+        "event_index": warning.event_index,
+        "site": _encode_hashable(warning.site),
+    }
+
+
+def warning_from_json(record: Dict) -> RaceWarning:
+    return RaceWarning(
+        var=_decode_hashable(record["var"]),
+        kind=record["kind"],
+        tid=record["tid"],
+        prior=record["prior"],
+        event_index=record["event_index"],
+        site=_decode_hashable(record["site"]),
+    )
+
+
+def stats_to_json(stats: CostStats) -> Dict:
+    return {
+        "events": stats.events,
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "syncs": stats.syncs,
+        "boundaries": stats.boundaries,
+        "vc_allocs": stats.vc_allocs,
+        "vc_ops": stats.vc_ops,
+        "fast_ops": stats.fast_ops,
+        "rules": dict(sorted(stats.rules.items())),
+    }
+
+
+def stats_from_json(record: Dict) -> CostStats:
+    stats = CostStats(
+        events=record["events"],
+        reads=record["reads"],
+        writes=record["writes"],
+        syncs=record["syncs"],
+        boundaries=record["boundaries"],
+        vc_allocs=record["vc_allocs"],
+        vc_ops=record["vc_ops"],
+        fast_ops=record["fast_ops"],
+    )
+    stats.rules.update(record["rules"])
+    return stats
+
+
+def classifier_counts(classifier: SharingClassifier) -> Dict:
+    """Aggregate a classifier run into per-class access/variable counts —
+    the exact payload the engine's shard checkpoints carry and merge."""
+    access_counts: Dict[str, int] = {}
+    variable_counts: Dict[str, int] = {}
+    for key, cls in classifier.classify().items():
+        profile = classifier.profiles[key]
+        access_counts[cls] = access_counts.get(cls, 0) + profile.accesses
+        variable_counts[cls] = variable_counts.get(cls, 0) + 1
+    return {
+        "access_counts": access_counts,
+        "variable_counts": variable_counts,
+    }
+
+
+# -- the canonical result document -------------------------------------------
+
+
+def result_to_json(
+    tool: str,
+    stats: CostStats,
+    warnings: Iterable[RaceWarning],
+    suppressed_warnings: int,
+    classifier: Optional[Dict] = None,
+) -> Dict:
+    """Assemble the ``repro.result/1`` document from its components."""
+    warning_records = [warning_to_json(w) for w in warnings]
+    return {
+        "schema": RESULT_SCHEMA,
+        "tool": tool,
+        "events": stats.events,
+        "warning_count": len(warning_records),
+        "warnings": warning_records,
+        "suppressed_warnings": suppressed_warnings,
+        "stats": stats_to_json(stats),
+        "classifier": classifier,
+    }
+
+
+def detector_result(
+    detector: Detector, classifier: Optional[SharingClassifier] = None
+) -> Dict:
+    """The result document for a single-threaded detector run."""
+    return result_to_json(
+        detector.name,
+        detector.stats,
+        detector.warnings,
+        detector.suppressed_warnings,
+        classifier=classifier_counts(classifier)
+        if classifier is not None
+        else None,
+    )
+
+
+def result_set(results: Dict[str, Dict]) -> Dict:
+    """Wrap several tools' result documents (``--all-tools`` / multi-tool
+    service jobs) into one ``repro.result-set/1`` document."""
+    return {"schema": RESULT_SET_SCHEMA, "results": results}
+
+
+def dumps_result(document: Dict) -> str:
+    """The canonical serialization: sorted keys, two-space indent, so two
+    documents are bit-identical iff their contents are."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
 
 
 def _trace_summary(trace: Trace) -> dict:

@@ -1,0 +1,46 @@
+"""``repro serve`` — the long-running race-checking service.
+
+One analysis process per trace made sense for the paper's offline
+experiments, but it pays the full interpreter/pool startup cost per
+invocation and nothing can submit work remotely or concurrently.  This
+package amortizes that cost behind a stdlib-only HTTP/JSON daemon:
+
+* :mod:`~repro.service.server` — the daemon: bounded job queue with 429
+  backpressure, job-runner threads, a persistent shard-worker process
+  pool shared across jobs, crash/restart recovery from the disk store,
+  and graceful SIGTERM drain;
+* :mod:`~repro.service.store`  — disk-backed job/result store with TTL
+  eviction; each job keeps an engine working directory, so per-shard
+  checkpoints survive a daemon kill and a restart resumes mid-job;
+* :mod:`~repro.service.queue`  — the bounded FIFO between HTTP threads
+  and job runners;
+* :mod:`~repro.service.metrics` — a small Prometheus-text-format
+  registry (job states, queue depth, per-tool event throughput,
+  per-endpoint latency histograms);
+* :mod:`~repro.service.routes` — the tiny URL router;
+* :mod:`~repro.service.client` — the stdlib client library the
+  ``repro submit/status/result`` CLI verbs are built on.
+
+Results use the canonical ``repro.result/1`` schema of
+:mod:`repro.report`: a job's ``/result`` payload is bit-identical to
+``repro check --json`` on the same trace.  See docs/SERVICE.md for the
+API reference, metrics catalog, and deployment notes.
+"""
+
+from repro.service.client import Client, JobFailed, ServiceError
+from repro.service.queue import JobQueue, QueueClosed, QueueFull
+from repro.service.server import RaceService, ServiceConfig, serve
+from repro.service.store import JobStore
+
+__all__ = [
+    "Client",
+    "JobFailed",
+    "JobQueue",
+    "JobStore",
+    "QueueClosed",
+    "QueueFull",
+    "RaceService",
+    "ServiceConfig",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,82 @@
+"""The bounded job queue between HTTP threads and job runners.
+
+Deliberately not :class:`queue.Queue`: submission must *fail fast* when
+the daemon is saturated (the HTTP layer turns :class:`QueueFull` into a
+``429`` with ``Retry-After``) rather than block an HTTP thread, and
+restart recovery must be able to re-enqueue persisted jobs past the
+bound (``force=True`` — backpressure protects the daemon from new work,
+not from work it already accepted before a restart).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity; the submitter should retry later."""
+
+    def __init__(self, depth: int, maxsize: int) -> None:
+        super().__init__(f"job queue is full ({depth}/{maxsize})")
+        self.depth = depth
+        self.maxsize = maxsize
+
+
+class QueueClosed(RuntimeError):
+    """The queue stopped accepting work (the daemon is draining)."""
+
+
+class JobQueue:
+    """A thread-safe bounded FIFO of job ids."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def put(self, item: str, force: bool = False) -> None:
+        """Enqueue, raising :class:`QueueFull` at capacity (unless
+        ``force``) and :class:`QueueClosed` after :meth:`close`."""
+        with self._condition:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if not force and len(self._items) >= self.maxsize:
+                raise QueueFull(len(self._items), self.maxsize)
+            self._items.append(item)
+            self._condition.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Dequeue the oldest item, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        drained — runner threads use that as their exit signal.
+        """
+        with self._condition:
+            if not self._items:
+                self._condition.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting work and wake every waiting consumer."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()

@@ -1,0 +1,67 @@
+"""A tiny URL router for the daemon's handful of endpoints.
+
+Patterns are written with ``{name}`` placeholders (``/v1/jobs/{id}``);
+a placeholder matches one path segment.  :meth:`Router.resolve` returns
+the matched route plus extracted parameters, distinguishing "no such
+path" (404) from "path exists, wrong method" (405) so the HTTP layer
+can answer precisely.  The *pattern* string — not the concrete path —
+labels the request-latency histogram, keeping metric cardinality
+bounded no matter how many job ids pass through.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+_PLACEHOLDER = re.compile(r"\{(\w+)\}")
+
+
+def _compile(pattern: str) -> re.Pattern:
+    # Escape the literal segments, then turn each {name} back into a
+    # single-segment named group (re.escape leaves braces alone on the
+    # supported Pythons, but normalize in case it ever escapes them).
+    escaped = re.escape(pattern).replace(r"\{", "{").replace(r"\}", "}")
+    regex = _PLACEHOLDER.sub(
+        lambda match: f"(?P<{match.group(1)}>[^/]+)", escaped
+    )
+    return re.compile(f"^{regex}$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    handler: Callable
+    regex: re.Pattern
+
+
+@dataclass(frozen=True)
+class Match:
+    route: Optional[Route]
+    params: Dict[str, str]
+    #: Methods that would have matched the path (for 405 / Allow).
+    allowed: Tuple[str, ...] = ()
+
+
+class Router:
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        self._routes.append(
+            Route(method.upper(), pattern, handler, _compile(pattern))
+        )
+
+    def resolve(self, method: str, path: str) -> Match:
+        method = method.upper()
+        allowed = []
+        for route in self._routes:
+            found = route.regex.match(path)
+            if found is None:
+                continue
+            if route.method == method:
+                return Match(route=route, params=found.groupdict())
+            allowed.append(route.method)
+        return Match(route=None, params={}, allowed=tuple(sorted(set(allowed))))

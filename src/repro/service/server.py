@@ -1,0 +1,833 @@
+"""The ``repro serve`` daemon: HTTP front end, job runners, drain logic.
+
+Architecture (stdlib only)::
+
+    ThreadingHTTPServer ──> Router ──> handlers ──┐
+                                                  │ enqueue (bounded; 429)
+    JobStore (disk) <── job runner threads <── JobQueue
+                          │
+                          └── repro.engine.check_trace_file(...)
+                              with one *persistent* ProcessPoolExecutor
+                              shared by every job (``--engine-jobs N``)
+
+Durability: a job's trace, record, and engine working directory live in
+the store, so per-shard checkpoints survive a daemon kill; on restart
+every accepted-but-unfinished job is re-enqueued and the engine skips
+the shards that already checkpointed.  On SIGTERM the daemon stops
+accepting work (503), asks the engine to drain (in-flight shards finish
+and checkpoint — see :mod:`repro.engine.worker`), and exits; nothing is
+lost.
+
+Results use the canonical ``repro.result/1`` schema of
+:mod:`repro.report` — a single-tool job's ``/result`` body is
+bit-identical to ``repro check --json`` on the same trace.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro import engine
+from repro.detectors import DETECTORS, default_tool_kwargs
+from repro.engine.checkpoint import Workdir
+from repro.engine.worker import KERNEL_MODES
+from repro.kernels import has_kernel
+from repro.report import dumps_result, result_set
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import JobQueue, QueueClosed, QueueFull
+from repro.service.routes import Router
+from repro.service.store import JobStore
+from repro.trace.serialize import TraceParseError, dumps_jsonl, event_from_json
+
+#: Upload formats the daemon accepts, and the content types that imply them.
+TRACE_FORMATS = ("text", "jsonl")
+_CONTENT_TYPE_FORMATS = {
+    "application/x-ndjson": "jsonl",
+    "application/jsonl": "jsonl",
+    "application/x-repro-trace": "text",
+    "text/plain": "text",
+}
+
+_SPOOL_CHUNK = 64 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    port: int = 8077
+    #: Concurrent job-runner threads (jobs analyzed at once).
+    workers: int = 2
+    #: Size of the persistent shard-worker process pool (1 = in-thread).
+    engine_jobs: int = 1
+    queue_size: int = 64
+    ttl_seconds: float = 3600.0
+    store_dir: str = ""
+    #: Seconds advertised in 429 Retry-After responses.
+    retry_after: int = 5
+    #: Seconds the drain waits for runner threads before giving up.
+    drain_grace: float = 30.0
+    #: Default shard count for jobs that do not request one.  One shard
+    #: keeps every cost counter bit-identical to a single-threaded
+    #: ``repro check --json`` run (sharded runs duplicate sync-side VC
+    #: work by design; warnings stay identical at any count).
+    default_shards: int = 1
+    eviction_interval: float = 30.0
+
+
+class ValidationError(ValueError):
+    """A submission the daemon refuses with HTTP 400."""
+
+
+def _validate_spec(
+    tools: List[str], shards: int, kernel: str, fmt: str
+) -> None:
+    for tool in tools:
+        if tool not in DETECTORS:
+            known = ", ".join(DETECTORS)
+            raise ValidationError(f"unknown tool {tool!r}; expected: {known}")
+    if not tools:
+        raise ValidationError("no tool selected")
+    if len(set(tools)) != len(tools):
+        raise ValidationError("duplicate tools in selection")
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    if kernel not in KERNEL_MODES:
+        raise ValidationError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "fused" and not any(has_kernel(tool) for tool in tools):
+        raise ValidationError(
+            "kernel=fused but none of the selected tools has a fused kernel"
+        )
+    if fmt not in TRACE_FORMATS:
+        raise ValidationError(
+            f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+        )
+
+
+class RaceService:
+    """The daemon's engine room; the HTTP layer is a thin shell over it."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        if not config.store_dir:
+            raise ValueError("ServiceConfig.store_dir is required")
+        self.config = config
+        self.store = JobStore(config.store_dir, ttl_seconds=config.ttl_seconds)
+        self.queue = JobQueue(config.queue_size)
+        self.metrics = MetricsRegistry()
+        self.executor: Optional[concurrent.futures.Executor] = None
+        self.draining = False
+        self._started_at = time.monotonic()
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+
+        metric = self.metrics
+        self.m_submitted = metric.counter(
+            "repro_jobs_submitted_total", "Jobs accepted via POST /v1/jobs"
+        )
+        self.m_recovered = metric.counter(
+            "repro_jobs_recovered_total",
+            "Unfinished jobs re-enqueued after a daemon restart",
+        )
+        self.m_rejected = metric.counter(
+            "repro_jobs_rejected_total",
+            "Submissions refused with 429 because the queue was full",
+        )
+        self.m_jobs = metric.counter(
+            "repro_jobs_total", "Jobs by terminal state"
+        )
+        self.m_active = metric.gauge(
+            "repro_jobs_active", "Jobs currently queued or running"
+        )
+        self.m_queue_depth = metric.gauge(
+            "repro_queue_depth", "Jobs waiting in the bounded queue"
+        )
+        self.m_events = metric.counter(
+            "repro_events_processed_total",
+            "Trace events analyzed, per tool",
+        )
+        self.m_events_per_second = metric.gauge(
+            "repro_events_per_second",
+            "Analysis throughput of the most recent job, per tool",
+        )
+        self.m_requests = metric.counter(
+            "repro_http_requests_total", "HTTP requests by route and status"
+        )
+        self.m_latency = metric.histogram(
+            "repro_http_request_seconds", "HTTP request latency by route"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover persisted jobs, then start runners and the evictor."""
+        if self.config.engine_jobs > 1:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self.executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.engine_jobs, mp_context=context
+            )
+        for record in self.store.recoverable():
+            # Backpressure protects the daemon from *new* work, not from
+            # work it already accepted before the restart: force past the
+            # bound.
+            if record["state"] != "queued":
+                self.store.update(record["id"], state="queued")
+            self.queue.put(record["id"], force=True)
+            self.m_recovered.inc()
+            self.m_active.inc(state="queued")
+        self.m_queue_depth.set(self.queue.depth)
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._runner, name=f"job-runner-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        evictor = threading.Thread(
+            target=self._evictor, name="ttl-evictor", daemon=True
+        )
+        evictor.start()
+
+    def drain(self, grace: Optional[float] = None) -> None:
+        """Stop accepting work; let in-flight shards checkpoint; stop."""
+        self.draining = True
+        self.queue.close()
+        # In-thread engine loops stop (checkpointed) at the next shard
+        # boundary; pool workers get a SIGTERM each and do the same.
+        engine.request_drain()
+        if self.executor is not None:
+            processes = getattr(self.executor, "_processes", None) or {}
+            for pid in list(processes):
+                try:
+                    os.kill(pid, signal.SIGTERM)
+                except (OSError, ProcessLookupError):
+                    pass
+        deadline = time.monotonic() + (
+            self.config.drain_grace if grace is None else grace
+        )
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(timeout=remaining)
+        if self.executor is not None:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+        self._stop_event.set()
+
+    # -- submission ----------------------------------------------------------
+
+    def build_spec(
+        self,
+        tools: List[str],
+        shards: Optional[int],
+        kernel: str,
+        fmt: str,
+    ) -> Dict:
+        shards = self.config.default_shards if shards is None else shards
+        _validate_spec(tools, shards, kernel, fmt)
+        return {
+            "tools": tools,
+            "shards": shards,
+            "kernel": kernel,
+            "format": fmt,
+        }
+
+    def accept(self, record: Dict) -> Dict:
+        """Enqueue a job whose trace is already spooled; 429 on full."""
+        try:
+            self.queue.put(record["id"])
+        except (QueueFull, QueueClosed):
+            self.store.delete(record["id"])
+            raise
+        self.m_submitted.inc()
+        self.m_active.inc(state="queued")
+        self.m_queue_depth.set(self.queue.depth)
+        return record
+
+    # -- the job runners -----------------------------------------------------
+
+    def _runner(self) -> None:
+        while True:
+            job_id = self.queue.get(timeout=0.2)
+            self.m_queue_depth.set(self.queue.depth)
+            if job_id is None:
+                if self.queue.closed:
+                    return
+                continue
+            if self.draining:
+                # The store still says "queued"; the restart picks it up.
+                return
+            self._process(job_id)
+
+    def _process(self, job_id: str) -> None:
+        record = self.store.read(job_id)
+        if record is None or record.get("state") not in ("queued", "running"):
+            return
+        self.m_active.dec(state="queued")
+        self.m_active.inc(state="running")
+        self.store.update(job_id, state="running", started=time.time())
+        try:
+            document = self._analyze(job_id, record)
+        except engine.DrainRequested:
+            # Finished shards are checkpointed; hand the job back to the
+            # store so the restarted daemon completes it.
+            self.store.update(job_id, state="queued")
+            self.m_active.dec(state="running")
+            self.m_active.inc(state="queued")
+            return
+        except Exception as error:  # noqa: BLE001 - runners must survive
+            self.store.update(
+                job_id,
+                state="failed",
+                finished=time.time(),
+                error=f"{type(error).__name__}: {error}",
+            )
+            self.m_active.dec(state="running")
+            self.m_jobs.inc(state="failed")
+            return
+        self.store.write_result(job_id, document)
+        self.store.update(job_id, state="done", finished=time.time())
+        self.m_active.dec(state="running")
+        self.m_jobs.inc(state="done")
+
+    def _analyze(self, job_id: str, record: Dict) -> Dict:
+        tools = record["tools"]
+        fmt = record["format"]
+        shards = record["shards"]
+        trace_path = self.store.trace_path(job_id, fmt)
+        workdir = self.store.workdir(job_id)
+        results: Dict[str, Dict] = {}
+        for position, tool in enumerate(tools):
+            kernel = record["kernel"]
+            if kernel == "fused" and not has_kernel(tool):
+                kernel = "auto"  # companion tools fall back, as the CLI does
+            started = time.monotonic()
+            report = engine.check_trace_file(
+                trace_path,
+                tool=tool,
+                fmt=fmt,
+                nshards=shards,
+                jobs=1,
+                workdir=workdir,
+                resume=True,
+                classify=True,
+                tool_kwargs=default_tool_kwargs(tool),
+                kernel=kernel,
+                executor=self.executor,
+            )
+            elapsed = time.monotonic() - started
+            results[tool] = report.to_json()
+            self.m_events.inc(report.events, tool=tool)
+            if elapsed > 0:
+                self.m_events_per_second.set(
+                    report.events / elapsed, tool=tool
+                )
+            self.store.update(
+                job_id,
+                progress={
+                    "tools_done": position + 1,
+                    "tools_total": len(tools),
+                },
+            )
+        if len(tools) == 1:
+            return results[tools[0]]
+        return result_set(results)
+
+    def _evictor(self) -> None:
+        interval = max(1.0, self.config.eviction_interval)
+        while not self._stop_event.wait(interval):
+            self.store.evict_expired()
+
+    # -- read-side accessors -------------------------------------------------
+
+    def job_status(self, job_id: str) -> Optional[Dict]:
+        record = self.store.read(job_id)
+        if record is None:
+            return None
+        progress = dict(record.get("progress") or {})
+        workdir = self.store.workdir(job_id)
+        if os.path.isdir(workdir):
+            wd = Workdir(workdir)
+            meta = wd.read_meta()
+            if meta is not None:
+                nshards = meta["nshards"]
+                tools = record.get("tools", [])
+                progress["events"] = meta["events"]
+                progress["shards_total"] = nshards * len(tools)
+                progress["shards_done"] = sum(
+                    len(wd.completed_shards(tool, nshards)) for tool in tools
+                )
+        record["progress"] = progress
+        return record
+
+    def healthz(self) -> Dict:
+        states: Dict[str, int] = {}
+        for record in self.store.list_jobs():
+            state = record.get("state", "unknown")
+            states[state] = states.get(state, 0) + 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "queue_depth": self.queue.depth,
+            "workers": self.config.workers,
+            "engine_jobs": self.config.engine_jobs,
+            "jobs": states,
+        }
+
+# -- HTTP layer ---------------------------------------------------------------
+
+
+def _first(query: Dict[str, List[str]], name: str) -> Optional[str]:
+    values = query.get(name)
+    return values[-1] if values else None
+
+
+def _query_int(query: Dict[str, List[str]], name: str) -> Optional[int]:
+    value = _first(query, name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+
+
+def _expand_tools(values: List[str]) -> List[str]:
+    """Flatten repeated/comma-separated tool params; ``all`` expands to
+    every registered detector (matching ``repro check --all-tools``)."""
+    tools: List[str] = []
+    for value in values:
+        for name in value.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if name.lower() == "all":
+                tools.extend(t for t in DETECTORS if t not in tools)
+            elif name not in tools:
+                tools.append(name)
+    return tools
+
+
+def h_submit(handler: "_Handler", service: RaceService,
+             params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    if service.draining:
+        return handler.send_api_error(503, "daemon is draining")
+    if service.queue.depth >= service.queue.maxsize:
+        service.m_rejected.inc()
+        return handler.send_api_error(
+            429,
+            "job queue is full",
+            headers={"Retry-After": str(service.config.retry_after)},
+        )
+    content_type = (
+        (handler.headers.get("Content-Type") or "")
+        .split(";")[0].strip().lower()
+    )
+    tools = _expand_tools(query.get("tool", []))
+    shards = _query_int(query, "shards")
+    kernel = _first(query, "kernel")
+    fmt = _first(query, "format")
+
+    if content_type == "application/json":
+        # The inline path: a JSON envelope carrying the trace (or raw
+        # event records) plus any options the query string didn't set.
+        raw = b"".join(handler.read_body())
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(f"bad JSON body: {error}")
+        if not isinstance(envelope, dict):
+            raise ValidationError("JSON body must be an object")
+        if not tools and "tool" in envelope:
+            value = envelope["tool"]
+            value = value if isinstance(value, list) else [str(value)]
+            tools = _expand_tools([str(item) for item in value])
+        if shards is None and envelope.get("shards") is not None:
+            try:
+                shards = int(envelope["shards"])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"shards must be an integer, got {envelope['shards']!r}"
+                )
+        kernel = kernel or envelope.get("kernel")
+        fmt = fmt or envelope.get("format")
+        if "events" in envelope:
+            if not isinstance(envelope["events"], list):
+                raise ValidationError("'events' must be a list of records")
+            try:
+                events = [event_from_json(r) for r in envelope["events"]]
+            except (TraceParseError, KeyError, TypeError, ValueError) as err:
+                raise ValidationError(f"bad event record: {err}")
+            text = dumps_jsonl(events)
+            fmt = "jsonl"
+        elif "trace" in envelope:
+            if not isinstance(envelope["trace"], str):
+                raise ValidationError("'trace' must be a string")
+            text = envelope["trace"]
+            fmt = fmt or "text"
+        else:
+            raise ValidationError("JSON body needs a 'trace' or 'events' key")
+        spec = service.build_spec(
+            tools or ["FastTrack"], shards, kernel or "auto", fmt
+        )
+        record = service.store.create(spec)
+        try:
+            with open(
+                service.store.trace_path(record["id"], fmt),
+                "w", encoding="utf-8",
+            ) as out:
+                out.write(text)
+        except BaseException:
+            service.store.delete(record["id"])
+            raise
+    else:
+        # The streaming path: the body (chunked or sized) is spooled to
+        # the job directory in fixed-size pieces — an arbitrarily large
+        # trace never materializes in daemon memory, and the engine's
+        # iter_load/iter_load_jsonl readers stream it from disk.
+        fmt = fmt or _CONTENT_TYPE_FORMATS.get(content_type, "text")
+        spec = service.build_spec(
+            tools or ["FastTrack"], shards, kernel or "auto", fmt
+        )
+        record = service.store.create(spec)
+        try:
+            with open(service.store.trace_path(record["id"], fmt), "wb") as out:
+                for chunk in handler.read_body():
+                    out.write(chunk)
+        except BaseException:
+            service.store.delete(record["id"])
+            raise
+    try:
+        service.accept(record)
+    except QueueFull:
+        service.m_rejected.inc()
+        return handler.send_api_error(
+            429,
+            "job queue is full",
+            headers={"Retry-After": str(service.config.retry_after)},
+        )
+    except QueueClosed:
+        return handler.send_api_error(503, "daemon is draining")
+    return handler.send_api_json(
+        202,
+        {
+            "id": record["id"],
+            "state": "queued",
+            "tools": record["tools"],
+            "shards": record["shards"],
+            "kernel": record["kernel"],
+            "format": record["format"],
+        },
+    )
+
+
+def h_list(handler: "_Handler", service: RaceService,
+           params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    return handler.send_api_json(200, {"jobs": service.store.list_jobs()})
+
+
+def h_status(handler: "_Handler", service: RaceService,
+             params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    record = service.job_status(params["id"])
+    if record is None:
+        return handler.send_api_error(404, f"no such job: {params['id']}")
+    return handler.send_api_json(200, record)
+
+
+def h_result(handler: "_Handler", service: RaceService,
+             params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    job_id = params["id"]
+    record = service.store.read(job_id)
+    if record is None:
+        return handler.send_api_error(404, f"no such job: {job_id}")
+    state = record.get("state")
+    if state == "failed":
+        return handler.send_api_json(
+            409,
+            {"id": job_id, "state": state,
+             "error": record.get("error") or "job failed"},
+        )
+    if state != "done":
+        return handler.send_api_json(
+            409,
+            {"id": job_id, "state": state, "error": "job not finished"},
+        )
+    document = service.store.read_result(job_id)
+    if document is None:
+        return handler.send_api_error(500, "result document is missing")
+    # Serialized through the same canonical dump as ``repro check
+    # --json`` so the bytes on the wire are comparable with a plain diff.
+    return handler.send_raw(
+        200, dumps_result(document).encode("utf-8"), "application/json"
+    )
+
+
+def h_healthz(handler: "_Handler", service: RaceService,
+              params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    return handler.send_api_json(200, service.healthz())
+
+
+def h_metrics(handler: "_Handler", service: RaceService,
+              params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    body = service.metrics.render().encode("utf-8")
+    return handler.send_raw(
+        200, body, "text/plain; version=0.0.4; charset=utf-8"
+    )
+
+
+def build_router() -> Router:
+    router = Router()
+    router.add("POST", "/v1/jobs", h_submit)
+    router.add("GET", "/v1/jobs", h_list)
+    router.add("GET", "/v1/jobs/{id}", h_status)
+    router.add("GET", "/v1/jobs/{id}/result", h_result)
+    router.add("GET", "/healthz", h_healthz)
+    router.add("GET", "/metrics", h_metrics)
+    return router
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the daemon logs through metrics, not per-request stderr
+
+    def read_body(self) -> Iterator[bytes]:
+        """Yield the request body in bounded pieces, decoding chunked
+        transfer-encoding manually (http.server does not)."""
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            while True:
+                line = self.rfile.readline(1024).strip()
+                size_text = line.split(b";")[0]  # ignore chunk extensions
+                try:
+                    size = int(size_text, 16)
+                except ValueError:
+                    raise ValidationError(
+                        f"bad chunk-size line: {line[:64]!r}"
+                    )
+                if size == 0:
+                    # Consume the (usually empty) trailer section.
+                    while True:
+                        trailer = self.rfile.readline(1024)
+                        if trailer in (b"\r\n", b"\n", b""):
+                            break
+                    return
+                remaining = size
+                while remaining > 0:
+                    piece = self.rfile.read(min(_SPOOL_CHUNK, remaining))
+                    if not piece:
+                        raise ValidationError("truncated chunked body")
+                    remaining -= len(piece)
+                    yield piece
+                self.rfile.read(2)  # the CRLF after each chunk
+        else:
+            try:
+                remaining = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                raise ValidationError("bad Content-Length header")
+            while remaining > 0:
+                piece = self.rfile.read(min(_SPOOL_CHUNK, remaining))
+                if not piece:
+                    raise ValidationError("truncated request body")
+                remaining -= len(piece)
+                yield piece
+
+    def send_raw(self, code: int, body: bytes, content_type: str,
+                 headers: Optional[Dict[str, str]] = None) -> int:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        return code
+
+    def send_api_json(self, code: int, document: Dict,
+                      headers: Optional[Dict[str, str]] = None) -> int:
+        body = json.dumps(document, sort_keys=True, indent=2) + "\n"
+        return self.send_raw(
+            code, body.encode("utf-8"), "application/json", headers
+        )
+
+    def send_api_error(self, code: int, message: str,
+                       headers: Optional[Dict[str, str]] = None) -> int:
+        if self.command == "POST":
+            # The body may be partly unread; don't let a kept-alive
+            # connection misparse the remainder as the next request.
+            self.close_connection = True
+        return self.send_api_json(code, {"error": message}, headers)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        service: RaceService = self.server.service
+        router: Router = self.server.router
+        parsed = urlsplit(self.path)
+        match = router.resolve(method, parsed.path)
+        # The pattern string labels metrics so cardinality stays bounded.
+        route_label = match.route.pattern if match.route else "<unmatched>"
+        started = time.perf_counter()
+        code = 500
+        try:
+            if match.route is None:
+                if match.allowed:
+                    code = self.send_api_error(
+                        405,
+                        f"method {method} not allowed for {parsed.path}",
+                        headers={"Allow": ", ".join(match.allowed)},
+                    )
+                else:
+                    code = self.send_api_error(
+                        404, f"no such path: {parsed.path}"
+                    )
+            else:
+                query = parse_qs(parsed.query)
+                code = match.route.handler(
+                    self, service, match.params, query
+                )
+        except ValidationError as error:
+            try:
+                code = self.send_api_error(400, str(error))
+            except OSError:
+                code = 400
+        except (BrokenPipeError, ConnectionResetError):
+            code = 499  # client went away mid-response
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 - keep serving
+            try:
+                code = self.send_api_error(
+                    500, f"{type(error).__name__}: {error}"
+                )
+            except OSError:
+                pass
+        finally:
+            elapsed = time.perf_counter() - started
+            service.m_requests.inc(
+                method=method, route=route_label, code=str(code)
+            )
+            service.m_latency.observe(
+                elapsed, method=method, route=route_label
+            )
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: RaceService) -> None:
+        self.service = service
+        self.router = build_router()
+        super().__init__(address, _Handler)
+
+
+def build_httpd(service: RaceService) -> _HTTPServer:
+    config = service.config
+    return _HTTPServer((config.host, config.port), service)
+
+
+@dataclass
+class ServiceHandle:
+    """An in-process daemon for tests and benchmarks."""
+
+    service: RaceService
+    httpd: _HTTPServer
+    thread: threading.Thread
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def stop(self, grace: Optional[float] = None) -> None:
+        self.service.drain(grace)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=5.0)
+        # The drain flag is process-global; an in-process daemon must
+        # not leave it set for the host (e.g. a test suite) to trip on.
+        engine.reset_drain()
+
+
+def start_in_thread(config: ServiceConfig) -> ServiceHandle:
+    """Start a fully wired daemon on a background thread (pass
+    ``port=0`` to bind an ephemeral port; read it off the handle)."""
+    service = RaceService(config)
+    service.start()
+    httpd = build_httpd(service)
+    thread = threading.Thread(
+        target=httpd.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    return ServiceHandle(service=service, httpd=httpd, thread=thread)
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run the daemon in the foreground until SIGTERM/SIGINT, then
+    drain: stop accepting, let in-flight shards checkpoint, exit 0."""
+    service = RaceService(config)
+    service.start()
+    httpd = build_httpd(service)
+    stopping = threading.Event()
+
+    def _shutdown() -> None:
+        service.drain()
+        httpd.shutdown()
+
+    def _on_signal(signum, frame) -> None:
+        if stopping.is_set():
+            return
+        stopping.set()
+        # Drain on a thread: signal handlers must not block, and
+        # httpd.shutdown() deadlocks if called from serve_forever's
+        # own thread.
+        threading.Thread(target=_shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
+    host, port = httpd.server_address[0], httpd.server_address[1]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(store={config.store_dir}, workers={config.workers}, "
+        f"engine-jobs={config.engine_jobs})",
+        file=sys.stderr,
+    )
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if not stopping.is_set():
+            service.drain(grace=0.0)
+    print("repro serve: drained, exiting", file=sys.stderr)
+    return 0

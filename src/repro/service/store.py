@@ -1,0 +1,182 @@
+"""Disk-backed job/result store with TTL eviction.
+
+Layout, one directory per job under the store root::
+
+    STORE/jobs/<id>/
+      job.json          the job record (state machine below); atomic writes
+      trace.text        the spooled upload (``trace.jsonl`` for JSONL)
+      work/             the engine working directory — per-shard checkpoints
+                        live here, so a killed daemon resumes mid-job
+      result.json       the final result document (terminal jobs only)
+
+Job states: ``queued → running → done | failed``.  A daemon restart
+re-enqueues every ``queued``/``running`` job it finds (the engine skips
+shards whose checkpoints exist), so accepted work survives kills.
+Terminal jobs are evicted ``ttl_seconds`` after they finish.
+
+Job ids embed a millisecond timestamp so listing order is creation
+order, plus random bits so concurrent submissions never collide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed")
+
+
+def _atomic_write(path: str, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class JobStore:
+    """Handle on one store root; safe for concurrent daemon threads."""
+
+    def __init__(self, root: str, ttl_seconds: float = 3600.0) -> None:
+        self.root = root
+        self.ttl_seconds = ttl_seconds
+        self.jobs_dir = os.path.join(root, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _job_json(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "job.json")
+
+    def trace_path(self, job_id: str, fmt: str) -> str:
+        return os.path.join(self.job_dir(job_id), f"trace.{fmt}")
+
+    def workdir(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "work")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _new_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            serial = self._counter
+        # Timestamp, then serial, then randomness: ids from one store
+        # instance sort in creation order even within a millisecond.
+        return (
+            f"{int(time.time() * 1000):013x}"
+            f"{serial % 0x10000:04x}{os.urandom(3).hex()}"
+        )
+
+    def create(self, spec: Dict) -> Dict:
+        """Create a job directory and its initial ``queued`` record."""
+        job_id = self._new_id()
+        os.makedirs(self.job_dir(job_id))
+        record = {
+            "id": job_id,
+            "state": "queued",
+            "created": time.time(),
+            "started": None,
+            "finished": None,
+            "error": None,
+            "progress": {},
+            **spec,
+        }
+        _atomic_write(
+            self._job_json(job_id), json.dumps(record, indent=2) + "\n"
+        )
+        return record
+
+    def read(self, job_id: str) -> Optional[Dict]:
+        try:
+            with open(self._job_json(job_id), "r", encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def update(self, job_id: str, **fields) -> Optional[Dict]:
+        """Read-modify-write the record under the store lock."""
+        with self._lock:
+            record = self.read(job_id)
+            if record is None:
+                return None
+            record.update(fields)
+            _atomic_write(
+                self._job_json(job_id), json.dumps(record, indent=2) + "\n"
+            )
+            return record
+
+    def delete(self, job_id: str) -> None:
+        shutil.rmtree(self.job_dir(job_id), ignore_errors=True)
+
+    # -- results -------------------------------------------------------------
+
+    def write_result(self, job_id: str, document: Dict) -> None:
+        _atomic_write(
+            self.result_path(job_id),
+            json.dumps(document, sort_keys=True, indent=2) + "\n",
+        )
+
+    def read_result(self, job_id: str) -> Optional[Dict]:
+        try:
+            with open(self.result_path(job_id), "r", encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- enumeration and recovery --------------------------------------------
+
+    def list_jobs(self) -> List[Dict]:
+        """Every readable job record, in creation (= id) order."""
+        records = []
+        try:
+            names = sorted(os.listdir(self.jobs_dir))
+        except OSError:
+            return records
+        for name in names:
+            record = self.read(name)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def recoverable(self) -> List[Dict]:
+        """Jobs a restarted daemon must re-enqueue: accepted, not
+        finished — whether they were still queued or mid-analysis."""
+        return [
+            record
+            for record in self.list_jobs()
+            if record.get("state") in ACTIVE_STATES
+        ]
+
+    # -- TTL eviction --------------------------------------------------------
+
+    def evict_expired(self, now: Optional[float] = None) -> List[str]:
+        """Remove terminal jobs whose ``finished`` stamp is older than the
+        TTL; returns the evicted ids."""
+        now = time.time() if now is None else now
+        evicted = []
+        for record in self.list_jobs():
+            if record.get("state") not in TERMINAL_STATES:
+                continue
+            finished = record.get("finished")
+            if finished is not None and now - finished >= self.ttl_seconds:
+                self.delete(record["id"])
+                evicted.append(record["id"])
+        return evicted

@@ -1,0 +1,243 @@
+"""Crash/drain semantics: SIGTERM checkpoints in-flight work, and a
+restarted run (or daemon) finishes without re-analyzing or diverging.
+
+Three layers:
+
+* unit — a pool worker with the drain flag set checkpoints its shard
+  and exits with :data:`DRAIN_EXIT_CODE`; the sequential engine loop
+  raises :class:`DrainRequested` at a shard boundary.
+* ``repro check`` — a subprocess killed mid-run exits 3 ("drained"),
+  and re-running with ``--resume`` yields byte-identical ``--json``
+  output to an uninterrupted run.
+* ``repro serve`` — a daemon killed mid-job restarts, completes the
+  job without rewriting the shards it already checkpointed, and serves
+  the same bytes ``repro check --json`` prints.
+"""
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import engine
+from repro.detectors import make_detector
+from repro.engine.checkpoint import Workdir
+from repro.engine.partition import partition_events
+from repro.engine.worker import DRAIN_EXIT_CODE, request_drain, run_shard
+from repro.service.client import Client
+from repro.trace import serialize
+from repro.trace.generators import GeneratorConfig, random_feasible_trace
+
+SRC = str(Path(__file__).parents[1] / "src")
+NSHARDS = 6
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _repro(argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_subprocess_env(), capture_output=True, text=True, **kwargs,
+    )
+
+
+def _small_trace(seed=11, max_events=400):
+    return random_feasible_trace(
+        random.Random(seed),
+        GeneratorConfig(max_events=max_events, max_threads=4, n_vars=10,
+                        n_locks=3, discipline=0.35),
+    )
+
+
+@pytest.fixture(scope="module")
+def big_trace_path(tmp_path_factory):
+    """A trace large enough that a run spans several seconds across
+    shards, so a SIGTERM lands mid-analysis."""
+    trace = random_feasible_trace(
+        random.Random(99),
+        GeneratorConfig(max_events=400_000, max_threads=6, n_vars=60,
+                        n_locks=5, discipline=0.4, p_fork=0.02,
+                        p_volatile=0.03),
+    )
+    path = tmp_path_factory.mktemp("crash") / "big.trace"
+    path.write_text(serialize.dumps(trace))
+    return str(path)
+
+
+# -- unit layer ---------------------------------------------------------------
+
+
+def _drained_worker(root):
+    request_drain()  # as if SIGTERM had already arrived
+    run_shard(root, 0, "FastTrack")
+    os._exit(7)  # unreachable: run_shard must exit DRAIN_EXIT_CODE first
+
+
+def test_pool_worker_checkpoints_shard_then_exits_143(tmp_path):
+    trace = _small_trace()
+    root = str(tmp_path)
+    wd = Workdir(root)
+    partition_events(iter(trace.events), wd, 2)
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    process = context.Process(target=_drained_worker, args=(root,))
+    process.start()
+    process.join(timeout=60)
+    assert process.exitcode == DRAIN_EXIT_CODE
+    # The shard finished and checkpointed before the worker exited.
+    assert wd.completed_shards("FastTrack", 2) == [0]
+
+
+def test_sequential_loop_drains_at_shard_boundary(tmp_path):
+    trace = _small_trace()
+    root = str(tmp_path)
+    try:
+        engine.reset_drain()
+        engine.request_drain()
+        with pytest.raises(engine.DrainRequested):
+            engine.check_events(trace.events, tool="FastTrack",
+                                nshards=3, workdir=root, resume=True)
+    finally:
+        engine.reset_drain()
+    # The partition survived; a resumed run completes and agrees with
+    # the single-threaded detector.
+    report = engine.check_events(trace.events, tool="FastTrack",
+                                 nshards=3, workdir=root, resume=True)
+    single = make_detector("FastTrack").process(trace)
+    assert report.warnings == single.warnings
+
+
+# -- repro check layer --------------------------------------------------------
+
+
+def _wait_for_checkpoints(results_dir, minimum, process, timeout=60.0):
+    """Poll until ``minimum`` shard checkpoints exist (or the process
+    exits first); returns how many were seen."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            count = len(os.listdir(results_dir))
+        except OSError:
+            count = 0
+        if count >= minimum or process.poll() is not None:
+            return count
+        time.sleep(0.02)
+    return 0
+
+
+def test_check_sigterm_then_resume_is_bit_identical(big_trace_path, tmp_path):
+    uninterrupted = _repro(
+        ["check", big_trace_path, "--shards", str(NSHARDS), "--json"]
+    )
+    assert uninterrupted.returncode in (0, 1), uninterrupted.stderr
+
+    workdir = str(tmp_path / "resume")
+    argv = [sys.executable, "-m", "repro", "check", big_trace_path,
+            "--shards", str(NSHARDS), "--resume", workdir, "--json"]
+    process = subprocess.Popen(
+        argv, env=_subprocess_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    results_dir = os.path.join(workdir, "results", "FastTrack")
+    _wait_for_checkpoints(results_dir, 1, process)
+    process.send_signal(signal.SIGTERM)
+    _, stderr = process.communicate(timeout=120)
+    finished = sorted(os.listdir(results_dir))
+    if process.returncode == 3:
+        # Drained mid-run: progress was reported and checkpointed.
+        assert "drained:" in stderr
+        assert 0 < len(finished) <= NSHARDS
+    else:
+        # The run won the race and completed; resume is then a no-op.
+        assert process.returncode in (0, 1), stderr
+
+    resumed = subprocess.run(
+        argv, env=_subprocess_env(), capture_output=True, text=True,
+    )
+    assert resumed.returncode in (0, 1), resumed.stderr
+    assert resumed.stdout == uninterrupted.stdout
+    # The resumed run reused every checkpoint the killed run left.
+    assert sorted(os.listdir(results_dir))[: len(finished)] == finished
+
+
+# -- repro serve layer --------------------------------------------------------
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _start_daemon(store, port):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--store", store, "--workers", "1"],
+        env=_subprocess_env(), stderr=subprocess.PIPE, text=True,
+    )
+    client = Client(port=port, timeout=10.0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            client.healthz()
+            return process, client
+        except OSError:
+            if process.poll() is not None or time.monotonic() > deadline:
+                process.kill()
+                raise RuntimeError(
+                    f"daemon did not come up: {process.stderr.read()}"
+                )
+            time.sleep(0.1)
+
+
+def test_daemon_sigterm_checkpoints_and_restart_completes(
+    big_trace_path, tmp_path
+):
+    store = str(tmp_path / "store")
+    first, client = _start_daemon(store, _free_port())
+    try:
+        job = client.submit(path=big_trace_path, shards=NSHARDS)
+        results_dir = os.path.join(
+            store, "jobs", job["id"], "work", "results", "FastTrack"
+        )
+        _wait_for_checkpoints(results_dir, 2, first)
+    finally:
+        first.send_signal(signal.SIGTERM)
+    assert first.wait(timeout=120) == 0  # graceful drain, not a crash
+
+    checkpointed = {
+        name: os.stat(os.path.join(results_dir, name)).st_mtime_ns
+        for name in os.listdir(results_dir)
+    }
+    with open(os.path.join(store, "jobs", job["id"], "job.json")) as stream:
+        state = json.load(stream)["state"]
+    assert state in ("queued", "done")  # requeued for restart, not lost
+
+    second, client = _start_daemon(store, _free_port())
+    try:
+        client.wait(job["id"], timeout=300.0, poll=0.1)
+        served = client.result_bytes(job["id"]).decode("utf-8")
+    finally:
+        second.send_signal(signal.SIGTERM)
+        second.wait(timeout=60)
+    # Shards the first daemon checkpointed were not re-analyzed.
+    for name, mtime in checkpointed.items():
+        assert os.stat(os.path.join(results_dir, name)).st_mtime_ns == mtime
+    expected = _repro(
+        ["check", big_trace_path, "--shards", str(NSHARDS), "--json"]
+    )
+    assert served == expected.stdout

@@ -6,11 +6,13 @@ import pytest
 
 import repro.core.epoch
 import repro.core.vectorclock
+import repro.service.metrics
 import repro.trace.serialize
 
 MODULES = [
     repro.core.epoch,
     repro.core.vectorclock,
+    repro.service.metrics,
     repro.trace.serialize,
 ]
 

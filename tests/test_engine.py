@@ -128,6 +128,22 @@ class TestCheckpoint:
         assert wd.completed_shards("FastTrack", 4) == []
         assert wd.completed_shards("DJIT+", 4) == [1]
 
+    def test_clear_results_removes_out_of_range_checkpoints(self, tmp_path):
+        """Re-partitioning into fewer shards must not leave high-index
+        checkpoints behind for a later resume to trust."""
+        wd = Workdir(str(tmp_path))
+        for shard in range(6):
+            wd.write_result("FastTrack", shard, {"shard": shard})
+        wd.clear_results("FastTrack", 2)
+        assert wd.result_files() == []
+
+    def test_ensure_resumable_layout_rejects_orphaned_results(self, tmp_path):
+        wd = Workdir(str(tmp_path))
+        wd.write_result("FastTrack", 0, {"shard": 0})
+        with pytest.raises(CheckpointError, match="no valid partition"):
+            wd.ensure_resumable_layout(None)
+        wd.ensure_resumable_layout({"nshards": 2})  # meta present: fine
+
 
 class TestResume:
     def test_resume_skips_completed_shards(self, tmp_path):
@@ -165,6 +181,30 @@ class TestResume:
             trace.events, tool="FastTrack", nshards=2, workdir=root
         )
         assert report.warnings == single.warnings
+
+    def test_resume_rejects_different_shard_count(self, tmp_path):
+        """Satellite guard: ``--resume DIR --shards M`` with an M that
+        differs from the partition on disk must fail fast, not silently
+        mix layouts."""
+        trace = _racy_trace(max_events=100)
+        root = str(tmp_path)
+        engine.check_events(trace.events, tool="FastTrack", nshards=2,
+                            workdir=root, resume=True)
+        with pytest.raises(CheckpointError):
+            engine.check_events(trace.events, tool="FastTrack", nshards=5,
+                                workdir=root, resume=True)
+
+    def test_resume_with_results_but_corrupt_meta_fails_fast(self, tmp_path):
+        trace = _racy_trace(max_events=100)
+        root = str(tmp_path)
+        wd = Workdir(root)
+        engine.check_events(trace.events, tool="FastTrack", nshards=2,
+                            workdir=root, resume=True)
+        with open(wd.meta_path, "w", encoding="utf-8") as stream:
+            stream.write("{not json")
+        with pytest.raises(CheckpointError, match="mix shard layouts"):
+            engine.check_events(trace.events, tool="FastTrack", nshards=2,
+                                workdir=root, resume=True)
 
     def test_resume_on_empty_dir_partitions_first(self, tmp_path):
         trace = _racy_trace(max_events=200)
