@@ -1,0 +1,128 @@
+"""Telemetry overhead gate: ``repro.obs`` must be free when disabled.
+
+The observability ISSUE admits the telemetry layer only if instrumenting
+the analysis paths costs <2% throughput when telemetry is *disabled* (the
+default for every ``repro check``).  This benchmark measures the FastTrack
+fused kernel the way the instrumented engine/CLI run it, in three modes:
+
+* **raw**      — ``run_kernel(tool, columns)`` alone, the pre-obs
+  baseline;
+* **disabled** — the same analysis wrapped in the exact per-run
+  instrumentation the CLI and engine add (``obs.span`` around the run,
+  ``obs.record_rules`` after it) with no telemetry sink active — the
+  span must be the shared null span and the rule flush a no-op;
+* **enabled**  — the same with ``obs.enable`` pointed at a throwaway
+  directory, to document what turning telemetry on actually costs.
+
+The three are timed in interleaved best-of rounds (``gc.collect()``
+before each timed region) so scheduling noise hits all modes equally.
+The gate asserts ``disabled/raw - 1 < 2%``; the enabled-mode overhead is
+recorded but not gated (it is opt-in).  Results go to the session
+recorder that ``benchmarks/conftest.py`` serializes to
+``benchmarks/BENCH_obs.json``.
+
+Tunables: ``BENCH_OBS_SCALE`` (default 4000 ≈ 96k events) and
+``BENCH_OBS_ROUNDS`` (default 7, best kept).
+"""
+
+import gc
+import os
+import shutil
+import tempfile
+import time
+
+from repro import obs
+from repro.bench.eclipse import import_program
+from repro.kernels import run_kernel
+from repro.runtime.scheduler import run_program
+from repro.trace.columnar import ColumnarTrace
+
+OBS_SCALE = int(os.environ.get("BENCH_OBS_SCALE", "4000"))
+ROUNDS = int(os.environ.get("BENCH_OBS_ROUNDS", "7"))
+
+TOOL = "FastTrack"
+
+#: The ISSUE's acceptance bound on telemetry-disabled overhead.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _columns():
+    trace = run_program(import_program(OBS_SCALE), seed=0)
+    return ColumnarTrace.from_events(list(trace.events))
+
+
+def _run_raw(columns):
+    return run_kernel(TOOL, columns)
+
+
+def _run_instrumented(columns):
+    """The analysis as the instrumented CLI/engine executes it: a span
+    around the run, a batched rule flush after it."""
+    with obs.span("check.analyze", tool=TOOL, events=len(columns)) as span:
+        detector = run_kernel(TOOL, columns)
+    obs.record_rules(TOOL, detector.stats)
+    del span
+    return detector
+
+
+def test_obs_overhead(obs_bench_recorder):
+    columns = _columns()
+    n = len(columns)
+    assert not obs.enabled()
+    assert obs.span("probe") is obs.NULL_SPAN  # disabled => shared null span
+
+    telemetry_dir = tempfile.mkdtemp(prefix="repro-obs-bench-")
+    raw_best = disabled_best = enabled_best = float("inf")
+    try:
+        for _ in range(ROUNDS):
+            gc.collect()
+            start = time.perf_counter()
+            _run_raw(columns)
+            raw_best = min(raw_best, time.perf_counter() - start)
+
+            gc.collect()
+            start = time.perf_counter()
+            _run_instrumented(columns)
+            disabled_best = min(disabled_best, time.perf_counter() - start)
+
+            obs.enable(telemetry_dir)
+            try:
+                gc.collect()
+                start = time.perf_counter()
+                _run_instrumented(columns)
+                enabled_best = min(
+                    enabled_best, time.perf_counter() - start
+                )
+            finally:
+                obs.disable()
+    finally:
+        shutil.rmtree(telemetry_dir, ignore_errors=True)
+
+    disabled_overhead = disabled_best / raw_best - 1.0
+    enabled_overhead = enabled_best / raw_best - 1.0
+    obs_bench_recorder["obs_overhead"] = {
+        "workload": "eclipse-import",
+        "tool": TOOL,
+        "events": n,
+        "rounds": ROUNDS,
+        "cpus": os.cpu_count(),
+        "raw_seconds": raw_best,
+        "disabled_seconds": disabled_best,
+        "enabled_seconds": enabled_best,
+        "raw_events_per_sec": n / raw_best,
+        "disabled_events_per_sec": n / disabled_best,
+        "enabled_events_per_sec": n / enabled_best,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+    }
+    print(
+        f"\nraw {n / raw_best:,.0f} ev/s, "
+        f"disabled {n / disabled_best:,.0f} ev/s "
+        f"({disabled_overhead:+.2%}), "
+        f"enabled {n / enabled_best:,.0f} ev/s ({enabled_overhead:+.2%})"
+    )
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+        f"telemetry-disabled overhead {disabled_overhead:+.2%} exceeds "
+        f"the {MAX_DISABLED_OVERHEAD:.0%} budget"
+    )

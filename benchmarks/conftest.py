@@ -27,10 +27,14 @@ KERNEL_BENCH_RESULTS = {}
 #: And for the ``repro serve`` throughput sweep → BENCH_service.json.
 SERVICE_BENCH_RESULTS = {}
 
+#: And for the telemetry overhead gate → BENCH_obs.json.
+OBS_BENCH_RESULTS = {}
+
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
 _KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
 _SERVICE_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
+_OBS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_obs.json")
 
 
 @pytest.fixture(scope="session")
@@ -56,6 +60,12 @@ def service_bench_recorder():
     return SERVICE_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def obs_bench_recorder():
+    """Session-wide dict for telemetry overhead (→ BENCH_obs.json)."""
+    return OBS_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
@@ -66,6 +76,7 @@ def pytest_sessionfinish(session, exitstatus):
         (ENGINE_BENCH_RESULTS, _BENCH_JSON_PATH),
         (KERNEL_BENCH_RESULTS, _KERNEL_JSON_PATH),
         (SERVICE_BENCH_RESULTS, _SERVICE_JSON_PATH),
+        (OBS_BENCH_RESULTS, _OBS_JSON_PATH),
     ):
         if not results:
             continue

@@ -123,16 +123,36 @@ def _parse_jobs(value: str):
 
 
 def _resolve_jobs(args) -> int:
-    """Resolve ``--jobs auto`` and warn when workers outnumber CPUs."""
+    """Resolve ``--jobs auto`` and warn when workers outnumber CPUs.
+
+    The diagnostic goes through the structured logger: a ``{"type":
+    "log"}`` record in ``spans.jsonl`` when ``--telemetry`` is on, the
+    familiar stderr line otherwise.
+    """
+    from repro import obs
+
     cpus = os.cpu_count() or 1
     jobs = cpus if args.jobs == "auto" else args.jobs
     if jobs > cpus:
-        print(
-            f"warning: --jobs {jobs} exceeds the {cpus} available CPU(s); "
+        obs.log.warning(
+            "engine.jobs.oversubscribed",
+            f"--jobs {jobs} exceeds the {cpus} available CPU(s); "
             "workers will contend for cores",
-            file=sys.stderr,
+            jobs=jobs,
+            cpus=cpus,
         )
     return jobs
+
+
+def _enable_telemetry(args) -> bool:
+    """Turn on the obs sink when ``--telemetry DIR`` was given."""
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        return False
+    from repro import obs
+
+    obs.enable(directory)
+    return True
 
 
 def _print_json_results(json_results, args) -> None:
@@ -246,9 +266,21 @@ def _cmd_check_sharded(args) -> int:
 
 
 def cmd_check(args) -> int:
-    args.jobs = _resolve_jobs(args)
-    if args.jobs > 1 or args.shards is not None or args.resume is not None:
-        return _cmd_check_sharded(args)
+    telemetry = _enable_telemetry(args)
+    try:
+        args.jobs = _resolve_jobs(args)
+        if args.jobs > 1 or args.shards is not None or args.resume is not None:
+            return _cmd_check_sharded(args)
+        return _cmd_check_single(args)
+    finally:
+        if telemetry:
+            from repro import obs
+
+            obs.disable()  # flushes DIR/metrics.json, closes spans.jsonl
+
+
+def _cmd_check_single(args) -> int:
+    from repro import obs
     from repro.kernels import has_kernel, run_kernel
 
     if args.kernel == "fused" and not has_kernel(args.tool):
@@ -258,7 +290,9 @@ def cmd_check(args) -> int:
         )
         return 2
     try:
-        trace = _read_trace(args.trace, args.format)
+        with obs.span("check.read", trace=args.trace) as read_span:
+            trace = _read_trace(args.trace, args.format)
+            read_span.set(events=len(trace))
     except serialize.TraceParseError as error:
         _print_parse_error(args.trace, error)
         return 2
@@ -292,10 +326,12 @@ def cmd_check(args) -> int:
     for name in tool_names:
         # FastTrack names both sides of the race when sites exist.
         detector = make_detector(name, **default_tool_kwargs(name))
-        if columns is not None and has_kernel(name):
-            run_kernel(name, columns, detector=detector)
-        else:
-            detector.process(trace)
+        with obs.span("check.analyze", tool=name, events=len(trace)):
+            if columns is not None and has_kernel(name):
+                run_kernel(name, columns, detector=detector)
+            else:
+                detector.process(trace)
+        obs.record_rules(name, detector.stats)
         if name == args.tool:
             worst = detector.warning_count
             report_target = detector
@@ -333,6 +369,69 @@ def cmd_check(args) -> int:
             file=sys.stderr if args.json else sys.stdout,
         )
     return 1 if worst else 0
+
+
+def cmd_profile(args) -> int:
+    """Run a telemetry-enabled check and print the hot-path report.
+
+    The analysis always goes through the engine (so the report has
+    partition/analyze/merge stage timings); with the default ``--jobs 1``
+    it runs single-shard, which keeps every rule count bit-identical to a
+    plain single-threaded ``repro check`` — the Figure 2 numbers for this
+    trace, live.  ``--telemetry DIR`` keeps the raw ``spans.jsonl`` and
+    ``metrics.json`` next to the report; otherwise they are discarded.
+    """
+    import shutil
+    import tempfile
+
+    from repro import engine, obs
+
+    keep = args.telemetry is not None
+    directory = args.telemetry or tempfile.mkdtemp(prefix="repro-obs-")
+    obs.enable(directory)
+    args.jobs = _resolve_jobs(args)
+    nshards = args.shards
+    if nshards is None and args.jobs == 1:
+        nshards = 1  # exact single-threaded counters (see docstring)
+    tool_names = list(DETECTORS) if args.all_tools else [args.tool]
+    workdir = None
+    if len(tool_names) > 1:
+        workdir = tempfile.mkdtemp(prefix="repro-engine-")
+    reports = {}
+    try:
+        with obs.span("check", trace=args.trace, jobs=args.jobs):
+            for position, name in enumerate(tool_names):
+                reports[name] = engine.check_trace_file(
+                    args.trace,
+                    tool=name,
+                    fmt=args.format,
+                    nshards=nshards,
+                    jobs=args.jobs,
+                    workdir=workdir,
+                    resume=position > 0,
+                    tool_kwargs=default_tool_kwargs(name),
+                )
+    except serialize.TraceParseError as error:
+        _print_parse_error(args.trace, error)
+        return 2
+    except engine.DrainRequested as error:
+        print(f"drained: {error}", file=sys.stderr)
+        return 3
+    except OSError as error:
+        print(f"error: {args.trace}: {error.strerror or error}",
+              file=sys.stderr)
+        return 2
+    finally:
+        obs.disable()
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    spans = obs.read_spans(os.path.join(directory, obs.SPANS_FILENAME))
+    sys.stdout.write(obs.render_profile(args.trace, reports, spans))
+    if keep:
+        print(f"telemetry written to {directory}", file=sys.stderr)
+    else:
+        shutil.rmtree(directory, ignore_errors=True)
+    return 0
 
 
 def cmd_classify(args) -> int:
@@ -467,6 +566,7 @@ def cmd_serve(args) -> int:
         queue_size=args.queue_size,
         ttl_seconds=args.ttl,
         store_dir=args.store,
+        telemetry=args.telemetry,
     )
     return serve(config)
 
@@ -606,8 +706,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the canonical repro.result/1 JSON document instead of "
         "text (the same schema the repro serve daemon returns)",
     )
+    check.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write structured telemetry (spans.jsonl + metrics.json) to "
+        "DIR; analysis output is unaffected",
+    )
     check.add_argument("-v", "--verbose", action="store_true")
     check.set_defaults(func=cmd_check)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a trace: rule frequencies, stage timings, shard "
+        "balance (a telemetry-enabled check)",
+    )
+    profile.add_argument("trace")
+    profile.add_argument(
+        "--tool", default="FastTrack", choices=list(DETECTORS)
+    )
+    profile.add_argument(
+        "--all-tools", action="store_true", help="profile every detector"
+    )
+    profile.add_argument(
+        "--format", choices=("text", "jsonl"), default="text"
+    )
+    profile.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = single-shard, counts bit-identical to "
+        "a plain check; 'auto' = one per CPU)",
+    )
+    profile.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="shard count (default: 1 when --jobs 1, else 2 per worker)",
+    )
+    profile.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="keep the raw spans.jsonl + metrics.json in DIR instead of "
+        "discarding them after the report",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived race-checking daemon"
@@ -634,6 +780,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--ttl", type=float, default=3600.0, metavar="SECONDS",
         help="evict finished jobs from the store after this long",
+    )
+    serve.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write structured telemetry (spans.jsonl + metrics.json) to "
+        "DIR; job lifecycle spans are joined by job id",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -42,7 +42,10 @@ import multiprocessing
 import shutil
 import signal
 import tempfile
+import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro import obs
 
 from repro.engine.checkpoint import CheckpointError, Workdir
 from repro.engine.merge import (
@@ -220,20 +223,69 @@ def _run(
                 # can no longer identify).
                 wd.ensure_resumable_layout(meta)
             shards = nshards if nshards is not None else default_nshards(jobs)
-            meta = partition_events(events_factory(), wd, shards)
+            with obs.span("engine.partition", tool=tool) as span:
+                meta = partition_events(events_factory(), wd, shards)
+                span.set(events=meta["events"], shards=meta["nshards"])
         count = meta["nshards"]
         if not resume:
             wd.clear_results(tool, count)
         completed = set(wd.completed_shards(tool, count))
         pending = [shard for shard in range(count) if shard not in completed]
-        _run_pending(
-            root, pending, tool, tool_kwargs, jobs, classify, kernel,
-            executor=executor,
-        )
-        return merge_shard_results(load_payloads(wd, tool, count))
+        if completed:
+            obs.log.info(
+                "engine.resume",
+                f"resuming {tool}: {len(completed)}/{count} shard(s) "
+                "already checkpointed",
+                tool=tool, completed=len(completed), total=count,
+            )
+        submitted = time.monotonic()
+        with obs.span(
+            "engine.analyze",
+            tool=tool, jobs=jobs, shards=count, pending=len(pending),
+        ):
+            _run_pending(
+                root, pending, tool, tool_kwargs, jobs, classify, kernel,
+                executor=executor,
+            )
+        payloads = load_payloads(wd, tool, count)
+        if obs.enabled():
+            _emit_shard_spans(payloads, set(pending), tool, submitted)
+        with obs.span("engine.merge", tool=tool, shards=count):
+            report = merge_shard_results(payloads)
+        obs.record_rules(tool, report.stats)
+        return report
     finally:
         if owns_workdir:
             shutil.rmtree(root, ignore_errors=True)
+
+
+def _emit_shard_spans(
+    payloads: List[Dict],
+    pending: set,
+    tool: str,
+    submitted: float,
+) -> None:
+    """Re-emit shard timings (measured inside the workers and carried in
+    the checkpoint payloads) as ``shard.analyze`` spans, including the
+    queue-wait between submission and the shard's first instruction.
+    Resumed shards keep their checkpoints but are not re-emitted: their
+    timings belong to the run that analyzed them."""
+    for payload in payloads:
+        if payload["shard"] not in pending:
+            continue
+        timing = payload.get("timing")
+        if not timing:  # checkpoint written by a pre-telemetry build
+            continue
+        obs.emit_span(
+            "shard.analyze",
+            timing["wall_s"],
+            cpu_s=timing["cpu_s"],
+            shard=payload["shard"],
+            tool=tool,
+            events=payload["events"],
+            kernel=payload["kernel"],
+            queue_wait_s=max(0.0, timing["started"] - submitted),
+        )
 
 
 def check_events(

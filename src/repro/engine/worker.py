@@ -31,6 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import time
 from typing import Dict, List, Optional
 
 from repro.core.detector import CostStats, Detector
@@ -177,7 +178,16 @@ def analyze_shard(
     classify: bool = False,
     kernel: str = "auto",
 ) -> Dict:
-    """Run ``tool`` over one shard and checkpoint + return the payload."""
+    """Run ``tool`` over one shard and checkpoint + return the payload.
+
+    The payload carries the shard's wall/CPU timing (two clock reads per
+    shard — negligible even with telemetry off) so the parent process can
+    emit ``shard.analyze`` spans and queue-wait without any cross-process
+    telemetry plumbing; ``started``/``ended`` are ``time.monotonic()``
+    values, comparable across processes on one machine.
+    """
+    started_monotonic = time.monotonic()
+    started_cpu = time.process_time()
     detector: Detector = make_detector(tool, **(tool_kwargs or {}))
     use_fused = resolve_kernel(kernel, tool)
     classifier = None
@@ -211,6 +221,7 @@ def analyze_shard(
         classifier_counts(classifier) if classifier is not None else None
     )
 
+    ended_monotonic = time.monotonic()
     payload = {
         "payload_version": PAYLOAD_VERSION,
         "shard": shard,
@@ -221,6 +232,11 @@ def analyze_shard(
         "suppressed": detector.suppressed_warnings,
         "stats": stats_to_json(detector.stats),
         "classifier": classifier_payload,
+        "timing": {
+            "started": started_monotonic,
+            "wall_s": ended_monotonic - started_monotonic,
+            "cpu_s": time.process_time() - started_cpu,
+        },
     }
     workdir.write_result(tool, shard, payload)
     return payload

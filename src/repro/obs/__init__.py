@@ -1,0 +1,99 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+One stdlib-only observability subsystem shared by every execution
+surface: the CLI (``repro check --telemetry DIR``, ``repro profile``),
+the sharded engine, the fused kernels' shard workers, and the ``repro
+serve`` daemon.  Three pillars, one module each:
+
+* :mod:`~repro.obs.metrics` — the Prometheus-text-format registry
+  (promoted from ``repro.service.metrics``; the service keeps a shim),
+  a process-global default registry, and :class:`BatchedCounter`
+  handles that are safe inside kernel hot loops — local adds, one lock
+  acquisition per batched flush, never one per event;
+* :mod:`~repro.obs.telemetry` — structured tracing (``obs.span(...)``
+  context managers emitting JSONL with wall + CPU time and nesting),
+  the ``--telemetry DIR`` sink (``spans.jsonl`` + ``metrics.json``),
+  and the structured logger ``obs.log`` (JSONL when a sink is active,
+  stderr otherwise);
+* :mod:`~repro.obs.rules` — per-detector rule-frequency metrics
+  (``repro_rule_total{detector,rule}``), same-epoch fast paths derived
+  with the Figure 2 arithmetic, flushed once per run/shard.
+
+Telemetry is **off by default and free when off**: :func:`span` returns
+a shared no-op, :func:`emit_span`/`record_rules` check one module
+global, and no analysis output ever changes — the differential tests
+assert ``repro check --json`` is byte-identical with telemetry on and
+off, and ``benchmarks/bench_obs_overhead.py`` holds the disabled-path
+overhead under 2%.  See docs/OBSERVABILITY.md for the metric and span
+catalog.
+"""
+
+from repro.obs.metrics import (
+    BatchedCounter,
+    Counter,
+    DEFAULT_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.profile import render_profile
+from repro.obs.rules import (
+    EVENTS_COUNTER,
+    RULE_COUNTER,
+    derived_rule_counts,
+    record_rule_counts,
+    record_rules,
+)
+from repro.obs.telemetry import (
+    METRICS_FILENAME,
+    NULL_SPAN,
+    SPANS_FILENAME,
+    Span,
+    Telemetry,
+    active,
+    disable,
+    emit_span,
+    enable,
+    enabled,
+    log,
+    read_spans,
+    span,
+    validate_record,
+    validate_spans_file,
+)
+
+__all__ = [
+    "BatchedCounter",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENTS_COUNTER",
+    "EXPOSITION_CONTENT_TYPE",
+    "Gauge",
+    "Histogram",
+    "METRICS_FILENAME",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RULE_COUNTER",
+    "SPANS_FILENAME",
+    "Span",
+    "Telemetry",
+    "active",
+    "default_registry",
+    "derived_rule_counts",
+    "disable",
+    "emit_span",
+    "enable",
+    "enabled",
+    "log",
+    "read_spans",
+    "record_rule_counts",
+    "record_rules",
+    "render_profile",
+    "reset_default_registry",
+    "span",
+    "validate_record",
+    "validate_spans_file",
+]

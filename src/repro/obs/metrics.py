@@ -1,0 +1,347 @@
+"""A minimal, dependency-free Prometheus exposition-format registry.
+
+Promoted from ``repro.service.metrics`` (which remains as a re-export
+shim) so every layer — the CLI, the sharded engine, the fused-kernel
+workers, and the ``repro serve`` daemon — shares one metrics substrate:
+counters, gauges, and cumulative histograms, with labels, rendered in
+text format 0.0.4 (the format every Prometheus scraper accepts).  All
+mutation goes through one registry-wide lock — the daemon's HTTP threads
+and job runners update concurrently, and a scrape must never observe a
+histogram whose ``_count`` and ``_sum`` disagree.
+
+    >>> registry = MetricsRegistry()
+    >>> jobs = registry.counter("repro_jobs_total", "Jobs by terminal state")
+    >>> jobs.inc(state="done")
+    >>> print(registry.render().splitlines()[2])
+    repro_jobs_total{state="done"} 1
+
+Determinism: the exposition document is fully ordered — metric blocks
+sort by metric name, series within a block sort by label set — so two
+registries holding the same values render byte-identical documents
+regardless of registration or update order.  Histograms always emit the
+``+Inf`` bucket the Prometheus text format requires, and servers should
+ship the document under :data:`EXPOSITION_CONTENT_TYPE`.
+
+Hot loops must not take the registry lock per event.  A
+:class:`BatchedCounter` handle (from :meth:`Counter.handle`) accumulates
+locally — plain int adds, no lock, safe to call millions of times — and
+folds into the shared counter in one locked :meth:`~BatchedCounter.flush`
+at a batch boundary (the engine flushes once per shard):
+
+    >>> events = registry.counter("repro_events_total", "Events analyzed")
+    >>> handle = events.handle(detector="FastTrack")
+    >>> for _ in range(1000):
+    ...     handle.inc()
+    >>> handle.flush()
+    1000
+    >>> events.value(detector="FastTrack")
+    1000.0
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds) — spans sub-millisecond metric
+#: scrapes up to multi-second analysis-heavy result fetches.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: The Content-Type the Prometheus text format 0.0.4 is served under.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+
+    def render(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def samples(self) -> List[Dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class BatchedCounter:
+    """A lock-free accumulator bound to one counter label set.
+
+    ``inc`` is a plain integer add on this object — cheap enough for a
+    kernel hot loop — and :meth:`flush` moves the accumulated total into
+    the shared :class:`Counter` under its lock (one acquisition per
+    batch, never per event).  Handles are *not* shared between threads;
+    each worker/shard takes its own and flushes at its batch boundary.
+    """
+
+    __slots__ = ("_counter", "_labels", "pending")
+
+    def __init__(self, counter: "Counter", labels: Dict[str, str]) -> None:
+        self._counter = counter
+        self._labels = labels
+        self.pending = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.pending += amount
+
+    def flush(self) -> int:
+        """Fold the pending total into the registry; returns it."""
+        amount, self.pending = self.pending, 0
+        if amount:
+            self._counter.inc(amount, **self._labels)
+        return amount
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def __init__(self, name, help_text, lock) -> None:
+        super().__init__(name, help_text, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def handle(self, **labels: str) -> BatchedCounter:
+        """A hot-loop-safe local accumulator for one label set."""
+        return BatchedCounter(self, labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+    def samples(self) -> List[Dict]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def __init__(self, name, help_text, lock) -> None:
+        super().__init__(name, help_text, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+    def samples(self) -> List[Dict]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name, help_text, lock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, lock)
+        self.buckets = tuple(sorted(buckets))
+        #: per-labelset: (per-bucket counts, sum, count)
+        self._series: Dict[_LabelKey, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts, total, count = self._series.get(
+                key, ([0] * len(self.buckets), 0.0, 0)
+            )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._series[key] = (counts, total + value, count + 1)
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+        return series[2] if series else 0
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total, count))
+                for key, (counts, total, count) in self._series.items()
+            )
+        lines = []
+        for key, (counts, total, count) in items:
+            for bound, cumulative in zip(self.buckets, counts):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, ('le', _format_value(bound)))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{self.name}_bucket{_render_labels(key, ('le', '+Inf'))} "
+                f"{count}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_format_value(total)}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+    def samples(self) -> List[Dict]:
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total, count))
+                for key, (counts, total, count) in self._series.items()
+            )
+        return [
+            {
+                "labels": dict(key),
+                "buckets": dict(zip(map(_format_value, self.buckets), counts)),
+                "sum": total,
+                "count": count,
+            }
+            for key, (counts, total, count) in items
+        ]
+
+
+class MetricsRegistry:
+    """Registration plus rendering; one instance per daemon (or the
+    process-global default from :func:`default_registry`)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter(name, help_text, self._lock))
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._register(Gauge(name, help_text, self._lock))
+
+    def histogram(self, name: str, help_text: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram(name, help_text, self._lock, buckets))
+
+    def render(self) -> str:
+        """The full exposition document, metric blocks sorted by name so
+        the output is deterministic for any registration order."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-serializable dump of every metric's current series —
+        the ``metrics.json`` the ``--telemetry`` sink writes."""
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": metric.samples(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+# -- the process-global default registry --------------------------------------
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry shared by the CLI, the engine, and any
+    embedded caller that does not bring its own (the daemon does)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = MetricsRegistry()
+        return _DEFAULT
+
+
+def reset_default_registry() -> MetricsRegistry:
+    """Swap in a fresh default registry (tests; telemetry re-enable)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = MetricsRegistry()
+        return _DEFAULT

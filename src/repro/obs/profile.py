@@ -1,0 +1,159 @@
+"""``repro profile`` — the human-readable hot-path report.
+
+Turns one telemetry-enabled check (a :class:`MergedReport` per tool plus
+the run's ``spans.jsonl`` records) into the report a performance triage
+wants on one screen:
+
+* the operation mix (the paper's 82.3% reads / 14.5% writes frame);
+* per-detector rule frequencies — counts and fractions, same-epoch fast
+  paths derived by :mod:`repro.obs.rules`, i.e. Figure 2 for *this*
+  trace;
+* stage timings from the spans (partition → shard.analyze → merge), with
+  events/sec wherever a span carries an event count;
+* shard balance (events, VC ops, wall time per shard) — the engine's
+  load-skew diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.rules import derived_rule_counts
+
+#: Stage span names rendered in pipeline order; anything else follows.
+_STAGE_ORDER = (
+    "engine.partition", "engine.analyze", "shard.analyze", "engine.merge",
+    "check",
+)
+
+
+def _fraction(count: int, denominator: int) -> str:
+    if denominator <= 0:
+        return "    —"
+    return f"{count / denominator:6.1%}"
+
+
+def _rule_denominator(rule: str, stats) -> int:
+    """The class a rule's frequency is quoted against (Figure 2 quotes
+    read rules as fractions of reads, write rules of writes)."""
+    if "READ" in rule:
+        return stats.reads
+    if "WRITE" in rule:
+        return stats.writes
+    return stats.events
+
+
+def _stage_rows(spans: List[Dict]) -> List[Dict]:
+    """Aggregate span records by name: count, wall/cpu totals, events."""
+    stages: Dict[str, Dict] = {}
+    for record in spans:
+        if record.get("type") != "span":
+            continue
+        name = record["name"]
+        row = stages.setdefault(
+            name, {"name": name, "count": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                   "events": 0, "errors": 0}
+        )
+        row["count"] += 1
+        row["wall_s"] += record["wall_s"]
+        row["cpu_s"] += record["cpu_s"]
+        row["events"] += int(record.get("attrs", {}).get("events") or 0)
+        if record.get("status") == "error":
+            row["errors"] += 1
+    order = {name: index for index, name in enumerate(_STAGE_ORDER)}
+    return sorted(
+        stages.values(),
+        key=lambda row: (order.get(row["name"], len(order)), row["name"]),
+    )
+
+
+def render_profile(
+    trace_path: str,
+    reports: Dict[str, "MergedReport"],  # noqa: F821 - avoid engine import
+    spans: Optional[List[Dict]] = None,
+) -> str:
+    """Render the hot-path report for one profiled check."""
+    lines: List[str] = []
+    first = next(iter(reports.values()))
+    stats = first.stats
+    lines.append(
+        f"repro profile — {trace_path} "
+        f"({stats.events} events, {first.nshards} shard(s))"
+    )
+    lines.append("")
+    lines.append("operation mix (Figure 2 frame: 82.3% / 14.5% / 3.3%):")
+    denominator = max(stats.events, 1)
+    other = stats.syncs + stats.boundaries
+    for label, count in (
+        ("reads", stats.reads), ("writes", stats.writes), ("other", other)
+    ):
+        lines.append(
+            f"  {label:<8s}{count:>12,d}  {count / denominator:6.1%}"
+        )
+
+    for tool, report in reports.items():
+        lines.append("")
+        verdict = (
+            f"{report.warning_count} warning(s)"
+            if report.warning_count
+            else "race-free"
+        )
+        lines.append(f"{tool} — {verdict}; rule frequencies:")
+        counts = derived_rule_counts(tool, report.stats)
+        if not counts:
+            lines.append("  (this tool fires no counted rules)")
+            continue
+        width = max(len(rule) for rule in counts)
+        for rule, count in counts.items():
+            denom = _rule_denominator(rule, report.stats)
+            share = _fraction(count, denom)
+            of = (
+                "of reads" if "READ" in rule
+                else "of writes" if "WRITE" in rule
+                else "of events"
+            )
+            lines.append(
+                f"  {rule:<{width}s}{count:>12,d}  {share} {of}"
+            )
+
+    rows = _stage_rows(spans or [])
+    if rows:
+        lines.append("")
+        lines.append("stage timings:")
+        lines.append(
+            f"  {'stage':<18s}{'n':>4s}{'wall':>10s}{'cpu':>10s}"
+            f"{'events/s':>12s}"
+        )
+        for row in rows:
+            rate = (
+                f"{row['events'] / row['wall_s']:>12,.0f}"
+                if row["events"] and row["wall_s"] > 0
+                else f"{'—':>12s}"
+            )
+            suffix = f"  ({row['errors']} error(s))" if row["errors"] else ""
+            lines.append(
+                f"  {row['name']:<18s}{row['count']:>4d}"
+                f"{row['wall_s'] * 1e3:>8.1f}ms{row['cpu_s'] * 1e3:>8.1f}ms"
+                f"{rate}{suffix}"
+            )
+
+    shard_stats = first.shard_stats
+    if len(shard_stats) > 1:
+        lines.append("")
+        total = sum(first.shard_events) or 1
+        lines.append(f"shard balance ({next(iter(reports))}):")
+        lines.append(
+            f"  {'shard':<7s}{'events':>10s}{'share':>8s}{'vc ops':>10s}"
+            f"{'slow rules':>12s}"
+        )
+        for shard, stats_ in enumerate(shard_stats):
+            events = (
+                first.shard_events[shard]
+                if shard < len(first.shard_events) else stats_.events
+            )
+            slow = sum(stats_.rules.values())
+            lines.append(
+                f"  {shard:<7d}{events:>10,d}{events / total:>8.1%}"
+                f"{stats_.vc_ops:>10,d}{slow:>12,d}"
+            )
+    return "\n".join(lines) + "\n"

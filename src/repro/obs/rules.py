@@ -1,0 +1,105 @@
+"""Per-rule firing counts as live metrics — Figure 2, continuously.
+
+FastTrack's performance claim rests on a distribution: >96% of monitored
+operations take O(1) fast paths (PAPER.md Figure 2).  Every detector
+already tallies its slow-path rule firings in ``CostStats.rules``; the
+same-epoch fast paths deliberately run counter-free and their firing
+counts are *derived* (reads/writes minus the counted slow paths) —
+exactly the arithmetic ``repro.bench.harness.run_rule_frequencies`` uses
+for the offline Figure 2 benchmark.  This module owns that derivation in
+one place and flushes one run's tallies into the shared metric
+
+    repro_rule_total{detector="FastTrack", rule="FT READ SAME EPOCH"}
+
+so ``repro check --telemetry``, the engine, and every completed service
+job reproduce Figure 2 live on ``/metrics``.  Flushes are batched — one
+registry-lock acquisition per (rule, run), never one per event — and the
+per-shard tallies the engine merges are plain ``Counter`` sums, so the
+merged counts are deterministic for any shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.detector import CostStats
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+
+#: The live Figure 2 metric: rule firings by detector and rule.
+RULE_COUNTER = "repro_rule_total"
+RULE_HELP = (
+    "Analysis rule firings by detector and rule "
+    "(same-epoch fast paths derived; reproduces Figure 2)"
+)
+
+#: Operation-mix companion: events analyzed by detector and class.
+EVENTS_COUNTER = "repro_ops_total"
+EVENTS_HELP = "Operations analyzed by detector and class (reads/writes/...)"
+
+#: Rules whose counts are derived from the totals rather than counted on
+#: the hot path (the paper's same-epoch fast paths), per detector.
+_FT_READ_SLOW = ("FT READ SHARED", "FT READ EXCLUSIVE", "FT READ SHARE")
+_FT_WRITE_SLOW = ("FT WRITE EXCLUSIVE", "FT WRITE SHARED")
+
+
+def derived_rule_counts(tool: str, stats: CostStats) -> Dict[str, int]:
+    """All rule firing counts for one run, fast paths included.
+
+    Counted rules come straight from ``stats.rules``; the counter-free
+    same-epoch rules are derived with the same arithmetic as
+    ``run_rule_frequencies`` (FastTrack's derived READ SAME EPOCH also
+    absorbs the optional ``FT READ SAME EPOCH SHARED`` hits, which keep
+    their own row when the variant is enabled).  Keys sort alphabetically
+    so every surface lists rules in the same order.
+    """
+    counts: Dict[str, int] = dict(stats.rules)
+    if tool == "FastTrack":
+        counts["FT READ SAME EPOCH"] = stats.reads - sum(
+            counts.get(rule, 0) for rule in _FT_READ_SLOW
+        )
+        counts["FT WRITE SAME EPOCH"] = stats.writes - sum(
+            counts.get(rule, 0) for rule in _FT_WRITE_SLOW
+        )
+    elif tool == "DJIT+":
+        counts["DJIT+ READ SAME EPOCH"] = stats.reads - counts.get(
+            "DJIT+ READ", 0
+        )
+        counts["DJIT+ WRITE SAME EPOCH"] = stats.writes - counts.get(
+            "DJIT+ WRITE", 0
+        )
+    return dict(sorted(counts.items()))
+
+
+def record_rule_counts(
+    tool: str, stats: CostStats, registry: MetricsRegistry
+) -> Dict[str, int]:
+    """Flush one run's rule tallies into ``registry`` (batched: one
+    counter update per rule, not per event).  Returns the counts."""
+    counts = derived_rule_counts(tool, stats)
+    rule_counter = registry.counter(RULE_COUNTER, RULE_HELP)
+    for rule, count in counts.items():
+        if count:
+            rule_counter.inc(count, detector=tool, rule=rule)
+    ops_counter = registry.counter(EVENTS_COUNTER, EVENTS_HELP)
+    for cls, count in (
+        ("reads", stats.reads),
+        ("writes", stats.writes),
+        ("syncs", stats.syncs),
+        ("boundaries", stats.boundaries),
+    ):
+        if count:
+            ops_counter.inc(count, detector=tool, **{"class": cls})
+    return counts
+
+
+def record_rules(tool: str, stats: CostStats,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+    """Telemetry-aware entry point the engine and CLI call after a run:
+    a no-op unless telemetry is enabled or a registry is given."""
+    if registry is not None:
+        record_rule_counts(tool, stats, registry)
+        return
+    active = telemetry.active()
+    if active is not None:
+        record_rule_counts(tool, stats, active.registry)

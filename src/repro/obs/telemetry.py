@@ -1,0 +1,399 @@
+"""Structured tracing: spans, structured logs, and the JSONL sink.
+
+The span API is the tracing half of :mod:`repro.obs`::
+
+    from repro import obs
+
+    with obs.span("shard.analyze", shard=3, tool="FastTrack"):
+        ...  # timed: wall clock + CPU time, nesting tracked per thread
+
+Every completed span appends one JSON line to ``DIR/spans.jsonl`` (the
+``--telemetry DIR`` sink): name, span/parent ids, start timestamp, wall
+and CPU seconds, ok/error status, and free-form attributes.  Nesting is
+per-thread (a ``threading.local`` stack), and exception safety is part
+of the contract: a span body that raises still emits its record, marked
+``status="error"`` with the exception type, and re-raises unchanged.
+
+Zero overhead when disabled — the default state.  :func:`span` returns a
+shared no-op context manager without allocating, :func:`emit_span` and
+the structured logger check one module global and return; no clock is
+read, no file is touched.  The engine's hot loops therefore never pay
+for telemetry they did not ask for (``benchmarks/bench_obs_overhead.py``
+holds this under 2%).
+
+Structured logging rides the same sink: ``obs.log.warning(event, msg,
+**fields)`` writes a ``{"type": "log", ...}`` record when telemetry is
+on and falls back to plain stderr otherwise, so engine diagnostics (the
+``--jobs auto`` oversubscription warning, drain notices) are never lost
+but become machine-readable the moment a sink exists.
+
+Forked engine workers inherit the enabled state; the sink re-opens its
+file append-only on first write from a new pid and writes whole lines
+under a lock, so records from daemon threads never interleave.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+SPANS_FILENAME = "spans.jsonl"
+METRICS_FILENAME = "metrics.json"
+
+#: Log severities accepted by the structured logger.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class _NullSpan:
+    """The disabled-path span: a shared, stateless context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; records itself on ``__exit__`` (even on error)."""
+
+    __slots__ = (
+        "telemetry", "name", "attrs", "span_id", "parent_id",
+        "_start_unix", "_start_wall", "_start_cpu",
+    )
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict) -> None:
+        self.telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (e.g. event counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        telemetry = self.telemetry
+        self.span_id = telemetry.next_id()
+        stack = telemetry.stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start_unix = time.time()
+        self._start_cpu = time.process_time()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start_wall
+        cpu = time.process_time() - self._start_cpu
+        stack = self.telemetry.stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start_unix": self._start_unix,
+            "wall_s": wall,
+            "cpu_s": cpu,
+            "status": "ok" if exc_type is None else "error",
+            "attrs": self.attrs,
+        }
+        if exc_type is not None:
+            record["error"] = f"{exc_type.__name__}: {exc}"
+        self.telemetry.write(record)
+        return False  # never swallow the exception
+
+
+class Telemetry:
+    """An enabled sink: a directory holding ``spans.jsonl`` and (on
+    :meth:`write_metrics`) a ``metrics.json`` registry snapshot."""
+
+    def __init__(
+        self,
+        directory: str,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.registry = registry if registry is not None else default_registry()
+        self.spans_path = os.path.join(directory, SPANS_FILENAME)
+        self.metrics_path = os.path.join(directory, METRICS_FILENAME)
+        self._lock = threading.Lock()
+        self._stream = open(self.spans_path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- span plumbing -------------------------------------------------------
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        stack = self.stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def emit_span(
+        self,
+        name: str,
+        wall_s: float,
+        cpu_s: float = 0.0,
+        start_unix: Optional[float] = None,
+        status: str = "ok",
+        **attrs,
+    ) -> None:
+        """Record a span measured elsewhere (e.g. inside a shard worker,
+        whose timing travels back in the checkpoint payload)."""
+        self.write({
+            "type": "span",
+            "name": name,
+            "id": self.next_id(),
+            "parent": self.current_span_id(),
+            "start_unix": time.time() if start_unix is None else start_unix,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "status": status,
+            "attrs": attrs,
+        })
+
+    def log(self, level: str, event: str, message: str, **fields) -> None:
+        self.write({
+            "type": "log",
+            "level": level,
+            "event": event,
+            "message": message,
+            "time_unix": time.time(),
+            "fields": fields,
+        })
+
+    # -- sink ----------------------------------------------------------------
+
+    def write(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if os.getpid() != self._pid:
+                # Forked worker: never share the parent's stream position.
+                self._stream = open(self.spans_path, "a", encoding="utf-8")
+                self._pid = os.getpid()
+            self._stream.write(line)
+            self._stream.flush()
+
+    def write_metrics(self) -> str:
+        """Snapshot the registry to ``metrics.json``; returns the path."""
+        with open(self.metrics_path, "w", encoding="utf-8") as stream:
+            json.dump(self.registry.snapshot(), stream, indent=2,
+                      sort_keys=True)
+            stream.write("\n")
+        return self.metrics_path
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._stream.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+
+# -- module-global switch ------------------------------------------------------
+
+_ACTIVE: Optional[Telemetry] = None
+
+
+def enable(
+    directory: str, registry: Optional[MetricsRegistry] = None
+) -> Telemetry:
+    """Turn telemetry on, sinking to ``directory``; returns the sink.
+
+    Re-enabling replaces (and closes) any previous sink.  Without an
+    explicit ``registry`` the sink snapshots a *fresh* default registry,
+    so one run's ``metrics.json`` never inherits a previous run's counts
+    from the same process.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    if registry is None:
+        registry = reset_default_registry()
+    _ACTIVE = Telemetry(directory, registry)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn telemetry off and close the sink (writing metrics.json)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.write_metrics()
+        _ACTIVE.close()
+        _ACTIVE = None
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def active() -> Optional[Telemetry]:
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """A context manager timing ``name``; free when telemetry is off."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.span(name, **attrs)
+
+
+def emit_span(name: str, wall_s: float, cpu_s: float = 0.0,
+              start_unix: Optional[float] = None, status: str = "ok",
+              **attrs) -> None:
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.emit_span(name, wall_s, cpu_s=cpu_s, start_unix=start_unix,
+                            status=status, **attrs)
+
+
+class _Log:
+    """Structured diagnostics: JSONL when telemetry is on, stderr else.
+
+    The stderr fallback prints exactly ``{level}: {message}`` — so the
+    command-line diagnostics users already see (``warning: --jobs 8
+    exceeds ...``) are unchanged when no sink is configured — and only
+    for warning/error severity; info/debug records exist solely for the
+    sink, like a logger at WARNING threshold.
+    """
+
+    #: Levels that reach stderr when no sink is active.
+    STDERR_LEVELS = ("warning", "error")
+
+    @classmethod
+    def _emit(cls, level: str, event: str, message: str, **fields) -> None:
+        telemetry = _ACTIVE
+        if telemetry is not None:
+            telemetry.log(level, event, message, **fields)
+        elif level in cls.STDERR_LEVELS:
+            print(f"{level}: {message}", file=sys.stderr)
+
+    def debug(self, event: str, message: str, **fields) -> None:
+        self._emit("debug", event, message, **fields)
+
+    def info(self, event: str, message: str, **fields) -> None:
+        self._emit("info", event, message, **fields)
+
+    def warning(self, event: str, message: str, **fields) -> None:
+        self._emit("warning", event, message, **fields)
+
+    def error(self, event: str, message: str, **fields) -> None:
+        self._emit("error", event, message, **fields)
+
+
+log = _Log()
+
+
+# -- span-file schema ----------------------------------------------------------
+
+_SPAN_KEYS = {
+    "type", "name", "id", "parent", "start_unix", "wall_s", "cpu_s",
+    "status", "attrs", "error",
+}
+_LOG_KEYS = {"type", "level", "event", "message", "time_unix", "fields"}
+
+
+def validate_record(record: Dict) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid telemetry line."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record is not an object: {record!r}")
+    kind = record.get("type")
+    if kind == "span":
+        missing = (_SPAN_KEYS - {"error"}) - set(record)
+        if missing:
+            raise ValueError(f"span record missing {sorted(missing)}")
+        unknown = set(record) - _SPAN_KEYS
+        if unknown:
+            raise ValueError(f"span record has unknown keys {sorted(unknown)}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError("span name must be a non-empty string")
+        if not isinstance(record["id"], int):
+            raise ValueError("span id must be an integer")
+        if record["parent"] is not None and not isinstance(
+            record["parent"], int
+        ):
+            raise ValueError("span parent must be an integer or null")
+        for key in ("start_unix", "wall_s", "cpu_s"):
+            if not isinstance(record[key], (int, float)):
+                raise ValueError(f"span {key} must be a number")
+        if record["wall_s"] < 0:
+            raise ValueError("span wall_s must be >= 0")
+        if record["status"] not in ("ok", "error"):
+            raise ValueError(f"bad span status {record['status']!r}")
+        if record["status"] == "error" and "error" not in record:
+            raise ValueError("error span needs an 'error' description")
+        if not isinstance(record["attrs"], dict):
+            raise ValueError("span attrs must be an object")
+    elif kind == "log":
+        missing = _LOG_KEYS - set(record)
+        if missing:
+            raise ValueError(f"log record missing {sorted(missing)}")
+        if record["level"] not in LOG_LEVELS:
+            raise ValueError(f"bad log level {record['level']!r}")
+        if not isinstance(record["fields"], dict):
+            raise ValueError("log fields must be an object")
+    else:
+        raise ValueError(f"unknown record type {kind!r}")
+
+
+def read_spans(path: str, validate: bool = True) -> List[Dict]:
+    """Load (and by default validate) every record of a spans.jsonl file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {error}")
+            if validate:
+                try:
+                    validate_record(record)
+                except ValueError as error:
+                    raise ValueError(f"{path}:{lineno}: {error}")
+            records.append(record)
+    return records
+
+
+def validate_spans_file(path: str) -> int:
+    """Validate a spans.jsonl file; returns the number of records."""
+    return len(read_spans(path, validate=True))

@@ -14,9 +14,11 @@ package amortizes that cost behind a stdlib-only HTTP/JSON daemon:
   checkpoints survive a daemon kill and a restart resumes mid-job;
 * :mod:`~repro.service.queue`  — the bounded FIFO between HTTP threads
   and job runners;
-* :mod:`~repro.service.metrics` — a small Prometheus-text-format
-  registry (job states, queue depth, per-tool event throughput,
-  per-endpoint latency histograms);
+* :mod:`~repro.service.metrics` — compatibility shim over
+  :mod:`repro.obs.metrics`, the Prometheus-text-format registry now
+  shared with the whole telemetry layer (job states, queue depth,
+  per-tool event throughput and rule frequencies, per-endpoint latency
+  histograms);
 * :mod:`~repro.service.routes` — the tiny URL router;
 * :mod:`~repro.service.client` — the stdlib client library the
   ``repro submit/status/result`` CLI verbs are built on.

@@ -1,12 +1,10 @@
-"""A minimal, dependency-free Prometheus exposition-format registry.
+"""Compatibility shim — the metrics registry moved to :mod:`repro.obs.metrics`.
 
-Only what the daemon needs: counters, gauges, and cumulative histograms,
-with labels, rendered in text format 0.0.4 (the format every Prometheus
-scraper accepts).  All mutation goes through one registry-wide lock —
-the daemon's HTTP threads and job runners update concurrently, and a
-scrape must never observe a histogram whose ``_count`` and ``_sum``
-disagree.
+The registry started life inside the service; it is now the metrics core
+of the unified telemetry layer (:mod:`repro.obs`), shared by the CLI,
+the sharded engine, and the daemon.  Importing from here keeps working:
 
+    >>> from repro.service.metrics import MetricsRegistry
     >>> registry = MetricsRegistry()
     >>> jobs = registry.counter("repro_jobs_total", "Jobs by terminal state")
     >>> jobs.inc(state="done")
@@ -14,203 +12,26 @@ disagree.
     repro_jobs_total{state="done"} 1
 """
 
-from __future__ import annotations
-
-import threading
-from typing import Dict, List, Optional, Sequence, Tuple
-
-#: Default latency buckets (seconds) — spans sub-millisecond metric
-#: scrapes up to multi-second analysis-heavy result fetches.
-DEFAULT_BUCKETS = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-    1.0, 2.5, 5.0, 10.0,
+from repro.obs.metrics import (
+    BatchedCounter,
+    Counter,
+    DEFAULT_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
 )
 
-_LabelKey = Tuple[Tuple[str, str], ...]
-
-
-def _label_key(labels: Dict[str, str]) -> _LabelKey:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
-
-
-def _escape(value: str) -> str:
-    return (
-        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-    )
-
-
-def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
-    pairs = list(key)
-    if extra is not None:
-        pairs.append(extra)
-    if not pairs:
-        return ""
-    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
-    return "{" + body + "}"
-
-
-def _format_value(value: float) -> str:
-    if value == int(value):
-        return str(int(value))
-    return repr(value)
-
-
-class _Metric:
-    kind = "untyped"
-
-    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
-        self.name = name
-        self.help = help_text
-        self._lock = lock
-
-    def render(self) -> List[str]:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-
-class Counter(_Metric):
-    kind = "counter"
-
-    def __init__(self, name, help_text, lock) -> None:
-        super().__init__(name, help_text, lock)
-        self._values: Dict[_LabelKey, float] = {}
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        key = _label_key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return self._values.get(_label_key(labels), 0.0)
-
-    def render(self) -> List[str]:
-        with self._lock:
-            items = sorted(self._values.items())
-        return [
-            f"{self.name}{_render_labels(key)} {_format_value(value)}"
-            for key, value in items
-        ]
-
-
-class Gauge(_Metric):
-    kind = "gauge"
-
-    def __init__(self, name, help_text, lock) -> None:
-        super().__init__(name, help_text, lock)
-        self._values: Dict[_LabelKey, float] = {}
-
-    def set(self, value: float, **labels: str) -> None:
-        with self._lock:
-            self._values[_label_key(labels)] = float(value)
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = _label_key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def dec(self, amount: float = 1.0, **labels: str) -> None:
-        self.inc(-amount, **labels)
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return self._values.get(_label_key(labels), 0.0)
-
-    def render(self) -> List[str]:
-        with self._lock:
-            items = sorted(self._values.items())
-        return [
-            f"{self.name}{_render_labels(key)} {_format_value(value)}"
-            for key, value in items
-        ]
-
-
-class Histogram(_Metric):
-    kind = "histogram"
-
-    def __init__(self, name, help_text, lock,
-                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        super().__init__(name, help_text, lock)
-        self.buckets = tuple(sorted(buckets))
-        #: per-labelset: (per-bucket counts, sum, count)
-        self._series: Dict[_LabelKey, Tuple[List[int], float, int]] = {}
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = _label_key(labels)
-        with self._lock:
-            counts, total, count = self._series.get(
-                key, ([0] * len(self.buckets), 0.0, 0)
-            )
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    counts[index] += 1
-            self._series[key] = (counts, total + value, count + 1)
-
-    def count(self, **labels: str) -> int:
-        with self._lock:
-            series = self._series.get(_label_key(labels))
-        return series[2] if series else 0
-
-    def render(self) -> List[str]:
-        with self._lock:
-            items = sorted(
-                (key, (list(counts), total, count))
-                for key, (counts, total, count) in self._series.items()
-            )
-        lines = []
-        for key, (counts, total, count) in items:
-            for bound, cumulative in zip(self.buckets, counts):
-                lines.append(
-                    f"{self.name}_bucket"
-                    f"{_render_labels(key, ('le', _format_value(bound)))} "
-                    f"{cumulative}"
-                )
-            lines.append(
-                f"{self.name}_bucket{_render_labels(key, ('le', '+Inf'))} "
-                f"{count}"
-            )
-            lines.append(
-                f"{self.name}_sum{_render_labels(key)} {_format_value(total)}"
-            )
-            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
-        return lines
-
-
-class MetricsRegistry:
-    """Registration plus rendering; one instance per daemon."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._metrics: Dict[str, _Metric] = {}
-
-    def _register(self, metric: _Metric) -> _Metric:
-        existing = self._metrics.get(metric.name)
-        if existing is not None:
-            if type(existing) is not type(metric):
-                raise ValueError(
-                    f"metric {metric.name!r} already registered as "
-                    f"{existing.kind}"
-                )
-            return existing
-        self._metrics[metric.name] = metric
-        return metric
-
-    def counter(self, name: str, help_text: str) -> Counter:
-        return self._register(Counter(name, help_text, self._lock))
-
-    def gauge(self, name: str, help_text: str) -> Gauge:
-        return self._register(Gauge(name, help_text, self._lock))
-
-    def histogram(self, name: str, help_text: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self._register(Histogram(name, help_text, self._lock, buckets))
-
-    def render(self) -> str:
-        """The full exposition document, metrics in registration order."""
-        lines: List[str] = []
-        for metric in self._metrics.values():
-            lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"
+__all__ = [
+    "BatchedCounter",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+]

@@ -38,13 +38,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
-from repro import engine
+from repro import engine, obs
 from repro.detectors import DETECTORS, default_tool_kwargs
 from repro.engine.checkpoint import Workdir
 from repro.engine.worker import KERNEL_MODES
 from repro.kernels import has_kernel
+from repro.obs.rules import record_rule_counts
 from repro.report import dumps_result, result_set
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 from repro.service.routes import Router
 from repro.service.store import JobStore
@@ -83,6 +84,10 @@ class ServiceConfig:
     #: work by design; warnings stay identical at any count).
     default_shards: int = 1
     eviction_interval: float = 30.0
+    #: Directory for structured telemetry (spans.jsonl + metrics.json);
+    #: ``None`` leaves telemetry disabled.  Job lifecycle spans are joined
+    #: by job id.
+    telemetry: Optional[str] = None
 
 
 class ValidationError(ValueError):
@@ -161,6 +166,10 @@ class RaceService:
             "repro_events_per_second",
             "Analysis throughput of the most recent job, per tool",
         )
+        self.m_engine_seconds = metric.counter(
+            "repro_engine_seconds_total",
+            "Wall-clock seconds spent in engine runs, per tool",
+        )
         self.m_requests = metric.counter(
             "repro_http_requests_total", "HTTP requests by route and status"
         )
@@ -172,6 +181,11 @@ class RaceService:
 
     def start(self) -> None:
         """Recover persisted jobs, then start runners and the evictor."""
+        if self.config.telemetry:
+            # The span/log stream and its metrics.json use the process
+            # default registry; the daemon's /metrics registry stays the
+            # scrape surface either way.
+            obs.enable(self.config.telemetry)
         if self.config.engine_jobs > 1:
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context(
@@ -225,6 +239,8 @@ class RaceService:
         if self.executor is not None:
             self.executor.shutdown(wait=False, cancel_futures=True)
         self._stop_event.set()
+        if self.config.telemetry and obs.enabled():
+            obs.disable()  # flush metrics.json, close spans.jsonl
 
     # -- submission ----------------------------------------------------------
 
@@ -277,9 +293,22 @@ class RaceService:
             return
         self.m_active.dec(state="queued")
         self.m_active.inc(state="running")
-        self.store.update(job_id, state="running", started=time.time())
+        started = time.time()
+        self.store.update(job_id, state="running", started=started)
+        if obs.enabled():
+            # Queue wait, reconstructed from the store's timestamps so it
+            # also covers jobs recovered across a daemon restart.
+            created = record.get("created")
+            obs.emit_span(
+                "job.queued",
+                max(0.0, started - created) if created else 0.0,
+                job=job_id,
+            )
         try:
-            document = self._analyze(job_id, record)
+            with obs.span(
+                "job.run", job=job_id, tools=list(record["tools"])
+            ):
+                document = self._analyze(job_id, record)
         except engine.DrainRequested:
             # Finished shards are checkpointed; hand the job back to the
             # store so the restarted daemon completes it.
@@ -296,11 +325,19 @@ class RaceService:
             )
             self.m_active.dec(state="running")
             self.m_jobs.inc(state="failed")
+            obs.log.info(
+                "service.job.failed",
+                f"job {job_id} failed: {type(error).__name__}: {error}",
+                job=job_id,
+            )
             return
         self.store.write_result(job_id, document)
         self.store.update(job_id, state="done", finished=time.time())
         self.m_active.dec(state="running")
         self.m_jobs.inc(state="done")
+        obs.log.info(
+            "service.job.done", f"job {job_id} done", job=job_id,
+        )
 
     def _analyze(self, job_id: str, record: Dict) -> Dict:
         tools = record["tools"]
@@ -330,6 +367,10 @@ class RaceService:
             elapsed = time.monotonic() - started
             results[tool] = report.to_json()
             self.m_events.inc(report.events, tool=tool)
+            self.m_engine_seconds.inc(elapsed, tool=tool)
+            # Figure 2, live: completed jobs surface their rule firing
+            # counts on /metrics regardless of the telemetry sink.
+            record_rule_counts(tool, report.stats, self.metrics)
             if elapsed > 0:
                 self.m_events_per_second.set(
                     report.events / elapsed, tool=tool
@@ -582,9 +623,7 @@ def h_healthz(handler: "_Handler", service: RaceService,
 def h_metrics(handler: "_Handler", service: RaceService,
               params: Dict[str, str], query: Dict[str, List[str]]) -> int:
     body = service.metrics.render().encode("utf-8")
-    return handler.send_raw(
-        200, body, "text/plain; version=0.0.4; charset=utf-8"
-    )
+    return handler.send_raw(200, body, EXPOSITION_CONTENT_TYPE)
 
 
 def build_router() -> Router:
