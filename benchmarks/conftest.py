@@ -30,11 +30,15 @@ SERVICE_BENCH_RESULTS = {}
 #: And for the telemetry overhead gate → BENCH_obs.json.
 OBS_BENCH_RESULTS = {}
 
+#: And for the fault-injection overhead gate → BENCH_faults.json.
+FAULTS_BENCH_RESULTS = {}
+
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
 _KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
 _SERVICE_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
 _OBS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_obs.json")
+_FAULTS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_faults.json")
 
 
 @pytest.fixture(scope="session")
@@ -66,6 +70,12 @@ def obs_bench_recorder():
     return OBS_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def faults_bench_recorder():
+    """Session-wide dict for fault-injection overhead (→ BENCH_faults.json)."""
+    return FAULTS_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
@@ -77,6 +87,7 @@ def pytest_sessionfinish(session, exitstatus):
         (KERNEL_BENCH_RESULTS, _KERNEL_JSON_PATH),
         (SERVICE_BENCH_RESULTS, _SERVICE_JSON_PATH),
         (OBS_BENCH_RESULTS, _OBS_JSON_PATH),
+        (FAULTS_BENCH_RESULTS, _FAULTS_JSON_PATH),
     ):
         if not results:
             continue

@@ -21,8 +21,11 @@
 Trace files use the text format of :mod:`repro.trace.serialize` (the
 paper's concrete syntax; ``--format jsonl`` for JSON lines).  ``check``
 exits with status 1 when the selected tool reports warnings, so it can
-gate a CI job; a run drained by SIGTERM exits with 3 after checkpointing
-(re-run with ``--resume`` to finish).
+gate a CI job; 2 on input/usage errors; a run drained by SIGTERM exits
+with 3 after checkpointing (re-run with ``--resume`` to finish); and a
+run that completed *degraded* — poison shards quarantined after their
+retries were exhausted — exits with 4 and stamps a ``degraded`` block
+into the ``--json`` document (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -42,8 +45,15 @@ from repro.trace.trace import Trace
 
 
 def _read_trace(path: str, fmt: str) -> Trace:
-    with open(path, "r", encoding="utf-8") as stream:
-        text = stream.read()
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+    except UnicodeDecodeError as error:
+        # Surface byte rot as a parse error (exit 2 with a pointer into
+        # the file), the same way the streaming readers do.
+        raise serialize.TraceParseError(
+            f"trace is not valid UTF-8 ({error.reason} at byte {error.start})"
+        ) from None
     if fmt == "jsonl":
         return serialize.loads_jsonl(text)
     return serialize.loads(text)
@@ -144,6 +154,31 @@ def _resolve_jobs(args) -> int:
     return jobs
 
 
+def _install_faults(args) -> Optional[int]:
+    """Install the ``--faults`` plan (or adopt ``REPRO_FAULTS``).
+
+    Returns an exit status on a bad plan, ``None`` on success.  The plan
+    is mirrored into the environment so engine pool workers — including
+    ones re-spawned mid-run — inherit it.
+    """
+    from repro import faults
+
+    try:
+        if getattr(args, "faults", None):
+            faults.install(faults.load(args.faults))
+        else:
+            faults.load_from_env_once()
+    except faults.FaultPlanError as error:
+        print(f"error: fault plan: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"error: fault plan: {error.strerror or error}", file=sys.stderr
+        )
+        return 2
+    return None
+
+
 def _enable_telemetry(args) -> bool:
     """Turn on the obs sink when ``--telemetry DIR`` was given."""
     directory = getattr(args, "telemetry", None)
@@ -199,7 +234,11 @@ def _cmd_check_sharded(args) -> int:
         owns_workdir = True
     if args.all_tools and not args.verbose and not args.json:
         print(f"{'tool':<12s}{'warnings':>9s}")
+    policy = engine.RetryPolicy(
+        shard_timeout_s=getattr(args, "shard_timeout", None)
+    )
     worst = 0
+    degraded = False
     selected = None
     json_results = {}
     try:
@@ -223,10 +262,21 @@ def _cmd_check_sharded(args) -> int:
                 classify=args.json,
                 tool_kwargs=kwargs,
                 kernel=kernel,
+                policy=policy,
             )
             if name == args.tool:
                 worst = report.warning_count
                 selected = report
+            if report.is_degraded:
+                degraded = True
+                quarantined = report.degraded["quarantined_shards"]
+                print(
+                    f"degraded: {name}: {len(quarantined)} of "
+                    f"{report.degraded['shards_total']} shard(s) "
+                    f"quarantined ({quarantined}); their variables were "
+                    "not analyzed",
+                    file=sys.stderr,
+                )
             if args.json:
                 json_results[name] = report.to_json()
             elif args.all_tools and not args.verbose:
@@ -241,6 +291,9 @@ def _cmd_check_sharded(args) -> int:
     except engine.DrainRequested as error:
         print(f"drained: {error}", file=sys.stderr)
         return 3
+    except engine.QuarantineExhausted as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 4
     except engine.CheckpointError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -262,10 +315,15 @@ def _cmd_check_sharded(args) -> int:
             f"report written to {args.report}",
             file=sys.stderr if args.json else sys.stdout,
         )
+    if degraded:
+        return 4
     return 1 if worst else 0
 
 
 def cmd_check(args) -> int:
+    failed = _install_faults(args)
+    if failed is not None:
+        return failed
     telemetry = _enable_telemetry(args)
     try:
         args.jobs = _resolve_jobs(args)
@@ -328,7 +386,18 @@ def _cmd_check_single(args) -> int:
         detector = make_detector(name, **default_tool_kwargs(name))
         with obs.span("check.analyze", tool=name, events=len(trace)):
             if columns is not None and has_kernel(name):
-                run_kernel(name, columns, detector=detector)
+                try:
+                    run_kernel(name, columns, detector=detector)
+                except Exception as error:
+                    # Degrade to the (bit-identical) object path rather
+                    # than failing the whole check on a kernel fault.
+                    obs.record_degraded(
+                        "kernel_fallback", tool=name, error=str(error)
+                    )
+                    detector = make_detector(
+                        name, **default_tool_kwargs(name)
+                    )
+                    detector.process(trace)
             else:
                 detector.process(trace)
         obs.record_rules(name, detector.stats)
@@ -547,17 +616,31 @@ def _add_service_endpoint_args(parser) -> None:
         "--timeout", type=float, default=60.0,
         help="per-request timeout in seconds",
     )
+    parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="retry transient failures (connection resets, 429/5xx) up "
+        "to N times with capped exponential backoff (default 3; 0 "
+        "disables)",
+    )
 
 
 def _service_client(args):
     from repro.service.client import Client
 
-    return Client(host=args.host, port=args.port, timeout=args.timeout)
+    return Client(
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        retries=getattr(args, "retries", 0),
+    )
 
 
 def cmd_serve(args) -> int:
     from repro.service.server import ServiceConfig, serve
 
+    failed = _install_faults(args)
+    if failed is not None:
+        return failed
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -567,6 +650,7 @@ def cmd_serve(args) -> int:
         ttl_seconds=args.ttl,
         store_dir=args.store,
         telemetry=args.telemetry,
+        job_timeout=args.job_timeout,
     )
     return serve(config)
 
@@ -713,6 +797,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write structured telemetry (spans.jsonl + metrics.json) to "
         "DIR; analysis output is unaffected",
     )
+    check.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="inject the deterministic fault plan (repro.faults/1) into "
+        "this run — chaos testing; see docs/ROBUSTNESS.md",
+    )
+    check.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard watchdog deadline for the engine's workers; an "
+        "overdue shard is killed and counted as a failed attempt",
+    )
     check.add_argument("-v", "--verbose", action="store_true")
     check.set_defaults(func=cmd_check)
 
@@ -787,6 +886,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write structured telemetry (spans.jsonl + metrics.json) to "
         "DIR; job lifecycle spans are joined by job id",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job attempt; a stuck job is killed "
+        "(finished shards stay checkpointed) and requeued at most twice",
+    )
+    serve.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="inject the deterministic fault plan (repro.faults/1) into "
+        "the daemon — chaos testing; see docs/ROBUSTNESS.md",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -38,7 +38,6 @@ checkpoint layout.
 from __future__ import annotations
 
 import concurrent.futures
-import multiprocessing
 import shutil
 import signal
 import tempfile
@@ -61,6 +60,13 @@ from repro.engine.partition import (
     partition_events,
     shard_of,
 )
+from repro.engine.supervise import (
+    EngineTimeout,
+    QuarantineExhausted,
+    RetryPolicy,
+    ShardFailure,
+    run_supervised,
+)
 from repro.engine.worker import (
     DrainRequested,
     analyze_shard,
@@ -69,6 +75,7 @@ from repro.engine.worker import (
     load_payloads,
     request_drain,
     reset_drain,
+    resolve_kernel,
     run_shard,
 )
 from repro.trace import events as ev
@@ -77,7 +84,11 @@ from repro.trace import serialize
 __all__ = [
     "CheckpointError",
     "DrainRequested",
+    "EngineTimeout",
     "MergedReport",
+    "QuarantineExhausted",
+    "RetryPolicy",
+    "ShardFailure",
     "Workdir",
     "analyze_shard",
     "check_events",
@@ -96,6 +107,7 @@ __all__ = [
     "request_drain",
     "reset_drain",
     "run_shard",
+    "run_supervised",
     "shard_of",
 ]
 
@@ -104,13 +116,6 @@ def default_nshards(jobs: int) -> int:
     """Two shards per worker: variable weight is skewed, so over-sharding
     lets fast workers steal a second helping instead of idling."""
     return max(1, 2 * max(1, jobs))
-
-
-def _pick_start_method() -> str:
-    methods = multiprocessing.get_all_start_methods()
-    # fork starts ~100x faster than spawn and the workers hold no locks or
-    # threads at fork time; fall back to spawn where fork is unavailable.
-    return "fork" if "fork" in methods else "spawn"
 
 
 def _restore_sigterm(previous) -> None:
@@ -131,64 +136,28 @@ def _run_pending(
     classify: bool,
     kernel: str,
     executor: Optional[concurrent.futures.Executor] = None,
-) -> None:
-    """Analyze the pending shards, honouring SIGTERM drain requests.
+    policy: Optional[RetryPolicy] = None,
+) -> List[ShardFailure]:
+    """Analyze the pending shards under supervision.
 
-    With ``executor`` (the daemon's persistent pool) all shards are
-    submitted there; otherwise ``jobs`` decides between the in-process
-    sequential loop and a throwaway :class:`ProcessPoolExecutor`.  Either
-    way a SIGTERM lets in-flight shards checkpoint and then raises
+    Delegates to :func:`repro.engine.supervise.run_supervised` — bounded
+    per-shard retries, pool self-healing, watchdog, quarantine — and
+    returns the quarantined shards' failures (empty on a clean run).
+    With ``executor`` (the daemon's persistent pool) shards are submitted
+    there; otherwise ``jobs`` decides between the in-process sequential
+    loop and a supervisor-owned :class:`ProcessPoolExecutor`.  Either way
+    a SIGTERM lets in-flight shards checkpoint and then raises
     :class:`DrainRequested` instead of losing work.
     """
-    total = len(pending)
-    if executor is None and (jobs <= 1 or total <= 1):
-        previous = install_drain_handler()
-        try:
-            for position, shard in enumerate(pending):
-                if drain_requested():
-                    raise DrainRequested(completed=position, total=total)
-                run_shard(root, shard, tool, tool_kwargs, classify, kernel)
-        finally:
-            _restore_sigterm(previous)
-        return
-    owns_pool = executor is None
-    previous = install_drain_handler() if owns_pool else None
-    if owns_pool:
-        context = multiprocessing.get_context(_pick_start_method())
-        pool: concurrent.futures.Executor = (
-            concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, total), mp_context=context
-            )
-        )
-    else:
-        pool = executor
+    owns_process = executor is None
+    previous = install_drain_handler() if owns_process else None
     try:
-        futures = [
-            pool.submit(
-                run_shard, root, shard, tool, tool_kwargs, classify, kernel
-            )
-            for shard in pending
-        ]
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                future.result()  # re-raise the first worker failure
-        except concurrent.futures.process.BrokenProcessPool:
-            # A worker exiting after a drain checkpoint breaks the pool by
-            # design; only translate when a drain was actually requested.
-            if drain_requested():
-                checkpointed = set(
-                    Workdir(root).completed_shards(tool, max(pending) + 1)
-                )
-                done = sum(1 for shard in pending if shard in checkpointed)
-                raise DrainRequested(completed=done, total=total) from None
-            raise
-        if drain_requested() and owns_pool:
-            # The signal arrived after the last shard checkpointed: all
-            # work is done, so complete normally.
-            pass
+        return run_supervised(
+            root, pending, tool, tool_kwargs, jobs, classify, kernel,
+            executor=executor, policy=policy,
+        )
     finally:
-        if owns_pool:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if owns_process:
             _restore_sigterm(previous)
 
 
@@ -203,7 +172,12 @@ def _run(
     tool_kwargs: Optional[Dict],
     kernel: str,
     executor: Optional[concurrent.futures.Executor] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> MergedReport:
+    # Usage errors (unknown kernel mode, --kernel fused on a kernel-less
+    # tool) must fail fast, not be retried and quarantined as if the
+    # shards themselves were poisoned.
+    resolve_kernel(kernel, tool)
     owns_workdir = workdir is None
     root = workdir if workdir is not None else tempfile.mkdtemp(
         prefix="repro-engine-"
@@ -243,15 +217,57 @@ def _run(
             "engine.analyze",
             tool=tool, jobs=jobs, shards=count, pending=len(pending),
         ):
-            _run_pending(
+            failures = list(_run_pending(
                 root, pending, tool, tool_kwargs, jobs, classify, kernel,
-                executor=executor,
+                executor=executor, policy=policy,
+            ))
+        failed = {failure.shard for failure in failures}
+        survivors = set(wd.completed_shards(tool, count))
+        redo = [
+            shard for shard in range(count)
+            if shard not in survivors and shard not in failed
+        ]
+        if redo:
+            # A checkpoint that reported success but does not validate at
+            # merge time (torn write): those shards were quarantined by
+            # ``completed_shards`` above — recompute them under the same
+            # supervision before giving up on them.
+            failures.extend(_run_pending(
+                root, redo, tool, tool_kwargs, jobs, classify, kernel,
+                executor=executor, policy=policy,
+            ))
+            failed = {failure.shard for failure in failures}
+            survivors = set(wd.completed_shards(tool, count))
+        quarantined = sorted(set(range(count)) - survivors)
+        if not survivors:
+            first = failures[0].error if failures else "no checkpoints"
+            raise QuarantineExhausted(
+                f"all {count} shard(s) failed analysis "
+                f"(first error: {first})"
             )
-        payloads = load_payloads(wd, tool, count)
+        payloads = [
+            wd.read_result(tool, shard) for shard in sorted(survivors)
+        ]
         if obs.enabled():
             _emit_shard_spans(payloads, set(pending), tool, submitted)
         with obs.span("engine.merge", tool=tool, shards=count):
             report = merge_shard_results(payloads)
+        if quarantined:
+            by_shard = {failure.shard: failure for failure in failures}
+            report.degraded = {
+                "quarantined_shards": quarantined,
+                "shards_total": count,
+                "failures": [
+                    by_shard[shard].to_json()
+                    if shard in by_shard
+                    else {
+                        "shard": shard,
+                        "attempts": 0,
+                        "error": "checkpoint invalid at merge",
+                    }
+                    for shard in quarantined
+                ],
+            }
         obs.record_rules(tool, report.stats)
         return report
     finally:
@@ -300,12 +316,15 @@ def check_events(
     tool_kwargs: Optional[Dict] = None,
     kernel: str = "auto",
     executor: Optional[concurrent.futures.Executor] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> MergedReport:
     """Shard-check an in-memory event sequence (or any one-shot iterable).
 
     ``executor`` lends the run an already-running pool (the daemon keeps
     one across jobs to amortize worker startup); without it, ``jobs``
-    decides whether a throwaway pool is spun up.
+    decides whether a throwaway pool is spun up.  ``policy`` tunes the
+    supervisor (retries, shard watchdog, run deadline — see
+    :class:`repro.engine.supervise.RetryPolicy`).
     """
     return _run(
         lambda: iter(events),
@@ -318,6 +337,7 @@ def check_events(
         tool_kwargs,
         kernel,
         executor=executor,
+        policy=policy,
     )
 
 
@@ -334,6 +354,7 @@ def check_trace_file(
     tool_kwargs: Optional[Dict] = None,
     kernel: str = "auto",
     executor: Optional[concurrent.futures.Executor] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> MergedReport:
     """Shard-check a serialized trace file, streaming it during partition.
 
@@ -364,4 +385,5 @@ def check_trace_file(
         tool_kwargs,
         kernel,
         executor=executor,
+        policy=policy,
     )

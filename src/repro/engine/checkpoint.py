@@ -15,8 +15,13 @@ never finished::
                                     one checkpoint per (tool, shard); the
                                     file's existence is the progress record
 
-Every write here is atomic (temp file + ``os.replace``): a killed worker
-leaves either a complete checkpoint or none, never a truncated one.
+Every write here is atomic and durable (temp file + ``fsync`` +
+``os.replace``): a killed worker leaves either a complete checkpoint or
+none, never a truncated one.  Against disks and file systems that break
+that promise anyway, :meth:`Workdir.completed_shards` *validates* each
+checkpoint before trusting it — an unreadable or truncated result file
+is quarantined (renamed ``*.json.corrupt``) and its shard recomputed,
+recorded as ``repro_degraded_total{reason="checkpoint_quarantined"}``.
 Results are grouped per tool so one partition can serve several detectors
 (``--all-tools``) and each resumes independently.
 """
@@ -29,6 +34,8 @@ import pickle
 import re
 import tempfile
 from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro import faults
 
 #: Bump when the shard file or checkpoint format changes incompatibly.
 #: Version 2: shard files hold columnar batches (index/kind/tid/target/site
@@ -43,6 +50,7 @@ class CheckpointError(RuntimeError):
 
 
 _RESULT_FILE = re.compile(r"^shard_\d+\.json$")
+_CORRUPT_FILE = re.compile(r"^shard_\d+\.json\.corrupt$")
 
 
 def _tool_dirname(tool: str) -> str:
@@ -56,6 +64,8 @@ def _atomic_write(path: str, text: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as stream:
             stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
@@ -149,11 +159,41 @@ class Workdir:
             self.results_dir, _tool_dirname(tool), f"shard_{shard:04d}.json"
         )
 
+    def valid_result(self, tool: str, shard: int) -> bool:
+        """True iff ``(tool, shard)`` has a trustworthy checkpoint.
+
+        A checkpoint is trusted only if it parses as JSON and names the
+        shard it claims to checkpoint — a zero-byte or truncated file
+        left by a torn write is *quarantined* (renamed ``*.json.corrupt``,
+        kept for post-mortems) so the shard is recomputed instead of
+        crashing the merge or, worse, being silently trusted.
+        """
+        path = self.result_path(tool, shard)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return False
+        except (OSError, ValueError, UnicodeDecodeError):
+            payload = None
+        if isinstance(payload, dict) and payload.get("shard") == shard:
+            return True
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - raced with a rewrite
+            return False
+        from repro import obs
+
+        obs.record_degraded(
+            "checkpoint_quarantined", tool=tool, shard=shard, path=path
+        )
+        return False
+
     def completed_shards(self, tool: str, nshards: int) -> List[int]:
         return [
             shard
             for shard in range(nshards)
-            if os.path.exists(self.result_path(tool, shard))
+            if self.valid_result(tool, shard)
         ]
 
     def result_files(self) -> List[str]:
@@ -199,7 +239,15 @@ class Workdir:
     def write_result(self, tool: str, shard: int, payload: Dict) -> str:
         path = self.result_path(tool, shard)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        _atomic_write(path, json.dumps(payload) + "\n")
+        text = json.dumps(payload) + "\n"
+        if faults.active():
+            spec = faults.fire("checkpoint.write", tool=tool, shard=shard)
+            if spec is not None and spec.action == "torn":
+                # A torn write that "succeeded": only a prefix reached
+                # the disk.  The validating reader must quarantine it.
+                _atomic_write(path, text[: max(1, len(text) // 2)])
+                return path
+        _atomic_write(path, text)
         return path
 
     def read_result(self, tool: str, shard: int) -> Dict:
@@ -222,5 +270,5 @@ class Workdir:
         except OSError:
             return
         for name in names:
-            if _RESULT_FILE.match(name):
+            if _RESULT_FILE.match(name) or _CORRUPT_FILE.match(name):
                 os.unlink(os.path.join(directory, name))

@@ -50,6 +50,16 @@ class MergedReport:
     classifier_access_counts: Optional[Dict[str, int]] = None
     classifier_variable_counts: Optional[Dict[str, int]] = None
     shard_events: List[int] = field(default_factory=list)
+    #: Partial-failure accounting: ``None`` on a clean run; on a run with
+    #: quarantined shards, ``{"quarantined_shards": [...], "shards_total":
+    #: N, "failures": [{"shard", "attempts", "error"}, ...]}``.  The
+    #: surviving shards' results are exact; the quarantined shards'
+    #: variables are simply *not analyzed* — never guessed at.
+    degraded: Optional[Dict] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded is not None
 
     @property
     def warning_count(self) -> int:
@@ -84,6 +94,7 @@ class MergedReport:
             self.warnings,
             self.suppressed_warnings,
             classifier=classifier,
+            degraded=self.degraded,
         )
 
 

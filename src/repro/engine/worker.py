@@ -34,6 +34,7 @@ import signal
 import time
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.core.detector import CostStats, Detector
 from repro.detectors.registry import make_detector
 from repro.engine.checkpoint import Workdir
@@ -177,8 +178,14 @@ def analyze_shard(
     tool_kwargs: Optional[Dict] = None,
     classify: bool = False,
     kernel: str = "auto",
+    attempt: int = 0,
 ) -> Dict:
     """Run ``tool`` over one shard and checkpoint + return the payload.
+
+    ``attempt`` is the supervisor's retry counter for this shard; it is
+    stable context for fault plans (a plan targeting ``{"shard": 3,
+    "attempt": 0}`` hits exactly the first try, whichever worker process
+    lands it) and is carried in the payload for post-mortems.
 
     The payload carries the shard's wall/CPU timing (two clock reads per
     shard — negligible even with telemetry off) so the parent process can
@@ -186,6 +193,9 @@ def analyze_shard(
     telemetry plumbing; ``started``/``ended`` are ``time.monotonic()``
     values, comparable across processes on one machine.
     """
+    if faults.active():
+        faults.fire("worker.crash", shard=shard, tool=tool, attempt=attempt)
+        faults.fire("worker.hang", shard=shard, tool=tool, attempt=attempt)
     started_monotonic = time.monotonic()
     started_cpu = time.process_time()
     detector: Detector = make_detector(tool, **(tool_kwargs or {}))
@@ -196,15 +206,30 @@ def analyze_shard(
 
         classifier = SharingClassifier()
     if use_fused:
-        columns, indices = load_shard_columns(workdir, shard)
-        run_kernel(tool, columns, indices=indices, detector=detector)
-        events_seen = len(columns)
-        if classifier is not None:
-            # The classifier has no fused form; replay the shard's events
-            # for it alone (the detector's pass above stays columnar).
-            for event in columns.iter_events():
-                classifier.handle(event)
-    else:
+        try:
+            columns, indices = load_shard_columns(workdir, shard)
+            run_kernel(tool, columns, indices=indices, detector=detector)
+        except Exception as error:
+            # Fused-path failure degrades, it does not fail the shard:
+            # rebuild the detector (the kernel may have half-advanced its
+            # shadow state) and redo this shard on the generic object
+            # path, whose output is bit-identical by the equivalence
+            # contract.
+            from repro import obs
+
+            obs.record_degraded(
+                "kernel_fallback", tool=tool, shard=shard, error=str(error)
+            )
+            detector = make_detector(tool, **(tool_kwargs or {}))
+            use_fused = False
+        else:
+            events_seen = len(columns)
+            if classifier is not None:
+                # The classifier has no fused form; replay the shard's
+                # events for it alone (the detector's pass stays columnar).
+                for event in columns.iter_events():
+                    classifier.handle(event)
+    if not use_fused:
         kind_counts: Dict[int, int] = {}
         events_seen = 0
         handle = detector.handle
@@ -225,6 +250,7 @@ def analyze_shard(
     payload = {
         "payload_version": PAYLOAD_VERSION,
         "shard": shard,
+        "attempt": attempt,
         "tool": tool,
         "events": events_seen,
         "kernel": "fused" if use_fused else "generic",
@@ -249,6 +275,7 @@ def run_shard(
     tool_kwargs: Optional[Dict] = None,
     classify: bool = False,
     kernel: str = "auto",
+    attempt: int = 0,
 ) -> int:
     """Multiprocessing entry point: picklable args, result left on disk.
 
@@ -257,9 +284,16 @@ def run_shard(
     only then does the worker exit (child processes with
     :data:`DRAIN_EXIT_CODE`; the in-process sequential path returns
     normally and lets the caller stop at the shard boundary).
+
+    Also adopts any ``REPRO_FAULTS`` plan on first entry, so chaos plans
+    reach spawn-start workers and pool processes re-spawned mid-run, not
+    just fork children.
     """
+    faults.load_from_env_once()
     install_drain_handler()
-    analyze_shard(Workdir(root), shard, tool, tool_kwargs, classify, kernel)
+    analyze_shard(
+        Workdir(root), shard, tool, tool_kwargs, classify, kernel, attempt
+    )
     if multiprocessing.parent_process() is not None and drain_requested():
         # Pool worker: the checkpoint is on disk; exiting here refuses
         # further shards so the parent's drain can proceed.

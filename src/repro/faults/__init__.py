@@ -1,0 +1,166 @@
+"""``repro.faults`` — deterministic, seeded fault injection.
+
+The robustness work (docs/ROBUSTNESS.md) hinges on being able to
+*reproduce* every failure mode: a worker that dies on shard 3's first
+attempt, a checkpoint write torn mid-file, a 503 on the second submit.
+This package holds the process-global fault plan and the ``fire()``
+switch the instrumented call sites poll.
+
+Design constraints, in order:
+
+1. **Zero overhead when no plan is installed.**  ``fire()`` is a single
+   module-global ``is None`` test before anything else — the same
+   pattern ``repro.obs`` uses, gated by the same <2% benchmark bar
+   (``benchmarks/bench_faults_overhead.py``).  Hot loops may hoist the
+   check with :func:`active` and skip per-iteration calls entirely.
+2. **Deterministic.**  All randomness comes from the plan's seed (see
+   :mod:`repro.faults.plan`); call sites pass stable context (shard
+   number, attempt number, tool name) so a plan targets exactly the
+   same hit on every run.
+3. **Crosses process boundaries.**  :func:`install` mirrors the plan
+   into the ``REPRO_FAULTS`` environment variable (inline JSON), and
+   pool workers call :func:`load_from_env_once` on entry — so faults
+   reach spawn-start workers and freshly re-spawned pool processes,
+   not just fork children.
+
+Usage::
+
+    faults.install(faults.load("plan.json"))   # or parse_plan(text)
+    ...
+    spec = faults.fire("checkpoint.write", shard=3)
+    if spec is not None and spec.action == "torn":
+        ...  # site-specific effect
+
+``fire`` raises (or exits, or sleeps) for the generic actions itself;
+site-specific actions come back as the fired spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .plan import (
+    PLAN_SCHEMA,
+    POINTS,
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    load_plan,
+    parse_plan,
+)
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "POINTS",
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "active",
+    "clear",
+    "fire",
+    "install",
+    "load",
+    "load_from_env_once",
+    "parse_plan",
+    "report",
+]
+
+#: Environment variable carrying the plan across process boundaries.
+#: Holds inline JSON (``{...``) or a path to a plan file.
+ENV_VAR = "REPRO_FAULTS"
+
+_PLAN: Optional[FaultPlan] = None
+_ENV_CHECKED = False
+
+
+def active() -> bool:
+    """True when a fault plan is installed in this process."""
+    return _PLAN is not None
+
+
+def current() -> Optional[FaultPlan]:
+    """The installed plan, if any (tests inspect its counters)."""
+    return _PLAN
+
+
+def fire(point: str, **ctx) -> Optional[FaultSpec]:
+    """Poll injection point ``point`` with matching context ``ctx``.
+
+    Returns ``None`` when no plan is installed or nothing fires; raises,
+    exits, or sleeps for generic actions; returns the fired spec for
+    site-specific actions the caller must implement.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    return plan.fire(point, ctx)
+
+
+def install(plan: Optional[FaultPlan], propagate: bool = True) -> None:
+    """Install ``plan`` as this process's fault plan.
+
+    With ``propagate`` (the default) the plan document is mirrored into
+    ``REPRO_FAULTS`` so child processes — including pool workers
+    re-spawned long after startup — inherit it regardless of start
+    method.  Note the mirror is the *document*: children replay the
+    plan from hit zero, which is why worker-side specs match on stable
+    ``(shard, attempt)`` context rather than global hit order.
+    """
+    global _PLAN, _ENV_CHECKED
+    _PLAN = plan
+    _ENV_CHECKED = True
+    if propagate:
+        if plan is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = json.dumps(
+                plan.document, separators=(",", ":")
+            )
+
+
+def load(path: str) -> FaultPlan:
+    """Load and validate a plan file (no install)."""
+    return load_plan(path)
+
+
+def load_from_env_once() -> None:
+    """Install the ``REPRO_FAULTS`` plan if present and not yet checked.
+
+    Called at worker and daemon entry points.  Idempotent per process:
+    after the first call (or any explicit :func:`install`) it is a
+    no-op, so an already-installed plan's counters are never reset
+    mid-run.  A malformed env plan is a hard error — silently ignoring
+    it would turn a chaos test into a false pass.
+    """
+    global _ENV_CHECKED
+    if _ENV_CHECKED:
+        return
+    _ENV_CHECKED = True
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    if raw.lstrip().startswith("{"):
+        plan = parse_plan(raw)
+    else:
+        plan = load_plan(raw)
+    install(plan, propagate=False)
+
+
+def clear() -> None:
+    """Remove the installed plan and its env mirror (test teardown)."""
+    install(None)
+    global _ENV_CHECKED
+    _ENV_CHECKED = False
+
+
+def report():
+    """Hit/fired counters of the installed plan ([] when none)."""
+    plan = _PLAN
+    if plan is None:
+        return []
+    return plan.report()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro import faults
 from repro.core.detector import Detector
 from repro.detectors.registry import make_detector
 from repro.kernels import basicvc, djit, eraser, fasttrack
@@ -80,6 +81,8 @@ def run_kernel(
         raise ValueError(
             f"no fused kernel for {tool!r}; kernel-equipped tools: {known}"
         )
+    if faults.active():
+        faults.fire("kernel.run", tool=tool)
     if detector is None:
         detector = make_detector(tool, **(tool_kwargs or {}))
     return kernel(detector, col, indices)

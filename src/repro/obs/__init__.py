@@ -39,6 +39,11 @@ from repro.obs.metrics import (
     default_registry,
     reset_default_registry,
 )
+from repro.obs.health import (
+    DEGRADED_COUNTER,
+    DEGRADED_REASONS,
+    record_degraded,
+)
 from repro.obs.profile import render_profile
 from repro.obs.rules import (
     EVENTS_COUNTER,
@@ -69,6 +74,8 @@ __all__ = [
     "BatchedCounter",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEGRADED_COUNTER",
+    "DEGRADED_REASONS",
     "EVENTS_COUNTER",
     "EXPOSITION_CONTENT_TYPE",
     "Gauge",
@@ -89,6 +96,7 @@ __all__ = [
     "enabled",
     "log",
     "read_spans",
+    "record_degraded",
     "record_rule_counts",
     "record_rules",
     "render_profile",

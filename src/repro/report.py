@@ -140,10 +140,18 @@ def result_to_json(
     warnings: Iterable[RaceWarning],
     suppressed_warnings: int,
     classifier: Optional[Dict] = None,
+    degraded: Optional[Dict] = None,
 ) -> Dict:
-    """Assemble the ``repro.result/1`` document from its components."""
+    """Assemble the ``repro.result/1`` document from its components.
+
+    ``degraded`` is the engine's partial-failure block (quarantined
+    shards and their post-mortems — see docs/ROBUSTNESS.md).  It is
+    *omitted* from clean results rather than emitted as ``null``, so a
+    healthy run's bytes are unchanged from pre-robustness builds and the
+    differential byte-identity contract keeps holding.
+    """
     warning_records = [warning_to_json(w) for w in warnings]
-    return {
+    document = {
         "schema": RESULT_SCHEMA,
         "tool": tool,
         "events": stats.events,
@@ -153,6 +161,9 @@ def result_to_json(
         "stats": stats_to_json(stats),
         "classifier": classifier,
     }
+    if degraded is not None:
+        document["degraded"] = degraded
+    return document
 
 
 def detector_result(

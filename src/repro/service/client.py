@@ -9,6 +9,14 @@ client never loads the trace into memory, and the daemon spools it to
 disk piece by piece.  ``result_bytes`` returns the response body
 verbatim, which for a finished single-tool job is bit-identical to the
 output of ``repro check --json`` on the same trace.
+
+Resilience (``Client(retries=N)``): transient failures — connection
+resets, dropped responses, HTTP 429/5xx — are retried with capped
+exponential backoff, honoring the daemon's ``Retry-After`` header when
+present.  Every submission carries an idempotency key (a client-
+generated ``key=`` unless the caller supplies one), so a retried POST
+whose first attempt *was* accepted (the 202 just never arrived) maps
+back to the already-queued job instead of analyzing the trace twice.
 """
 
 from __future__ import annotations
@@ -16,10 +24,15 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+import uuid
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import quote, urlencode
 
 _STREAM_CHUNK = 64 * 1024
+
+#: Statuses worth retrying: backpressure and server-side hiccups.  4xx
+#: validation errors are deterministic and never retried.
+RETRYABLE_STATUSES = (429, 500, 502, 503, 504)
 
 #: Content type sent for each streamed trace format.
 _FORMAT_CONTENT_TYPES = {
@@ -77,12 +90,56 @@ class Client:
         host: str = "127.0.0.1",
         port: int = 8077,
         timeout: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.2,
+        backoff_cap_s: float = 5.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
 
     # -- transport -----------------------------------------------------------
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        """Sleep before retry ``attempt``: the daemon's ``Retry-After``
+        when it sent one, else capped exponential backoff."""
+        if retry_after is not None:
+            delay = min(max(0.0, retry_after), self.backoff_cap_s)
+        else:
+            delay = min(self.backoff_s * (2 ** attempt), self.backoff_cap_s)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _with_retries(self, perform: Callable):
+        """Run one request, retrying transport errors and retryable
+        statuses up to ``self.retries`` times.
+
+        ``perform`` is a thunk so each attempt rebuilds its body — a
+        consumed streaming generator is never replayed.  Callers make
+        retried POSTs safe with idempotency keys, not by hoping the
+        first attempt never landed.
+        """
+        attempt = 0
+        while True:
+            try:
+                return perform()
+            except ServiceError as error:
+                if (
+                    attempt >= self.retries
+                    or error.status not in RETRYABLE_STATUSES
+                ):
+                    raise
+                self._backoff(attempt, error.retry_after)
+            except (OSError, http.client.HTTPException):
+                # Connection refused/reset, dropped response, bad status
+                # line: the daemon (or the network) hiccupped mid-flight.
+                if attempt >= self.retries:
+                    raise
+                self._backoff(attempt, None)
+            attempt += 1
 
     def _request(
         self,
@@ -141,14 +198,21 @@ class Client:
         headers: Optional[Dict[str, str]] = None,
         encode_chunked: bool = False,
     ):
-        status, data, response_headers = self._request(
-            method, path, body=body, headers=headers,
-            encode_chunked=encode_chunked,
-        )
-        payload = self._decode(data, response_headers)
-        if status >= 400:
-            raise ServiceError(status, payload, response_headers)
-        return payload
+        def perform():
+            # A callable body yields a fresh (streaming) body per
+            # attempt; a generator could not be replayed after a retry.
+            status, data, response_headers = self._request(
+                method, path,
+                body=body() if callable(body) else body,
+                headers=headers,
+                encode_chunked=encode_chunked,
+            )
+            payload = self._decode(data, response_headers)
+            if status >= 400:
+                raise ServiceError(status, payload, response_headers)
+            return payload
+
+        return self._with_retries(perform)
 
     # -- API -----------------------------------------------------------------
 
@@ -161,12 +225,21 @@ class Client:
         shards: Optional[int] = None,
         kernel: Optional[str] = None,
         fmt: Optional[str] = None,
+        key: Optional[str] = None,
     ) -> Dict:
         """Submit a job from a file (streamed), inline trace text, or a
-        list of JSON event records; returns the accepted job record."""
+        list of JSON event records; returns the accepted job record.
+
+        ``key`` is the idempotency key; by default a fresh one is
+        generated per call, so *retries* of this submission (including
+        ones where the daemon accepted the job but the 202 was lost)
+        resolve to the same job, while separate ``submit()`` calls with
+        identical traces stay separate jobs.
+        """
         sources = sum(x is not None for x in (path, text, events))
         if sources != 1:
             raise ValueError("pass exactly one of path=, text=, events=")
+        key = key or uuid.uuid4().hex
         pairs = [("tool", tool) for tool in tools or []]
         if shards is not None:
             pairs.append(("shards", str(shards)))
@@ -174,6 +247,7 @@ class Client:
             pairs.append(("kernel", kernel))
         if fmt is not None:
             pairs.append(("format", fmt))
+        pairs.append(("key", key))
         # quote_via=quote: tool names like ``DJIT+`` must not become
         # form-encoded spaces.
         query = urlencode(pairs, quote_via=quote)
@@ -185,7 +259,7 @@ class Client:
             return self._json(
                 "POST",
                 url,
-                body=_stream_file(path),
+                body=lambda: _stream_file(path),
                 headers={"Content-Type": content_type},
                 encode_chunked=True,
             )
@@ -202,15 +276,24 @@ class Client:
 
     def result_bytes(self, job_id: str) -> bytes:
         """The finished job's result document, byte-for-byte as served."""
-        status, data, headers = self._request(
-            "GET", f"/v1/jobs/{job_id}/result"
-        )
-        if status >= 400:
-            payload = self._decode(data, headers)
-            if isinstance(payload, dict) and payload.get("state") == "failed":
-                raise JobFailed(job_id, payload.get("error") or "job failed")
-            raise ServiceError(status, payload, headers)
-        return data
+
+        def perform() -> bytes:
+            status, data, headers = self._request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            if status >= 400:
+                payload = self._decode(data, headers)
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("state") == "failed"
+                ):
+                    raise JobFailed(
+                        job_id, payload.get("error") or "job failed"
+                    )
+                raise ServiceError(status, payload, headers)
+            return data
+
+        return self._with_retries(perform)
 
     def result(self, job_id: str) -> Dict:
         return json.loads(self.result_bytes(job_id).decode("utf-8"))
@@ -222,10 +305,15 @@ class Client:
         return self._json("GET", "/healthz")
 
     def metrics(self) -> str:
-        status, data, headers = self._request("GET", "/metrics")
-        if status >= 400:
-            raise ServiceError(status, self._decode(data, headers), headers)
-        return data.decode("utf-8")
+        def perform() -> str:
+            status, data, headers = self._request("GET", "/metrics")
+            if status >= 400:
+                raise ServiceError(
+                    status, self._decode(data, headers), headers
+                )
+            return data.decode("utf-8")
+
+        return self._with_retries(perform)
 
     def wait(
         self,

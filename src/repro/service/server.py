@@ -38,7 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
-from repro import engine, obs
+from repro import engine, faults, obs
 from repro.detectors import DETECTORS, default_tool_kwargs
 from repro.engine.checkpoint import Workdir
 from repro.engine.worker import KERNEL_MODES
@@ -88,6 +88,12 @@ class ServiceConfig:
     #: ``None`` leaves telemetry disabled.  Job lifecycle spans are joined
     #: by job id.
     telemetry: Optional[str] = None
+    #: Wall-clock budget per job attempt; a job past it is killed (its
+    #: finished shards stay checkpointed) and requeued.  ``None`` means
+    #: jobs may run forever.
+    job_timeout: Optional[float] = None
+    #: How many times a timed-out job is requeued before it is failed.
+    max_job_requeues: int = 2
 
 
 class ValidationError(ValueError):
@@ -136,6 +142,7 @@ class RaceService:
         self._started_at = time.monotonic()
         self._threads: List[threading.Thread] = []
         self._stop_event = threading.Event()
+        self._executor_lock = threading.Lock()
 
         metric = self.metrics
         self.m_submitted = metric.counter(
@@ -186,14 +193,17 @@ class RaceService:
             # default registry; the daemon's /metrics registry stays the
             # scrape surface either way.
             obs.enable(self.config.telemetry)
-        if self.config.engine_jobs > 1:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
+        # Quarantine torn job records *before* recovery walks the store:
+        # a record that no longer parses must not crash the restart.
+        scrubbed = self.store.scrub()
+        if scrubbed:
+            obs.log.info(
+                "service.store.scrubbed",
+                f"quarantined {len(scrubbed)} corrupt job record(s) "
+                f"at startup: {', '.join(scrubbed)}",
+                count=len(scrubbed),
             )
-            self.executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.config.engine_jobs, mp_context=context
-            )
+        self._ensure_executor()
         for record in self.store.recoverable():
             # Backpressure protects the daemon from *new* work, not from
             # work it already accepted before the restart: force past the
@@ -214,6 +224,36 @@ class RaceService:
             target=self._evictor, name="ttl-evictor", daemon=True
         )
         evictor.start()
+
+    def _build_executor(self) -> concurrent.futures.Executor:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.engine_jobs, mp_context=context
+        )
+
+    def _ensure_executor(self) -> Optional[concurrent.futures.Executor]:
+        """The persistent engine pool, rebuilt if a prior job broke it.
+
+        The engine survives a pool break *within* a job by falling back
+        to its sequential loop, but a broken persistent pool would then
+        tax every subsequent job with the same fallback; replacing it
+        between jobs restores parallel analysis.  Recorded as
+        ``repro_degraded_total{reason="pool_rebuilt"}``.
+        """
+        if self.config.engine_jobs <= 1:
+            return None
+        with self._executor_lock:
+            executor = self.executor
+            if executor is not None and not getattr(executor, "_broken", False):
+                return executor
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                obs.record_degraded("pool_rebuilt", cause="service_executor")
+            self.executor = self._build_executor()
+            return self.executor
 
     def drain(self, grace: Optional[float] = None) -> None:
         """Stop accepting work; let in-flight shards checkpoint; stop."""
@@ -316,6 +356,9 @@ class RaceService:
             self.m_active.dec(state="running")
             self.m_active.inc(state="queued")
             return
+        except engine.EngineTimeout as error:
+            self._requeue_stuck(job_id, record, error)
+            return
         except Exception as error:  # noqa: BLE001 - runners must survive
             self.store.update(
                 job_id,
@@ -339,17 +382,72 @@ class RaceService:
             "service.job.done", f"job {job_id} done", job=job_id,
         )
 
+    def _requeue_stuck(
+        self, job_id: str, record: Dict, error: Exception
+    ) -> None:
+        """A job blew its ``--job-timeout``: requeue it (finished shards
+        stay checkpointed, so the retry only analyzes the rest) at most
+        ``max_job_requeues`` times, then fail it explicitly."""
+        requeues = int(record.get("requeues") or 0)
+        self.m_active.dec(state="running")
+        if requeues < self.config.max_job_requeues:
+            self.store.update(job_id, state="queued", requeues=requeues + 1)
+            try:
+                # Accepted work bypasses backpressure, like restart
+                # recovery does.
+                self.queue.put(job_id, force=True)
+            except QueueClosed:
+                # Draining: the store says "queued"; the restarted
+                # daemon re-enqueues it.
+                pass
+            self.m_active.inc(state="queued")
+            self.m_queue_depth.set(self.queue.depth)
+            obs.record_degraded(
+                "job_requeued", job=job_id, requeues=requeues + 1,
+                error=str(error),
+            )
+            return
+        self.store.update(
+            job_id,
+            state="failed",
+            finished=time.time(),
+            error=(
+                f"{type(error).__name__}: {error} "
+                f"(gave up after {requeues} requeue(s))"
+            ),
+        )
+        self.m_jobs.inc(state="failed")
+        obs.log.info(
+            "service.job.failed",
+            f"job {job_id} failed after {requeues} requeue(s): {error}",
+            job=job_id,
+        )
+
     def _analyze(self, job_id: str, record: Dict) -> Dict:
         tools = record["tools"]
         fmt = record["format"]
         shards = record["shards"]
         trace_path = self.store.trace_path(job_id, fmt)
         workdir = self.store.workdir(job_id)
+        deadline = (
+            time.monotonic() + self.config.job_timeout
+            if self.config.job_timeout
+            else None
+        )
         results: Dict[str, Dict] = {}
         for position, tool in enumerate(tools):
             kernel = record["kernel"]
             if kernel == "fused" and not has_kernel(tool):
                 kernel = "auto"  # companion tools fall back, as the CLI does
+            policy = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise engine.EngineTimeout(
+                        f"job exceeded its "
+                        f"{self.config.job_timeout:g}s deadline"
+                    )
+                policy = engine.RetryPolicy(deadline_s=remaining)
             started = time.monotonic()
             report = engine.check_trace_file(
                 trace_path,
@@ -362,7 +460,8 @@ class RaceService:
                 classify=True,
                 tool_kwargs=default_tool_kwargs(tool),
                 kernel=kernel,
-                executor=self.executor,
+                executor=self._ensure_executor(),
+                policy=policy,
             )
             elapsed = time.monotonic() - started
             results[tool] = report.to_json()
@@ -461,10 +560,36 @@ def _expand_tools(values: List[str]) -> List[str]:
     return tools
 
 
+def _duplicate_response(handler: "_Handler", record: Dict) -> int:
+    """Answer an idempotent resubmission with the job already accepted
+    under the same client key — never analyze the same trace twice."""
+    # The fresh upload's body may be partly unread; don't let a
+    # kept-alive connection misparse the remainder as a request.
+    handler.close_connection = True
+    return handler.send_api_json(
+        202,
+        {
+            "id": record["id"],
+            "state": record.get("state", "queued"),
+            "tools": record.get("tools", []),
+            "shards": record.get("shards"),
+            "kernel": record.get("kernel"),
+            "format": record.get("format"),
+            "key": record.get("key"),
+            "duplicate": True,
+        },
+    )
+
+
 def h_submit(handler: "_Handler", service: RaceService,
              params: Dict[str, str], query: Dict[str, List[str]]) -> int:
     if service.draining:
         return handler.send_api_error(503, "daemon is draining")
+    key = _first(query, "key")
+    if key:
+        existing = service.store.find_by_key(key)
+        if existing is not None:
+            return _duplicate_response(handler, existing)
     if service.queue.depth >= service.queue.maxsize:
         service.m_rejected.inc()
         return handler.send_api_error(
@@ -504,6 +629,11 @@ def h_submit(handler: "_Handler", service: RaceService,
                 )
         kernel = kernel or envelope.get("kernel")
         fmt = fmt or envelope.get("format")
+        if not key and envelope.get("key"):
+            key = str(envelope["key"])
+            existing = service.store.find_by_key(key)
+            if existing is not None:
+                return _duplicate_response(handler, existing)
         if "events" in envelope:
             if not isinstance(envelope["events"], list):
                 raise ValidationError("'events' must be a list of records")
@@ -523,7 +653,7 @@ def h_submit(handler: "_Handler", service: RaceService,
         spec = service.build_spec(
             tools or ["FastTrack"], shards, kernel or "auto", fmt
         )
-        record = service.store.create(spec)
+        record = service.store.create(spec, key=key)
         try:
             with open(
                 service.store.trace_path(record["id"], fmt),
@@ -542,7 +672,7 @@ def h_submit(handler: "_Handler", service: RaceService,
         spec = service.build_spec(
             tools or ["FastTrack"], shards, kernel or "auto", fmt
         )
-        record = service.store.create(spec)
+        record = service.store.create(spec, key=key)
         try:
             with open(service.store.trace_path(record["id"], fmt), "wb") as out:
                 for chunk in handler.read_body():
@@ -570,6 +700,7 @@ def h_submit(handler: "_Handler", service: RaceService,
             "shards": record["shards"],
             "kernel": record["kernel"],
             "format": record["format"],
+            "key": record.get("key"),
         },
     )
 
@@ -731,6 +862,26 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         code = 500
         try:
+            injected = (
+                faults.fire("http.request", method=method, route=route_label)
+                if faults.active()
+                else None
+            )
+            if injected is not None:
+                if injected.action == "reset":
+                    # Close without writing a response: the client sees
+                    # the connection drop mid-request, exactly like a
+                    # daemon crash between accept and reply.
+                    raise ConnectionResetError("injected connection reset")
+                if injected.action == "stall":
+                    time.sleep(injected.delay_s)  # then serve normally
+                elif injected.action == "status":
+                    code = self.send_api_error(
+                        injected.status,
+                        f"injected fault: HTTP {injected.status}",
+                        headers={"Retry-After": f"{injected.delay_s:g}"},
+                    )
+                    return
             if match.route is None:
                 if match.allowed:
                     code = self.send_api_error(
@@ -832,6 +983,7 @@ def start_in_thread(config: ServiceConfig) -> ServiceHandle:
 def serve(config: ServiceConfig) -> int:
     """Run the daemon in the foreground until SIGTERM/SIGINT, then
     drain: stop accepting, let in-flight shards checkpoint, exit 0."""
+    faults.load_from_env_once()  # chaos harnesses arm daemons via env
     service = RaceService(config)
     service.start()
     httpd = build_httpd(service)

@@ -16,6 +16,16 @@ Terminal jobs are evicted ``ttl_seconds`` after they finish.
 
 Job ids embed a millisecond timestamp so listing order is creation
 order, plus random bits so concurrent submissions never collide.
+Clients may also attach their own idempotency ``key`` to a submission;
+:meth:`JobStore.find_by_key` lets the daemon answer a resubmission with
+the job it already accepted instead of analyzing the trace twice.
+
+Records are written temp-file + ``fsync`` + ``os.replace``, so a killed
+daemon leaves complete records or none.  Against storage that tears
+writes anyway, :meth:`JobStore.scrub` (run at startup, before recovery)
+moves any job directory whose record no longer parses into
+``STORE/quarantine/`` — kept for post-mortems, never re-enqueued —
+recorded as ``repro_degraded_total{reason="store_quarantined"}``.
 """
 
 from __future__ import annotations
@@ -28,15 +38,30 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro import faults
+
 ACTIVE_STATES = ("queued", "running")
 TERMINAL_STATES = ("done", "failed")
 
 
 def _atomic_write(path: str, text: str) -> None:
+    if faults.active():
+        spec = faults.fire(
+            "store.write",
+            file=os.path.basename(path),
+            job=os.path.basename(os.path.dirname(path)),
+        )
+        if spec is not None and spec.action == "torn":
+            # Simulate a torn write that "succeeded": only a prefix of
+            # the record reached the disk.  Readers must treat the file
+            # as absent and the scrub must quarantine the job.
+            text = text[: max(1, len(text) // 2)]
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as stream:
             stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
@@ -51,6 +76,7 @@ class JobStore:
         self.root = root
         self.ttl_seconds = ttl_seconds
         self.jobs_dir = os.path.join(root, "jobs")
+        self.quarantine_dir = os.path.join(root, "quarantine")
         os.makedirs(self.jobs_dir, exist_ok=True)
         self._lock = threading.Lock()
         self._counter = 0
@@ -85,7 +111,7 @@ class JobStore:
             f"{serial % 0x10000:04x}{os.urandom(3).hex()}"
         )
 
-    def create(self, spec: Dict) -> Dict:
+    def create(self, spec: Dict, key: Optional[str] = None) -> Dict:
         """Create a job directory and its initial ``queued`` record."""
         job_id = self._new_id()
         os.makedirs(self.job_dir(job_id))
@@ -97,6 +123,7 @@ class JobStore:
             "finished": None,
             "error": None,
             "progress": {},
+            "key": key,
             **spec,
         }
         _atomic_write(
@@ -164,6 +191,51 @@ class JobStore:
             for record in self.list_jobs()
             if record.get("state") in ACTIVE_STATES
         ]
+
+    def find_by_key(self, key: str) -> Optional[Dict]:
+        """The job a client already submitted under this idempotency
+        key, if any — a resubmission (after a lost 202, a connection
+        reset, a client retry) maps back to it instead of duplicating
+        the analysis."""
+        for record in self.list_jobs():
+            if record.get("key") == key:
+                return record
+        return None
+
+    def scrub(self) -> List[str]:
+        """Quarantine job directories whose record no longer parses.
+
+        Run at daemon startup, *before* restart recovery: a torn
+        ``job.json`` (power loss, full disk, bad storage) must neither
+        crash recovery nor be silently deleted.  The whole directory is
+        moved to ``STORE/quarantine/`` for post-mortems and the incident
+        is recorded as ``repro_degraded_total{reason="store_quarantined"}``.
+        Returns the quarantined job ids.
+        """
+        quarantined: List[str] = []
+        try:
+            names = sorted(os.listdir(self.jobs_dir))
+        except OSError:
+            return quarantined
+        for name in names:
+            path = os.path.join(self.jobs_dir, name)
+            if not os.path.isdir(path):
+                continue
+            if self.read(name) is not None:
+                continue
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            destination = os.path.join(self.quarantine_dir, name)
+            if os.path.exists(destination):
+                shutil.rmtree(destination, ignore_errors=True)
+            try:
+                shutil.move(path, destination)
+            except OSError:
+                continue
+            quarantined.append(name)
+            from repro import obs
+
+            obs.record_degraded("store_quarantined", job=name)
+        return quarantined
 
     # -- TTL eviction --------------------------------------------------------
 

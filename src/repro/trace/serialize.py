@@ -38,6 +38,7 @@ import json
 import re
 from typing import Hashable, Iterable, Iterator, Optional, TextIO, Tuple, Union
 
+from repro import faults
 from repro.trace import events as ev
 from repro.trace.trace import Trace
 
@@ -180,6 +181,53 @@ def parse_event(line: str) -> ev.Event:
     return ev.Event(kind, tid, target, site)
 
 
+def _numbered_lines(lines: Iterable[str]) -> Iterator[Tuple[int, str]]:
+    """Number a line stream, surviving mid-stream byte rot.
+
+    Reading an open file iterates it lazily, so a non-UTF-8 byte half-way
+    through a multi-gigabyte trace raises ``UnicodeDecodeError`` *during*
+    iteration — long after parsing started.  Every streaming parser draws
+    its lines from here so that failure (and any injected ``trace.read``
+    fault) surfaces as a :class:`TraceParseError` with the 1-based line
+    number, never as a bare codec exception from deep inside the engine.
+    """
+    if not faults.active():
+        # The production path: plain enumerate, one enclosing handler.
+        # A decode error aborts the enumerate itself, so the failing
+        # line is the one after the last line yielded.
+        lineno = 0
+        try:
+            for lineno, raw_line in enumerate(lines, start=1):
+                yield lineno, raw_line
+        except UnicodeDecodeError as error:
+            raise TraceParseError(
+                f"trace is not valid UTF-8 "
+                f"({error.reason} at byte {error.start})",
+                lineno=lineno + 1,
+            ) from None
+        return
+    # A fault plan is armed: poll ``trace.read`` per line, and keep the
+    # per-line handler so an injected decode failure is attributed too.
+    iterator = iter(lines)
+    lineno = 0
+    while True:
+        lineno += 1
+        try:
+            raw_line = next(iterator)
+        except StopIteration:
+            return
+        except UnicodeDecodeError as error:
+            raise TraceParseError(
+                f"trace is not valid UTF-8 "
+                f"({error.reason} at byte {error.start})",
+                lineno=lineno,
+            ) from None
+        spec = faults.fire("trace.read", lineno=lineno)
+        if spec is not None and spec.action == "corrupt":
+            raw_line = "\x00<injected corrupt bytes>\x00"
+        yield lineno, raw_line
+
+
 def iter_parse_parts(
     lines: Iterable[str],
 ) -> Iterator[Tuple[int, int, Hashable, Optional[str]]]:
@@ -188,7 +236,7 @@ def iter_parse_parts(
     The event-free twin of :func:`iter_parse`: comments and blank lines are
     skipped, and errors carry the 1-based line number and offending text.
     """
-    for lineno, raw_line in enumerate(lines, start=1):
+    for lineno, raw_line in _numbered_lines(lines):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
@@ -211,7 +259,7 @@ def iter_parse(lines: Iterable[str]) -> Iterator[ev.Event]:
     entry point the sharded engine uses: it never materializes the full
     event list, so traces larger than memory can be partitioned.
     """
-    for lineno, raw_line in enumerate(lines, start=1):
+    for lineno, raw_line in _numbered_lines(lines):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
@@ -270,14 +318,23 @@ def event_parts_from_json(
 ) -> Tuple[int, int, Hashable, Optional[Hashable]]:
     """Decode one JSONL record to ``(kind, tid, target, site)`` (the
     allocation-light core of :func:`event_from_json`)."""
+    if not isinstance(record, dict):
+        raise TraceParseError(
+            f"event record must be a JSON object, got {record!r}"
+        )
     try:
         kind = _KIND_BY_NAME[record["op"]]
-    except KeyError:
+    except (KeyError, TypeError):
         raise TraceParseError(f"unknown operation in record {record!r}")
-    target = _target_from_json(record["target"])
-    if kind == ev.BARRIER_RELEASE:
-        return kind, -1, tuple(sorted(target)), None
-    return kind, record["tid"], target, record.get("site")
+    try:
+        target = _target_from_json(record["target"])
+        if kind == ev.BARRIER_RELEASE:
+            return kind, -1, tuple(sorted(target)), None
+        return kind, record["tid"], target, record.get("site")
+    except (KeyError, TypeError) as error:
+        raise TraceParseError(
+            f"bad event record {record!r}: {error}"
+        ) from None
 
 
 def event_from_json(record: dict) -> ev.Event:
@@ -289,7 +346,7 @@ def iter_parse_parts_jsonl(
     lines: Iterable[str],
 ) -> Iterator[Tuple[int, int, Hashable, Optional[Hashable]]]:
     """Stream-parse JSON lines to ``(kind, tid, target, site)`` tuples."""
-    for lineno, raw_line in enumerate(lines, start=1):
+    for lineno, raw_line in _numbered_lines(lines):
         line = raw_line.strip()
         if not line:
             continue
@@ -313,7 +370,7 @@ def dumps_jsonl(trace: Iterable[ev.Event]) -> str:
 
 def iter_parse_jsonl(lines: Iterable[str]) -> Iterator[ev.Event]:
     """Stream-parse JSON lines; errors carry the line number and text."""
-    for lineno, raw_line in enumerate(lines, start=1):
+    for lineno, raw_line in _numbered_lines(lines):
         line = raw_line.strip()
         if not line:
             continue
