@@ -33,12 +33,16 @@ OBS_BENCH_RESULTS = {}
 #: And for the fault-injection overhead gate → BENCH_faults.json.
 FAULTS_BENCH_RESULTS = {}
 
+#: And for the predictive-detector overhead sweep → BENCH_predict.json.
+PREDICT_BENCH_RESULTS = {}
+
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
 _KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
 _SERVICE_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
 _OBS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_obs.json")
 _FAULTS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_faults.json")
+_PREDICT_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_predict.json")
 
 
 @pytest.fixture(scope="session")
@@ -76,6 +80,12 @@ def faults_bench_recorder():
     return FAULTS_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def predict_bench_recorder():
+    """Session-wide dict for WCP-vs-FastTrack numbers (→ BENCH_predict.json)."""
+    return PREDICT_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
@@ -88,6 +98,7 @@ def pytest_sessionfinish(session, exitstatus):
         (SERVICE_BENCH_RESULTS, _SERVICE_JSON_PATH),
         (OBS_BENCH_RESULTS, _OBS_JSON_PATH),
         (FAULTS_BENCH_RESULTS, _FAULTS_JSON_PATH),
+        (PREDICT_BENCH_RESULTS, _PREDICT_JSON_PATH),
     ):
         if not results:
             continue

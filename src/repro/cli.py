@@ -16,6 +16,7 @@
     repro submit tsp.trace --wait       send a trace to a running daemon
     repro status JOB / repro result JOB poll a daemon job / fetch its result
     repro annotate small.trace          print per-event vector clocks
+    repro predict small.trace           WCP predictive races + vindication
     repro bench table1                  regenerate the paper's tables
 
 Trace files use the text format of :mod:`repro.trace.serialize` (the
@@ -36,7 +37,12 @@ import sys
 from typing import List, Optional
 
 from repro.bench.workload import WORKLOADS
-from repro.detectors import DETECTORS, default_tool_kwargs, make_detector
+from repro.detectors import (
+    DETECTORS,
+    default_tool_kwargs,
+    make_detector,
+    resolve_tool_name,
+)
 from repro.trace import serialize
 from repro.trace.clocks import annotate as annotate_clocks
 from repro.trace.feasibility import check_feasible
@@ -86,6 +92,7 @@ def cmd_tools(_args) -> int:
         "BasicVC": "read+write vector clock per location",
         "DJIT+": "epoch-fast-pathed vector clocks [30]",
         "FastTrack": "adaptive epochs (this paper)",
+        "WCP": "weak-causally-precedes, predictive (repro predict)",
     }
     for name, cls in DETECTORS.items():
         flag = "yes" if cls.precise else "no"
@@ -532,6 +539,49 @@ def cmd_annotate(args) -> int:
     return 0
 
 
+def cmd_predict(args) -> int:
+    """Windowed predictive race detection: WCP candidates + vindication."""
+    import json as _json
+
+    from repro.predict import predict_races
+
+    try:
+        trace = _read_trace(args.trace, args.format)
+    except serialize.TraceParseError as error:
+        _print_parse_error(args.trace, error)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = predict_races(trace, window=args.window)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        events = list(trace)
+        for race in report.races:
+            c = race.candidate
+            print(
+                f"{race.status:<13s} {c.kind} on {c.var!r}: "
+                f"thread {c.earlier_tid} (event #{c.earlier_index}) vs "
+                f"thread {c.later_tid} (event #{c.later_index})"
+            )
+            if race.witness is not None and args.verbose:
+                for pos in race.witness.order:
+                    print(
+                        f"    #{pos:<5d} "
+                        f"{serialize.format_event(events[pos])}"
+                    )
+        real = len(report.observed) + len(report.vindicated)
+        print(
+            f"{report.events} events: {real} race(s) "
+            f"({len(report.observed)} observed, "
+            f"{len(report.vindicated)} predicted+vindicated), "
+            f"{len(report.unvindicated)} unvindicated candidate(s), "
+            f"{len(report.by_status('out-of-window'))} out of window"
+        )
+    return 1 if (report.observed or report.vindicated) else 0
+
+
 def cmd_compose(args) -> int:
     """RoadRunner's ``-tool FastTrack:Velodrome`` chaining, verbatim."""
     from repro.checkers import Atomizer, SingleTrack, Velodrome
@@ -739,7 +789,10 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="run a detector over a trace file")
     check.add_argument("trace")
     check.add_argument(
-        "--tool", default="FastTrack", choices=list(DETECTORS)
+        "--tool",
+        default="FastTrack",
+        type=resolve_tool_name,
+        choices=list(DETECTORS),
     )
     check.add_argument(
         "--all-tools", action="store_true", help="run every detector"
@@ -815,6 +868,35 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("-v", "--verbose", action="store_true")
     check.set_defaults(func=cmd_check)
 
+    predict = sub.add_parser(
+        "predict",
+        help="predictive race detection: WCP candidates vindicated "
+        "against feasible reorderings (docs/PREDICT.md)",
+    )
+    predict.add_argument("trace")
+    predict.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max reordering distance (trace positions) a candidate may "
+        "span; farther pairs are reported out-of-window unvindicated "
+        "(default: unbounded)",
+    )
+    predict.add_argument("--format", choices=("text", "jsonl"), default="text")
+    predict.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.predict/1 JSON document",
+    )
+    predict.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print each vindicated witness reordering",
+    )
+    predict.set_defaults(func=cmd_predict)
+
     profile = sub.add_parser(
         "profile",
         help="profile a trace: rule frequencies, stage timings, shard "
@@ -822,7 +904,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("trace")
     profile.add_argument(
-        "--tool", default="FastTrack", choices=list(DETECTORS)
+        "--tool",
+        default="FastTrack",
+        type=resolve_tool_name,
+        choices=list(DETECTORS),
     )
     profile.add_argument(
         "--all-tools", action="store_true", help="profile every detector"
@@ -908,7 +993,12 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a trace file to a running daemon"
     )
     submit.add_argument("trace")
-    submit.add_argument("--tool", default="FastTrack", choices=list(DETECTORS))
+    submit.add_argument(
+        "--tool",
+        default="FastTrack",
+        type=resolve_tool_name,
+        choices=list(DETECTORS),
+    )
     submit.add_argument(
         "--all-tools", action="store_true", help="run every detector"
     )

@@ -13,7 +13,11 @@ Goldilocks      yes        synchronization-device locksets [14]
 BasicVC         yes        read + write vector clock per location
 DJIT+           yes        epoch-optimized vector clocks [30]
 FastTrack       yes        this paper
+WCP             no*        weak-causally-precedes (predictive; repro.predict)
 ==============  =========  ====================================================
+
+(* WCP's extra reports are candidates made precise by vindication —
+:mod:`repro.predict.vindicate` — not by Theorem 1; see docs/PREDICT.md.)
 """
 
 from repro.detectors.base import (
@@ -37,7 +41,9 @@ from repro.detectors.registry import (
     PRECISE_DETECTORS,
     default_tool_kwargs,
     make_detector,
+    resolve_tool_name,
 )
+from repro.predict.wcp import WCPDetector
 
 __all__ = [
     "CostStats",
@@ -53,9 +59,11 @@ __all__ = [
     "MultiRace",
     "Goldilocks",
     "FastTrack",
+    "WCPDetector",
     "SharingClassifier",
     "DETECTORS",
     "PRECISE_DETECTORS",
     "default_tool_kwargs",
     "make_detector",
+    "resolve_tool_name",
 ]

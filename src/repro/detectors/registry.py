@@ -1,4 +1,5 @@
-"""Registry of the seven tools, in the paper's Table 1 column order."""
+"""Registry of the tools: the paper's seven (Table 1 column order) plus
+the predictive family (``repro.predict``)."""
 
 from __future__ import annotations
 
@@ -12,6 +13,7 @@ from repro.detectors.empty import Empty
 from repro.detectors.eraser import Eraser
 from repro.detectors.goldilocks import Goldilocks
 from repro.detectors.multirace import MultiRace
+from repro.predict.wcp import WCPDetector
 
 DETECTORS: Dict[str, Type[Detector]] = {
     "Empty": Empty,
@@ -21,10 +23,22 @@ DETECTORS: Dict[str, Type[Detector]] = {
     "BasicVC": BasicVC,
     "DJIT+": DJITPlus,
     "FastTrack": FastTrack,
+    "WCP": WCPDetector,
 }
 
 #: The tools that never report false alarms (Theorem 1 and its analogues).
+#: WCP is deliberately absent: its extra reports are *candidates* made
+#: precise by vindication (repro.predict), not by the observed order.
 PRECISE_DETECTORS = ("Goldilocks", "BasicVC", "DJIT+", "FastTrack")
+
+_CANONICAL = {name.lower(): name for name in DETECTORS}
+
+
+def resolve_tool_name(name: str) -> str:
+    """Canonicalize a tool name, case-insensitively (``wcp`` → ``WCP``,
+    ``fasttrack`` → ``FastTrack``).  Unknown names pass through unchanged
+    so the caller's own unknown-tool error fires with the original text."""
+    return _CANONICAL.get(name.strip().lower(), name)
 
 
 def default_tool_kwargs(name: str) -> Dict[str, object]:

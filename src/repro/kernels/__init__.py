@@ -36,7 +36,7 @@ from typing import Dict, Optional, Sequence
 from repro import faults
 from repro.core.detector import Detector
 from repro.detectors.registry import make_detector
-from repro.kernels import basicvc, djit, eraser, fasttrack
+from repro.kernels import basicvc, djit, eraser, fasttrack, wcp
 
 #: Tool name → fused kernel entry point ``run(detector, col, indices)``.
 KERNELS = {
@@ -44,6 +44,7 @@ KERNELS = {
     "DJIT+": djit.run,
     "Eraser": eraser.run,
     "BasicVC": basicvc.run,
+    "WCP": wcp.run,
 }
 
 #: The kernel-equipped tools, in registry order.

@@ -1,0 +1,32 @@
+"""repro.predict: predictive race detection (WCP + vindication).
+
+The observed-order tools (``repro.core``, ``repro.detectors``) report
+races visible in the interleaving the scheduler happened to produce.
+This package predicts races in *feasible reorderings* of the same trace:
+:class:`WCPDetector` computes the weak-causally-precedes ordering (lock
+edges only between conflicting critical sections), and
+:mod:`repro.predict.vindicate` turns its candidate pairs into concrete
+witness reorderings validated by :func:`repro.trace.feasibility.check_feasible`.
+See docs/PREDICT.md.
+"""
+
+from repro.predict.vindicate import (
+    PredictedRace,
+    PredictionReport,
+    Witness,
+    build_witness,
+    predict_races,
+    vindicate,
+)
+from repro.predict.wcp import RaceCandidate, WCPDetector
+
+__all__ = [
+    "PredictedRace",
+    "PredictionReport",
+    "RaceCandidate",
+    "WCPDetector",
+    "Witness",
+    "build_witness",
+    "predict_races",
+    "vindicate",
+]

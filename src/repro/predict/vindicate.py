@@ -1,0 +1,475 @@
+"""Vindication: turn WCP candidates into feasibility-checked witnesses.
+
+A :class:`~repro.predict.wcp.RaceCandidate` claims that two conflicting
+accesses *could* race in some feasible reordering of the observed trace.
+This module either constructs that reordering — a **witness** trace in
+which the two accesses are adjacent — or rejects the candidate.  A
+candidate with a witness is *vindicated*: the witness is validated with
+:func:`repro.trace.feasibility.check_feasible`, so every Section 2.1
+constraint (lock discipline, fork/join boundaries, barrier membership)
+provably holds in the reordered execution.
+
+Witness shape
+-------------
+
+A witness is a reordering of a *per-thread-prefix-closed* subset of the
+original trace: for every thread we keep a prefix of its operations (the
+events its racing access control-depends on), drop the rest, and append
+the two racing accesses last.  Because nothing separates the final two
+events, they are adjacent and mutually unordered in the witness — which
+is exactly the definition of a race exhibited by that execution.
+
+Construction has two phases:
+
+1. **Closure** — starting from the racing accesses' thread prefixes,
+   grow per-thread cutoffs until every control dependence is inside the
+   witness: a required event of a forked thread pulls in its ``fork``; a
+   required ``join`` pulls in the child's entire history; a required
+   barrier pulls in every member's prefix; a required access pulls in
+   all earlier *conflicting* accesses of the same variable (volatile
+   operations conflict alike), so every read in the witness sees the
+   write it saw in the original trace (the sync-preserving discipline).
+   The closure **fails** — the candidate is not vindicated — when it
+   would force an event past one of the racing accesses (the observed
+   order is control-forced) or require an intervening conflicting access
+   between the pair.
+
+2. **Scheduling** — the required events are interleaved by a greedy
+   deterministic scheduler: repeatedly run the *enabled* event with the
+   smallest original position.  Lock acquires are enabled only while the
+   lock is free; an acquire whose matching release fell outside the
+   witness is deferred until no other thread still needs the lock (so
+   complete critical sections jump ahead of dangling ones — this is the
+   reordering that exposes coincidentally lock-ordered races).  Joins
+   wait for the child's events, barriers for every member, and accesses
+   for their conflicting predecessors.  If no event is enabled the
+   schedule deadlocks and the candidate is rejected.
+
+The scheduler's constraints imply Section 2.1 feasibility, but the
+returned witness is re-checked with ``check_feasible`` anyway — the
+vindication verdict rests on the checker, not on this module's
+reasoning.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.predict.wcp import RaceCandidate, WCPDetector
+from repro.trace import events as ev
+from repro.trace.feasibility import check_feasible
+from repro.trace.happens_before import HappensBefore
+
+_ACCESS = (ev.READ, ev.WRITE)
+_VOLATILE = (ev.VOLATILE_READ, ev.VOLATILE_WRITE)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A feasible reordering exhibiting a candidate race.
+
+    ``order`` lists original trace positions in witness order; the last
+    two entries are the racing pair, adjacent by construction.
+    """
+
+    candidate: RaceCandidate
+    order: Tuple[int, ...]
+
+    def events(self, events: Sequence[ev.Event]) -> List[ev.Event]:
+        """Materialize the witness against the original event list."""
+        return [events[p] for p in self.order]
+
+
+@dataclass(frozen=True)
+class PredictedRace:
+    """One candidate with its vindication verdict.
+
+    ``status`` is ``observed`` (the pair already races in the observed
+    order — FastTrack sees it too), ``vindicated`` (a feasible witness
+    reordering exists), ``unvindicated`` (no witness found; the report
+    is dropped by precise consumers), or ``out-of-window`` (the pair is
+    further apart than the predictor's reordering window).
+    """
+
+    candidate: RaceCandidate
+    status: str
+    witness: Optional[Witness] = None
+
+
+@dataclass
+class PredictionReport:
+    """The windowed short-race predictor's output for one trace."""
+
+    events: int
+    window: Optional[int]
+    races: List[PredictedRace] = field(default_factory=list)
+
+    def by_status(self, status: str) -> List[PredictedRace]:
+        return [race for race in self.races if race.status == status]
+
+    @property
+    def observed(self) -> List[PredictedRace]:
+        return self.by_status("observed")
+
+    @property
+    def vindicated(self) -> List[PredictedRace]:
+        return self.by_status("vindicated")
+
+    @property
+    def unvindicated(self) -> List[PredictedRace]:
+        return self.by_status("unvindicated")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.predict/1",
+            "events": self.events,
+            "window": self.window,
+            "races": [
+                {
+                    "var": str(race.candidate.var),
+                    "kind": race.candidate.kind,
+                    "earlier_index": race.candidate.earlier_index,
+                    "later_index": race.candidate.later_index,
+                    "earlier_tid": race.candidate.earlier_tid,
+                    "later_tid": race.candidate.later_tid,
+                    "status": race.status,
+                    "witness": (
+                        list(race.witness.order) if race.witness else None
+                    ),
+                }
+                for race in self.races
+            ],
+        }
+
+
+def _conflicts(kind_a: int, kind_b: int) -> bool:
+    """Two same-target operations conflict unless both are reads."""
+    return not (
+        kind_a in (ev.READ, ev.VOLATILE_READ)
+        and kind_b in (ev.READ, ev.VOLATILE_READ)
+    )
+
+
+class _Closure:
+    """Per-thread cutoffs (exclusive original positions) grown to a
+    control-dependence-closed required set."""
+
+    def __init__(self, events: Sequence[ev.Event], i: int, j: int) -> None:
+        self.events = events
+        self.i = i
+        self.j = j
+        self.ti = events[i].tid
+        self.tj = events[j].tid
+        self.cutoff: Dict[int, int] = {self.ti: i, self.tj: j}
+        # Per-thread operation positions (barriers count for every
+        # member, matching the happens-before program-order rules).
+        self.ops: Dict[int, List[int]] = {}
+        self.fork_of: Dict[int, Tuple[int, int]] = {}  # child → (parent, pos)
+        self.groups: Dict[Tuple[str, Hashable], List[int]] = {}
+        for pos, event in enumerate(events):
+            if pos >= j:
+                break
+            kind = event.kind
+            if kind == ev.BARRIER_RELEASE:
+                for member in event.target:
+                    self.ops.setdefault(member, []).append(pos)
+                continue
+            self.ops.setdefault(event.tid, []).append(pos)
+            if kind == ev.FORK:
+                self.fork_of[event.target] = (event.tid, pos)
+            elif kind in _ACCESS:
+                self.groups.setdefault(("v", event.target), []).append(pos)
+            elif kind in _VOLATILE:
+                self.groups.setdefault(("vol", event.target), []).append(pos)
+
+    def _extend(self, tid: int, bound: int) -> bool:
+        if bound > self.cutoff.get(tid, 0):
+            self.cutoff[tid] = bound
+            return True
+        return False
+
+    def _required(self, pos: int) -> bool:
+        event = self.events[pos]
+        if event.kind == ev.BARRIER_RELEASE:
+            cutoff = self.cutoff
+            return any(cutoff.get(m, 0) > pos for m in event.target)
+        return self.cutoff.get(event.tid, 0) > pos
+
+    def _has_required_ops(self, tid: int) -> bool:
+        bound = self.cutoff.get(tid, 0)
+        positions = self.ops.get(tid)
+        return bool(bound and positions) and positions[0] < bound
+
+    def run(self) -> Optional[List[int]]:
+        """Grow cutoffs to fixpoint; return the sorted required
+        positions, or ``None`` when the candidate cannot be vindicated."""
+        events = self.events
+        changed = True
+        while changed:
+            changed = False
+            # Forked threads with events in the witness need their fork
+            # (the racing threads always have events: the pair itself).
+            for tid in list(self.cutoff):
+                if tid in (self.ti, self.tj) or self._has_required_ops(tid):
+                    fork = self.fork_of.get(tid)
+                    if fork is not None:
+                        changed |= self._extend(fork[0], fork[1] + 1)
+            for pos in range(self.j - 1, -1, -1):
+                if not self._required(pos):
+                    continue
+                event = events[pos]
+                kind = event.kind
+                if kind == ev.JOIN:
+                    # The whole child history precedes the join.
+                    child_ops = self.ops.get(event.target, [])
+                    cut = bisect_left(child_ops, pos)
+                    if cut:
+                        changed |= self._extend(
+                            event.target, child_ops[cut - 1] + 1
+                        )
+                elif kind == ev.BARRIER_RELEASE:
+                    for member in event.target:
+                        changed |= self._extend(member, pos)
+                elif kind in _ACCESS or kind in _VOLATILE:
+                    group_key = (
+                        ("v", event.target)
+                        if kind in _ACCESS
+                        else ("vol", event.target)
+                    )
+                    for prior in self.groups.get(group_key, ()):
+                        if prior >= pos:
+                            break
+                        prior_event = events[prior]
+                        if _conflicts(prior_event.kind, kind):
+                            changed |= self._extend(
+                                prior_event.tid, prior + 1
+                            )
+            if self.cutoff[self.ti] > self.i or self.cutoff[self.tj] > self.j:
+                # The observed order is control-forced: some dependence
+                # drags an event past a racing access.
+                return None
+        required: List[int] = []
+        for pos in range(self.j):
+            if self._required(pos):
+                required.append(pos)
+        # An intervening conflicting access to the raced variable would
+        # sit between the pair in every order-preserving witness.
+        var = events[self.j].target
+        i_kind = events[self.i].kind
+        for pos in required:
+            if self.i < pos:
+                event = events[pos]
+                if event.kind in _ACCESS and event.target == var:
+                    if _conflicts(event.kind, i_kind) or _conflicts(
+                        event.kind, events[self.j].kind
+                    ):
+                        return None
+        return required
+
+
+def _schedule(
+    events: Sequence[ev.Event], required: List[int]
+) -> Optional[List[int]]:
+    """Greedy deterministic interleaving of the required events; ``None``
+    on deadlock."""
+    queues: Dict[int, List[int]] = {}
+    pending_acquires: Dict[Hashable, int] = {}
+    has_release: Dict[int, bool] = {}  # acquire pos → matching rel required
+    required_set = set(required)
+    open_release: Dict[Tuple[int, Hashable], int] = {}
+    for pos in reversed(required):
+        event = events[pos]
+        if event.kind == ev.RELEASE:
+            open_release[(event.tid, event.target)] = pos
+        elif event.kind == ev.ACQUIRE:
+            has_release[pos] = (
+                open_release.pop((event.tid, event.target), None) is not None
+            )
+            pending_acquires[event.target] = (
+                pending_acquires.get(event.target, 0) + 1
+            )
+    for pos in required:
+        event = events[pos]
+        if event.kind == ev.BARRIER_RELEASE:
+            for member in event.target:
+                queues.setdefault(member, []).append(pos)
+        else:
+            queues.setdefault(event.tid, []).append(pos)
+
+    executed: set = set()
+    holder: Dict[Hashable, int] = {}
+    started = {
+        tid
+        for tid in queues
+        if not any(
+            events[p].kind == ev.FORK and events[p].target == tid
+            for p in required_set
+        )
+    }
+    group_members: Dict[Tuple[str, Hashable], List[int]] = {}
+    for pos in required:
+        event = events[pos]
+        if event.kind in _ACCESS:
+            group_members.setdefault(("v", event.target), []).append(pos)
+        elif event.kind in _VOLATILE:
+            group_members.setdefault(("vol", event.target), []).append(pos)
+
+    def access_enabled(pos: int, kind: int, key) -> bool:
+        for prior in group_members.get(key, ()):
+            if prior >= pos:
+                return True
+            if prior not in executed and _conflicts(events[prior].kind, kind):
+                return False
+        return True
+
+    order: List[int] = []
+    total = len(required)
+    while len(order) < total:
+        chosen = None
+        for tid, queue in queues.items():
+            if not queue:
+                continue
+            pos = queue[0]
+            if pos in executed:
+                queue.pop(0)
+                continue
+            event = events[pos]
+            kind = event.kind
+            if kind != ev.BARRIER_RELEASE and tid not in started:
+                continue
+            if kind == ev.ACQUIRE:
+                if holder.get(event.target) is not None:
+                    continue
+                if (
+                    not has_release.get(pos, False)
+                    and pending_acquires.get(event.target, 0) > 1
+                ):
+                    # A dangling section would starve later acquires:
+                    # let complete sections go first.
+                    continue
+            elif kind == ev.RELEASE:
+                if holder.get(event.target) != tid:
+                    continue
+            elif kind == ev.JOIN:
+                child_queue = queues.get(event.target)
+                if child_queue and any(
+                    p not in executed for p in child_queue
+                ):
+                    continue
+            elif kind == ev.BARRIER_RELEASE:
+                if any(
+                    not queues.get(m) or queues[m][0] != pos
+                    for m in event.target
+                ):
+                    continue
+            elif kind in _ACCESS:
+                if not access_enabled(pos, kind, ("v", event.target)):
+                    continue
+            elif kind in _VOLATILE:
+                if not access_enabled(pos, kind, ("vol", event.target)):
+                    continue
+            if chosen is None or pos < chosen:
+                chosen = pos
+        if chosen is None:
+            return None  # deadlock: the reordering cannot be realized
+        event = events[chosen]
+        executed.add(chosen)
+        order.append(chosen)
+        if event.kind == ev.BARRIER_RELEASE:
+            for member in event.target:
+                queue = queues.get(member)
+                if queue and queue[0] == chosen:
+                    queue.pop(0)
+                started.add(member)
+        else:
+            queues[event.tid].pop(0)
+            if event.kind == ev.ACQUIRE:
+                holder[event.target] = event.tid
+                pending_acquires[event.target] -= 1
+            elif event.kind == ev.RELEASE:
+                holder.pop(event.target, None)
+            elif event.kind == ev.FORK:
+                started.add(event.target)
+    return order
+
+
+def build_witness(
+    events: Sequence[ev.Event], earlier: int, later: int
+) -> Optional[List[int]]:
+    """The witness order for a candidate pair, or ``None``.
+
+    The returned list ends with ``[earlier, later]``; everything before
+    is the scheduled control-dependence closure.
+    """
+    if not 0 <= earlier < later < len(events):
+        return None
+    first, second = events[earlier], events[later]
+    if first.kind not in _ACCESS or second.kind not in _ACCESS:
+        return None
+    if first.tid == second.tid or first.target != second.target:
+        return None
+    if not _conflicts(first.kind, second.kind):
+        return None
+    required = _Closure(events, earlier, later).run()
+    if required is None:
+        return None
+    order = _schedule(events, required)
+    if order is None:
+        return None
+    order.append(earlier)
+    order.append(later)
+    return order
+
+
+def vindicate(
+    events: Sequence[ev.Event], candidate: RaceCandidate
+) -> Optional[Witness]:
+    """A feasibility-checked witness for ``candidate``, or ``None``."""
+    order = build_witness(
+        events, candidate.earlier_index, candidate.later_index
+    )
+    if order is None:
+        return None
+    if check_feasible([events[pos] for pos in order]):
+        return None
+    return Witness(candidate=candidate, order=tuple(order))
+
+
+def predict_races(
+    trace,
+    window: Optional[int] = None,
+    detector: Optional[WCPDetector] = None,
+) -> PredictionReport:
+    """The windowed short-race predictor: run WCP, classify and vindicate.
+
+    ``window`` bounds the reordering distance ``later - earlier`` a
+    candidate may span (``None`` = unbounded); candidates beyond it are
+    reported ``out-of-window`` without attempting vindication — the
+    SmartTrack-style bound that keeps prediction near-linear on long
+    traces.  A pre-run ``detector`` (e.g. from ``repro check``) can be
+    supplied to skip the analysis pass.
+    """
+    events = list(trace)
+    if detector is None:
+        detector = WCPDetector()
+        detector.process(events)
+    hb = HappensBefore(events)
+    report = PredictionReport(events=len(events), window=window)
+    for candidate in detector.candidates:
+        earlier, later = candidate.earlier_index, candidate.later_index
+        if not hb.ordered(earlier, later):
+            report.races.append(PredictedRace(candidate, "observed"))
+            continue
+        if window is not None and later - earlier > window:
+            report.races.append(PredictedRace(candidate, "out-of-window"))
+            continue
+        witness = vindicate(events, candidate)
+        if witness is None:
+            report.races.append(PredictedRace(candidate, "unvindicated"))
+        else:
+            report.races.append(
+                PredictedRace(candidate, "vindicated", witness)
+            )
+    return report

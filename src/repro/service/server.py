@@ -39,7 +39,7 @@ from typing import Dict, Iterator, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro import engine, faults, obs
-from repro.detectors import DETECTORS, default_tool_kwargs
+from repro.detectors import DETECTORS, default_tool_kwargs, resolve_tool_name
 from repro.engine.checkpoint import Workdir
 from repro.engine.worker import KERNEL_MODES
 from repro.kernels import has_kernel
@@ -555,8 +555,13 @@ def _expand_tools(values: List[str]) -> List[str]:
                 continue
             if name.lower() == "all":
                 tools.extend(t for t in DETECTORS if t not in tools)
-            elif name not in tools:
-                tools.append(name)
+            else:
+                # Case-insensitive names (``tool=wcp``) canonicalize here;
+                # genuinely unknown ones pass through for _validate_spec's
+                # 400 with the original spelling.
+                name = resolve_tool_name(name)
+                if name not in tools:
+                    tools.append(name)
     return tools
 
 

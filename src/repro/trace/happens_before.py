@@ -137,22 +137,39 @@ class HappensBefore:
     # -- race enumeration -----------------------------------------------------------
 
     def races(self) -> List[Tuple[int, int]]:
-        """All pairs ``(i, j)`` of concurrent conflicting accesses, i < j."""
-        per_var: Dict[Hashable, List[int]] = {}
-        for index, event in enumerate(self.events):
-            if event.kind in (ev.READ, ev.WRITE):
-                per_var.setdefault(event.target, []).append(index)
+        """All pairs ``(i, j)`` of concurrent conflicting accesses, i < j.
+
+        Accesses are indexed per variable as running bitmasks (all prior
+        accesses / prior writes), so each access pays one mask
+        intersection against its ancestor bitset instead of an
+        ``ordered()`` probe per earlier access: the candidate set for
+        access ``j`` is exactly ``conflicting_priors & ~ancestors[j]``.
+        Walking ``j`` in trace order with set bits extracted low-to-high
+        reproduces the naive enumeration's ``(j, i)``-sorted output
+        without sorting.
+        """
+        ancestors = self._ancestors
+        write_mask: Dict[Hashable, int] = {}
+        access_mask: Dict[Hashable, int] = {}
         found: List[Tuple[int, int]] = []
-        for accesses in per_var.values():
-            for a_pos, i in enumerate(accesses):
-                event_i = self.events[i]
-                for j in accesses[a_pos + 1 :]:
-                    event_j = self.events[j]
-                    if event_i.kind == ev.READ and event_j.kind == ev.READ:
-                        continue
-                    if not self.ordered(i, j):
-                        found.append((i, j))
-        found.sort(key=lambda pair: (pair[1], pair[0]))
+        for j, event in enumerate(self.events):
+            kind = event.kind
+            if kind == ev.READ:
+                var = event.target
+                candidates = write_mask.get(var, 0) & ~ancestors[j]
+                access_mask[var] = access_mask.get(var, 0) | (1 << j)
+            elif kind == ev.WRITE:
+                var = event.target
+                candidates = access_mask.get(var, 0) & ~ancestors[j]
+                bit = 1 << j
+                access_mask[var] = access_mask.get(var, 0) | bit
+                write_mask[var] = write_mask.get(var, 0) | bit
+            else:
+                continue
+            while candidates:
+                low = candidates & -candidates
+                found.append((low.bit_length() - 1, j))
+                candidates ^= low
         return found
 
     def first_race_per_variable(self) -> Dict[Hashable, Tuple[int, int]]:

@@ -177,7 +177,7 @@ class TestGoldilocks:
 
 
 class TestRegistry:
-    def test_all_seven_tools_registered(self):
+    def test_all_registered_tools(self):
         assert list(DETECTORS) == [
             "Empty",
             "Eraser",
@@ -186,6 +186,7 @@ class TestRegistry:
             "BasicVC",
             "DJIT+",
             "FastTrack",
+            "WCP",
         ]
 
     def test_precise_subset(self):

@@ -14,6 +14,7 @@ import pytest
 from repro.core.fasttrack import FastTrack
 from repro.detectors import BasicVC, DJITPlus, Eraser, Goldilocks, MultiRace
 from repro.detectors.registry import make_detector
+from repro.predict import WCPDetector
 from repro.kernels import KERNEL_TOOLS, run_kernel
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.feasibility import check_feasible
@@ -94,3 +95,27 @@ def test_fused_kernels_match_generic(round_index, trace):
         assert generic.suppressed_warnings == fused.suppressed_warnings, (
             context
         )
+
+
+@pytest.mark.parametrize("round_index,trace", list(corpus()))
+def test_fasttrack_warnings_subset_of_wcp(round_index, trace):
+    """WCP's weak ordering only ever *removes* edges relative to
+    happens-before while its own-clock progression matches, so its
+    warned-variable set contains FastTrack's on every feasible trace
+    (docs/PREDICT.md gives the pointwise-clock argument).  The corpus
+    seed is 0xFA57; ``round_index`` pins the failing trace for replay."""
+    events = list(trace)
+    fasttrack = FastTrack().process(events)
+    wcp = WCPDetector().process(events)
+    ft_vars = {fasttrack.shadow_key(w.var) for w in fasttrack.warnings}
+    wcp_vars = {wcp.shadow_key(w.var) for w in wcp.warnings}
+    assert ft_vars <= wcp_vars, (
+        "corpus seed 0xFA57, round",
+        round_index,
+        "FastTrack-only vars",
+        ft_vars - wcp_vars,
+    )
+    # The oracle's racy variables are exactly FastTrack's (Theorem 1), so
+    # transitively: every truly racy variable is WCP-warned too.
+    oracle = HappensBefore(events).racy_variables()
+    assert oracle <= wcp_vars, ("corpus seed 0xFA57, round", round_index)

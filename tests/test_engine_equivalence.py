@@ -101,6 +101,15 @@ def test_every_registered_tool_survives_sharding():
         report = engine.check_events(
             trace.events, tool=tool, nshards=3, tool_kwargs=kwargs
         )
+        if tool == "WCP":
+            # Sharding envelope (docs/PREDICT.md): per-variable routing
+            # hides *other* shards' conflict joins, so sharded WCP warns
+            # on a superset of the single-threaded run's variables — it
+            # never loses a warning.
+            assert {w.var for w in single.warnings} <= {
+                w.var for w in report.warnings
+            }, tool
+            continue
         assert report.warnings == single.warnings, tool
         assert report.suppressed_warnings == single.suppressed_warnings, tool
 

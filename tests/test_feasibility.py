@@ -115,3 +115,106 @@ class TestGeneratedTraces:
     @given(traces())
     def test_generator_only_produces_feasible_traces(self, trace):
         assert check_feasible(trace) == []
+
+
+class TestWitnessChecking:
+    """The vindicator's contract with the checker (repro.predict).
+
+    A predicted race's witness is a *reordering* of (a prefix-closed
+    subset of) an observed trace; ``check_feasible`` is the final word
+    on whether that reordering is a real execution.  These tests pin the
+    failure modes — and the exact message texts — the vindicator relies
+    on when it rejects a reordering.
+    """
+
+    def test_reordering_into_held_lock_section_rejected(self):
+        """Moving thread 1's acquire inside thread 0's critical section
+        is the classic infeasible 'witness'."""
+        witness = [
+            ev.acq(0, "m"),
+            ev.acq(1, "m"),
+            ev.wr(1, "x"),
+            ev.rel(1, "m"),
+            ev.rel(0, "m"),
+        ]
+        violations = check_feasible(witness)
+        assert violations[0] == (
+            f"#1: {witness[1]!r} — lock held by thread 0"
+        )
+
+    def test_reordering_release_before_acquire_rejected(self):
+        witness = [ev.rel(1, "m"), ev.acq(1, "m")]
+        violations = check_feasible(witness)
+        assert violations[0] == (
+            f"#0: {witness[0]!r} — thread 1 does not hold the lock"
+            " (holder: None)"
+        )
+
+    def test_dangling_acquire_is_feasible(self):
+        """A witness may end inside a critical section (the vindicator's
+        dangling-section reorderings rely on this)."""
+        assert is_feasible(
+            [
+                ev.acq(1, "m"),
+                ev.rel(1, "m"),
+                ev.acq(0, "m"),
+                ev.wr(0, "x"),
+                ev.wr(1, "x"),
+            ]
+        )
+
+    def test_reordering_child_before_fork_rejected(self):
+        witness = [ev.wr(1, "x"), ev.fork(0, 1)]
+        violations = check_feasible(witness)
+        assert violations == [
+            f"#1: {witness[1]!r} — child already ran before fork"
+        ]
+
+    def test_reordering_past_join_rejected(self):
+        witness = [
+            ev.fork(0, 1),
+            ev.wr(1, "x"),
+            ev.join(0, 1),
+            ev.wr(1, "y"),
+        ]
+        violations = check_feasible(witness)
+        assert violations == [
+            f"#3: {witness[3]!r} — thread 1 acts after being joined"
+        ]
+
+    def test_barrier_member_dropped_after_join_rejected(self):
+        witness = [
+            ev.fork(0, 1),
+            ev.wr(1, "x"),
+            ev.join(0, 1),
+            ev.barrier_rel((0, 1)),
+        ]
+        violations = check_feasible(witness)
+        assert violations == ["#3: barrier releases joined thread 1"]
+
+    def test_feasibility_error_joins_first_violations(self):
+        """require_feasible's message is the '; '-joined violation list
+        (capped at five) — what a vindication failure surfaces."""
+        witness = [ev.rel(0, "m"), ev.rel(0, "m")]
+        with pytest.raises(FeasibilityError) as excinfo:
+            require_feasible(witness)
+        message = str(excinfo.value)
+        assert message.count("does not hold the lock") == 2
+        assert "; " in message
+
+    def test_vindicated_witnesses_pass(self):
+        """Every witness the vindicator emits on the golden corpus runs
+        through this checker clean (the other direction of the contract
+        lives in tests/test_predict.py)."""
+        from pathlib import Path
+
+        from repro.predict import predict_races
+        from repro.trace.serialize import loads
+
+        data = Path(__file__).parent / "data"
+        for name in ("predict_lock", "predict_fork"):
+            events = list(loads((data / f"{name}.trace").read_text()))
+            report = predict_races(events)
+            assert report.vindicated, name
+            for race in report.vindicated:
+                assert check_feasible(race.witness.events(events)) == []

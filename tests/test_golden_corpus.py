@@ -28,6 +28,11 @@ from repro.trace.serialize import loads
 DATA = Path(__file__).parent / "data"
 MANIFEST = json.loads((DATA / "manifest.json").read_text())
 
+#: The manifest's verdict columns: Table 1's warning-reporting tools plus
+#: the predictive family (whose extra verdicts tests/test_predict.py
+#: vindicates individually).
+CORPUS_TOOLS = WARNING_TOOLS + ("WCP",)
+
 
 def load_trace(name):
     return loads((DATA / f"{name}.trace").read_text())
@@ -41,7 +46,7 @@ def test_trace_parses_and_is_feasible(name):
 
 
 @pytest.mark.parametrize("name", sorted(MANIFEST))
-@pytest.mark.parametrize("tool_name", WARNING_TOOLS)
+@pytest.mark.parametrize("tool_name", CORPUS_TOOLS)
 def test_golden_verdicts(name, tool_name):
     trace = load_trace(name)
     tool = _tool(tool_name)

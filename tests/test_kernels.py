@@ -176,14 +176,35 @@ def test_engine_fused_identical_to_generic(tool, nshards):
     }
     for mode, report in reports.items():
         context = (tool, nshards, mode)
-        assert [str(w) for w in report.warnings] == [
-            str(w) for w in single.warnings
-        ], context
-        assert report.suppressed_warnings == single.suppressed_warnings, (
-            context
-        )
+        if tool == "WCP" and nshards > 1:
+            # WCP's sharding envelope (docs/PREDICT.md): per-variable
+            # routing hides cross-variable conflict joins, so a sharded
+            # run warns on a superset of the single-threaded variables.
+            # Fused/generic/auto must still agree with *each other*
+            # exactly at every shard count.
+            assert {w.var for w in single.warnings} <= {
+                w.var for w in report.warnings
+            }, context
+        else:
+            assert [str(w) for w in report.warnings] == [
+                str(w) for w in single.warnings
+            ], context
+            assert report.suppressed_warnings == single.suppressed_warnings, (
+                context
+            )
         assert report.stats.reads == single.stats.reads, context
         assert report.stats.writes == single.stats.writes, context
+    baseline = reports["fused"]
+    for mode in ("generic", "auto"):
+        report = reports[mode]
+        assert [str(w) for w in report.warnings] == [
+            str(w) for w in baseline.warnings
+        ], (tool, nshards, mode)
+        assert report.suppressed_warnings == baseline.suppressed_warnings, (
+            tool,
+            nshards,
+            mode,
+        )
 
 
 def test_engine_fused_rejects_kernelless_tool():
