@@ -1,22 +1,35 @@
-"""Engine scaling: throughput (events/sec) vs worker count.
+"""Engine scaling: throughput (events/sec) vs worker count, by stage.
 
 The sharded engine's pitch is data-parallel scale-out of the offline
-analyses (docs/ENGINE.md): partition once, then analyze shards on N worker
-processes.  This benchmark measures exactly the parallel phase — the trace
-(an Eclipse-style ``Import`` operation, the paper's heaviest workload
-shape, ≥200k events at the default scale) is partitioned once up front,
-then the analyze+merge phase is timed at 1, 2, and 4 workers against the
-same shard files, the same way a ``--resume`` run would execute it.
+analyses (docs/ENGINE.md): partition once into zero-copy columnar shard
+buffers (the v3 transport), then analyze shards on N worker processes
+that attach to the buffers without deserializing anything.  This
+benchmark measures both halves separately:
+
+* the **partition** stage — one streamed pass over the trace (an
+  Eclipse-style ``Import`` operation, the paper's heaviest workload
+  shape, ≥200k events at the default scale), timed once; its published
+  ``shard_bytes`` is the entire transport payload (33 bytes/event plus
+  the intern table), and
+* the **analyze+merge** phase — timed at 1, 2, and 4 workers against
+  the same shard buffers, the same way a ``--resume`` run would execute
+  it, with the engine's own :attr:`MergedReport.timings` breakdown
+  (``transport_s`` = per-shard attach cost summed across workers,
+  ``analyze_s``, ``merge_s``) recorded per cell.
 
 Results are pushed into the session recorder that
 ``benchmarks/conftest.py`` serializes to ``benchmarks/BENCH_engine.json``,
 so successive PRs can track the throughput trajectory machine-readably.
 ``cpus`` is recorded alongside: on a single-core container the 4-worker
-speedup is bounded at ~1.0 by hardware, not by the engine.
+speedup is bounded at ~1.0 by hardware, not by the engine — which is why
+the speedup *gate* is opt-in: the CI engine-scaling job (a multi-core
+runner) exports ``REPRO_BENCH_MIN_SPEEDUP`` and the summary test fails
+below it; locally the numbers are recorded without judgment.
 
 Tunables: ``BENCH_ENGINE_SCALE`` (workload scale, default 8500 ≈ 204k
 events), ``BENCH_ENGINE_SHARDS`` (default 8), ``BENCH_ENGINE_ROUNDS``
-(default 3, min is kept).
+(default 3, min is kept), ``REPRO_BENCH_MIN_SPEEDUP`` (4v1 floor;
+unset = record only).
 """
 
 import os
@@ -35,15 +48,31 @@ WORKER_COUNTS = (1, 2, 4)
 ENGINE_SCALE = int(os.environ.get("BENCH_ENGINE_SCALE", "8500"))
 NSHARDS = int(os.environ.get("BENCH_ENGINE_SHARDS", "8"))
 ROUNDS = int(os.environ.get("BENCH_ENGINE_ROUNDS", "3"))
+MIN_SPEEDUP = os.environ.get("REPRO_BENCH_MIN_SPEEDUP")
 
 
 @pytest.fixture(scope="module")
 def partitioned(tmp_path_factory):
-    """One partitioned working directory shared by every worker count."""
+    """One partitioned working directory shared by every worker count.
+
+    The mmap transport is used deliberately: the buffers are attached by
+    every (jobs, round) cell below, and file-backed buffers share one
+    page-cache copy across all of them — the same reasoning the service's
+    resident partitions use (docs/SERVICE.md).
+    """
     trace = run_program(import_program(ENGINE_SCALE), seed=0)
     root = str(tmp_path_factory.mktemp("engine_scaling"))
-    partition_events(iter(trace.events), Workdir(root), NSHARDS)
-    return root, len(trace)
+    started = time.perf_counter()
+    meta = partition_events(
+        iter(trace.events), Workdir(root), NSHARDS, transport="mmap"
+    )
+    partition_s = time.perf_counter() - started
+    stage = {
+        "transport": meta["transport"],
+        "partition_s": partition_s,
+        "shard_bytes": sum(meta.get("shard_bytes", [])),
+    }
+    return root, len(trace), stage
 
 
 def _timed_analysis(root, jobs):
@@ -60,12 +89,15 @@ def _timed_analysis(root, jobs):
 def test_engine_scaling_cell(
     benchmark, partitioned, jobs, engine_bench_recorder
 ):
-    root, events = partitioned
+    root, events, partition_stage = partitioned
     best = None
+    best_timings = None
     reference_warnings = None
     for _ in range(ROUNDS):
         seconds, report = _timed_analysis(root, jobs)
-        best = seconds if best is None else min(best, seconds)
+        if best is None or seconds < best:
+            best = seconds
+            best_timings = report.timings or {}
         if reference_warnings is None:
             reference_warnings = [str(w) for w in report.warnings]
         else:
@@ -78,6 +110,8 @@ def test_engine_scaling_cell(
             "events": events,
             "nshards": NSHARDS,
             "cpus": os.cpu_count(),
+            # The jobs-independent stage, measured once in the fixture.
+            "partition": partition_stage,
         }
     )
     engine_bench_recorder["engine_scaling"].setdefault("results", {})[
@@ -86,6 +120,17 @@ def test_engine_scaling_cell(
         "seconds": best,
         "events_per_sec": events / best if best else None,
         "warnings": len(reference_warnings),
+        # The engine's own per-stage breakdown for the best round:
+        # transport_s is the per-shard attach cost summed across workers
+        # (under v3 there is no deserialization — this is the whole
+        # transport tax), analyze_s the parallel phase wall-clock,
+        # merge_s the k-way merge.
+        "stages": {
+            "transport_s": best_timings.get("transport_s"),
+            "analyze_s": best_timings.get("analyze_s"),
+            "merge_s": best_timings.get("merge_s"),
+            "shard_bytes": best_timings.get("shard_bytes"),
+        },
         # More workers than cores: wall-clock reflects contention, not
         # the engine (flagged so trend tooling can discount the cell).
         "oversubscribed": jobs > (os.cpu_count() or 1),
@@ -99,7 +144,8 @@ def test_engine_scaling_cell(
 
 def test_engine_scaling_summary(partitioned, engine_bench_recorder):
     """Derive the speedup table once all cells have run (items are sorted
-    by nodeid, so `summary` follows the `cell` parametrizations)."""
+    by nodeid, so `summary` follows the `cell` parametrizations), and
+    enforce the CI floor when ``REPRO_BENCH_MIN_SPEEDUP`` is exported."""
     data = engine_bench_recorder.get("engine_scaling", {})
     results = data.get("results", {})
     if str(WORKER_COUNTS[0]) not in results:
@@ -110,14 +156,33 @@ def test_engine_scaling_summary(partitioned, engine_bench_recorder):
         for jobs in WORKER_COUNTS
         if str(jobs) in results
     }
+    partition = data.get("partition", {})
     print()
     print(f"engine scaling over {data['events']} events, {NSHARDS} shards, "
           f"{data['cpus']} cpu(s):")
+    if partition:
+        print(
+            f"  partition: {partition['partition_s']:.3f}s "
+            f"({partition['shard_bytes']:,} shard bytes, "
+            f"{partition['transport']} transport)"
+        )
     for jobs in WORKER_COUNTS:
         cell = results.get(str(jobs))
         if cell:
+            stages = cell.get("stages", {})
             print(
                 f"  jobs={jobs}: {cell['seconds']:.3f}s "
                 f"({cell['events_per_sec']:,.0f} events/s, "
-                f"speedup {data['speedup'][f'{jobs}v1']:.2f}x)"
+                f"speedup {data['speedup'][f'{jobs}v1']:.2f}x; "
+                f"attach {stages.get('transport_s') or 0.0:.3f}s, "
+                f"analyze {stages.get('analyze_s') or 0.0:.3f}s, "
+                f"merge {stages.get('merge_s') or 0.0:.3f}s)"
             )
+    if MIN_SPEEDUP:
+        floor = float(MIN_SPEEDUP)
+        achieved = data["speedup"].get("4v1", 0.0)
+        assert achieved >= floor, (
+            f"4-worker speedup {achieved:.2f}x is below the "
+            f"REPRO_BENCH_MIN_SPEEDUP={floor:g}x floor on a "
+            f"{data['cpus']}-cpu runner — the transport stopped scaling"
+        )

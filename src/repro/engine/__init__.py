@@ -6,8 +6,10 @@ for a single in-memory pass and to machines with more than one core, with
 
 1. :mod:`~repro.engine.partition` — a single streaming pass routes each
    read/write to ``stable_hash(variable) % nshards`` and broadcasts every
-   synchronization event to all shards, writing columnar batches against
-   shared intern tables (format v2);
+   synchronization event to all shards, publishing flat zero-copy
+   columnar buffers against shared intern tables through
+   :mod:`~repro.engine.transport` (format v3: shared-memory blocks or
+   mmap'd shard files, ``transport='shm'|'mmap'|'auto'``);
 2. :mod:`~repro.engine.worker` — per-shard detector runs (optionally in
    ``multiprocessing`` workers), each seeing the complete sync order plus
    its variables' accesses, so per-variable analysis is exact;
@@ -55,9 +57,11 @@ from repro.engine.merge import (
     render_markdown,
 )
 from repro.engine.partition import (
+    attach_shard,
     iter_shard,
     load_shard_columns,
     partition_events,
+    resolve_transport,
     shard_of,
 )
 from repro.engine.supervise import (
@@ -91,6 +95,7 @@ __all__ = [
     "ShardFailure",
     "Workdir",
     "analyze_shard",
+    "attach_shard",
     "check_events",
     "check_trace_file",
     "default_nshards",
@@ -106,6 +111,7 @@ __all__ = [
     "render_markdown",
     "request_drain",
     "reset_drain",
+    "resolve_transport",
     "run_shard",
     "run_supervised",
     "shard_of",
@@ -116,6 +122,14 @@ def default_nshards(jobs: int) -> int:
     """Two shards per worker: variable weight is skewed, so over-sharding
     lets fast workers steal a second helping instead of idling."""
     return max(1, 2 * max(1, jobs))
+
+
+#: Below this many events per shard, worker startup dominates the shard's
+#: analysis time and ``--jobs N`` loses to the sequential loop; the engine
+#: warns (``engine.jobs.tiny_shards``) and suggests fewer shards or
+#: sequential mode.  ~10k events is roughly 150ms of fused-kernel work —
+#: on the order of one spawned worker's import cost.
+MIN_EVENTS_PER_SHARD = 10_000
 
 
 def _restore_sigterm(previous) -> None:
@@ -173,6 +187,7 @@ def _run(
     kernel: str,
     executor: Optional[concurrent.futures.Executor] = None,
     policy: Optional[RetryPolicy] = None,
+    transport: str = "auto",
 ) -> MergedReport:
     # Usage errors (unknown kernel mode, --kernel fused on a kernel-less
     # tool) must fail fast, not be retried and quarantined as if the
@@ -182,6 +197,15 @@ def _run(
     root = workdir if workdir is not None else tempfile.mkdtemp(
         prefix="repro-engine-"
     )
+    # ``auto`` picks shm only for engine-owned throwaway directories: a
+    # caller-provided workdir exists to survive this process (``--resume``,
+    # the service's resident partitions on disk), and shm blocks die with
+    # their creator's resource tracker.  Explicit 'shm'/'mmap' is honored
+    # either way.
+    if transport == "auto" and not owns_workdir:
+        transport = "mmap"
+    transport = resolve_transport(transport)
+    timings: Dict = {"transport": None, "partition_s": None}
     try:
         wd = Workdir(root)
         meta = wd.read_meta() if resume else None
@@ -197,10 +221,33 @@ def _run(
                 # can no longer identify).
                 wd.ensure_resumable_layout(meta)
             shards = nshards if nshards is not None else default_nshards(jobs)
-            with obs.span("engine.partition", tool=tool) as span:
-                meta = partition_events(events_factory(), wd, shards)
-                span.set(events=meta["events"], shards=meta["nshards"])
+            partition_started = time.monotonic()
+            with obs.span(
+                "engine.partition", tool=tool, transport=transport
+            ) as span:
+                meta = partition_events(
+                    events_factory(), wd, shards, transport=transport
+                )
+                span.set(
+                    events=meta["events"], shards=meta["nshards"],
+                    bytes=sum(meta.get("shard_bytes", [])),
+                )
+            timings["partition_s"] = time.monotonic() - partition_started
         count = meta["nshards"]
+        timings["transport"] = meta.get("transport", "mmap")
+        timings["shard_bytes"] = sum(meta.get("shard_bytes", []))
+        if jobs > 1 and count and meta["events"] // count < MIN_EVENTS_PER_SHARD:
+            obs.log.warning(
+                "engine.jobs.tiny_shards",
+                f"--jobs {jobs} over {count} shard(s) of "
+                f"~{meta['events'] // count} event(s) each: worker startup "
+                "will dominate analysis below "
+                f"{MIN_EVENTS_PER_SHARD} events/shard — use fewer shards "
+                "(--shards) or drop to sequential (--jobs 1)",
+                jobs=jobs, shards=count, events=meta["events"],
+                events_per_shard=meta["events"] // count,
+                threshold=MIN_EVENTS_PER_SHARD,
+            )
         if not resume:
             wd.clear_results(tool, count)
         completed = set(wd.completed_shards(tool, count))
@@ -221,6 +268,7 @@ def _run(
                 root, pending, tool, tool_kwargs, jobs, classify, kernel,
                 executor=executor, policy=policy,
             ))
+        timings["analyze_s"] = time.monotonic() - submitted
         failed = {failure.shard for failure in failures}
         survivors = set(wd.completed_shards(tool, count))
         redo = [
@@ -250,8 +298,18 @@ def _run(
         ]
         if obs.enabled():
             _emit_shard_spans(payloads, set(pending), tool, submitted)
+        merge_started = time.monotonic()
         with obs.span("engine.merge", tool=tool, shards=count):
             report = merge_shard_results(payloads)
+        timings["merge_s"] = time.monotonic() - merge_started
+        # Per-shard attach cost, measured inside the workers: under v3
+        # this is the whole transport tax (there is no deserialization),
+        # and the bench's stage breakdown sums it across shards.
+        timings["transport_s"] = sum(
+            payload.get("timing", {}).get("transport_s", 0.0)
+            for payload in payloads
+        )
+        report.timings = timings
         if quarantined:
             by_shard = {failure.shard: failure for failure in failures}
             report.degraded = {
@@ -272,6 +330,14 @@ def _run(
         return report
     finally:
         if owns_workdir:
+            # Teardown sweep: release this partition's shm blocks (if any)
+            # through their owned handles before dropping the directory —
+            # supervised failure paths must never lean on the resource
+            # tracker's exit-time backstop.
+            try:
+                Workdir(root).release_blocks()
+            except OSError:  # pragma: no cover - sweep is best-effort
+                pass
             shutil.rmtree(root, ignore_errors=True)
 
 
@@ -317,6 +383,7 @@ def check_events(
     kernel: str = "auto",
     executor: Optional[concurrent.futures.Executor] = None,
     policy: Optional[RetryPolicy] = None,
+    transport: str = "auto",
 ) -> MergedReport:
     """Shard-check an in-memory event sequence (or any one-shot iterable).
 
@@ -324,7 +391,9 @@ def check_events(
     one across jobs to amortize worker startup); without it, ``jobs``
     decides whether a throwaway pool is spun up.  ``policy`` tunes the
     supervisor (retries, shard watchdog, run deadline — see
-    :class:`repro.engine.supervise.RetryPolicy`).
+    :class:`repro.engine.supervise.RetryPolicy`).  ``transport`` picks the
+    v3 shard publication (``'shm'``/``'mmap'``; ``'auto'`` uses shm only
+    for engine-owned throwaway directories).
     """
     return _run(
         lambda: iter(events),
@@ -338,6 +407,7 @@ def check_events(
         kernel,
         executor=executor,
         policy=policy,
+        transport=transport,
     )
 
 
@@ -355,6 +425,7 @@ def check_trace_file(
     kernel: str = "auto",
     executor: Optional[concurrent.futures.Executor] = None,
     policy: Optional[RetryPolicy] = None,
+    transport: str = "auto",
 ) -> MergedReport:
     """Shard-check a serialized trace file, streaming it during partition.
 
@@ -386,4 +457,5 @@ def check_trace_file(
         kernel,
         executor=executor,
         policy=policy,
+        transport=transport,
     )

@@ -6,11 +6,15 @@ never finished::
 
     DIR/
       meta.json                     partition metadata (written last, so its
-                                    presence certifies a complete partition)
+                                    presence certifies a complete partition);
+                                    v3 adds transport/generation/blocks/
+                                    shard_bytes for the zero-copy transport
       intern.bin                    the shared target/site intern tables all
                                     shards' columns index into
-      shards/shard_0007.bin         one pickle-framed columnar batch file
-                                    per shard
+      shards/shard_0007.bin         one flat v3 columnar buffer per shard
+                                    (mmap transport only — under shm the
+                                    buffers live in named shared-memory
+                                    blocks recorded in meta.json)
       results/FastTrack/shard_0007.json
                                     one checkpoint per (tool, shard); the
                                     file's existence is the progress record
@@ -38,11 +42,13 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from repro import faults
 
 #: Bump when the shard file or checkpoint format changes incompatibly.
-#: Version 2: shard files hold columnar batches (index/kind/tid/target/site
-#: arrays) indexing the shared ``intern.bin`` tables, instead of pickled
-#: ``Event`` objects.  A v1 directory fails ``read_meta`` and is simply
-#: re-partitioned on resume.
-FORMAT_VERSION = 2
+#: Version 3: shards are flat fixed-width columnar buffers (five segments,
+#: 33 bytes/event — see :mod:`repro.engine.transport`) published through
+#: shared-memory blocks or mmap'd shard files; v2's pickle-framed batch
+#: files are gone.  A v1/v2 directory fails ``read_meta``; resuming one is
+#: rejected with an explicit version error by ``ensure_resumable_layout``
+#: rather than silently re-partitioned over stale checkpoints.
+FORMAT_VERSION = 3
 
 
 class CheckpointError(RuntimeError):
@@ -95,14 +101,25 @@ class Workdir:
     def read_meta(self) -> Optional[Dict]:
         """The partition metadata, or ``None`` if no complete partition
         exists here (meta.json is written only after all shards are)."""
+        meta = self.read_raw_meta()
+        if meta is None or meta.get("format_version") != FORMAT_VERSION:
+            return None
+        return meta
+
+    def read_raw_meta(self) -> Optional[Dict]:
+        """Whatever parses at ``meta.json``, *any* format version.
+
+        The version-checked :meth:`read_meta` is what analysis trusts;
+        this raw reader exists for lifecycle sweeps (releasing a crashed
+        predecessor's shm blocks before overwriting its metadata) and for
+        naming the offending version in resume-rejection errors.
+        """
         try:
             with open(self.meta_path, "r", encoding="utf-8") as stream:
                 meta = json.load(stream)
         except (OSError, json.JSONDecodeError):
             return None
-        if meta.get("format_version") != FORMAT_VERSION:
-            return None
-        return meta
+        return meta if isinstance(meta, dict) else None
 
     def validate_meta(self, meta: Dict, nshards: Optional[int]) -> None:
         """Reject a resume against a partition with a different geometry."""
@@ -112,12 +129,31 @@ class Workdir:
                 f"shards but {nshards} were requested; drop --shards or use "
                 "a fresh directory"
             )
-        for shard in range(meta.get("nshards", 0)):
-            if not os.path.exists(self.shard_path(shard)):
-                raise CheckpointError(
-                    f"resume directory is missing shard file "
-                    f"{self.shard_path(shard)!r}"
-                )
+        if meta.get("transport") == "shm":
+            # Shard buffers live in named shm blocks; verify each is still
+            # attachable (a reboot or tracker sweep may have reaped them).
+            from repro.engine import transport as _transport
+
+            names = (meta.get("blocks") or {}).get("shards") or []
+            for shard in range(meta.get("nshards", 0)):
+                try:
+                    view = _transport.attach_view(self, meta, shard)
+                except (OSError, FileNotFoundError, IndexError) as exc:
+                    raise CheckpointError(
+                        f"resume directory's shm shard block for shard "
+                        f"{shard} ({names[shard] if shard < len(names) else '?'}) "
+                        f"is gone ({exc}); shared-memory partitions do not "
+                        "survive the creating process — re-run without "
+                        "--resume or partition with the mmap transport"
+                    )
+                view.close()
+        else:
+            for shard in range(meta.get("nshards", 0)):
+                if not os.path.exists(self.shard_path(shard)):
+                    raise CheckpointError(
+                        f"resume directory is missing shard file "
+                        f"{self.shard_path(shard)!r}"
+                    )
         if not os.path.exists(self.intern_path):
             raise CheckpointError(
                 f"resume directory is missing the intern table "
@@ -225,6 +261,15 @@ class Workdir:
         """
         if meta is not None:
             return
+        raw = self.read_raw_meta()
+        if raw is not None and raw.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"resume directory {self.root!r} was written by shard "
+                f"format v{raw.get('format_version')}, but this build "
+                f"reads v{FORMAT_VERSION} (zero-copy columnar buffers); "
+                "formats are not cross-compatible — re-run without "
+                "--resume in a fresh directory to re-partition"
+            )
         stale = self.result_files()
         if stale:
             raise CheckpointError(
@@ -235,6 +280,18 @@ class Workdir:
                 f"or delete {self.results_dir!r} first "
                 f"(first stale file: {stale[0]!r})"
             )
+
+    def release_blocks(self) -> None:
+        """Release every shm block this directory's metadata names.
+
+        Safe to call unconditionally (no-op for the mmap transport and
+        for directories with no metadata); the engine calls it from its
+        teardown path so supervised runs never lean on the resource
+        tracker's exit-time backstop.
+        """
+        from repro.engine import transport as _transport
+
+        _transport.release_blocks(self.read_raw_meta())
 
     def write_result(self, tool: str, shard: int, payload: Dict) -> str:
         path = self.result_path(tool, shard)

@@ -1,4 +1,4 @@
-"""Streaming trace partitioner: one pass, bounded memory, N shard files.
+"""Streaming trace partitioner: one pass, bounded memory, N shard buffers.
 
 FastTrack's analysis state factors into (a) the synchronization order —
 thread/lock/volatile vector clocks, advanced only by sync operations — and
@@ -8,7 +8,7 @@ sequence once and
 
 * **broadcasts** every non-access event (acquire/release, fork/join,
   volatile accesses, barrier releases, enter/exit boundaries) to *all*
-  shard files, and
+  shards, and
 * **routes** each read/write to the single shard
   ``stable_hash(variable) % nshards``,
 
@@ -18,40 +18,47 @@ the paper's Theorem 1 argument, exactly the information needed to check
 those variables with full precision (docs/ENGINE.md spells the argument
 out).
 
-Shard files are **columnar** (format v2): sequences of pickle frames, each
-a batch of five parallel columns ``(indices, kinds, tids, target_ids,
-site_ids)`` — original trace positions as ``array('q')``, event kinds as
-``bytes``, and dense interned target/site ids indexing the partition-wide
-intern tables persisted once in ``intern.bin``.  Workers hand these
-columns straight to the fused kernels of :mod:`repro.kernels` (zero
-``Event`` reconstruction on the fast path); :func:`iter_shard`
-reconstructs ``(original_index, Event)`` pairs for the generic object
-path.  Carrying the original trace position lets shard workers report
-warnings with single-threaded-identical ``event_index`` values.  The
-variable hash is ``zlib.crc32`` over ``repr`` rather than builtin ``hash``
-because the latter is randomized per process: shard assignment must be
-stable across the CLI invocations of an interrupted-then-resumed run.
+Shards are published in the **v3 zero-copy columnar format** of
+:mod:`repro.engine.transport`: five flat fixed-width segments (original
+trace indices, tids, interned target ids, interned site ids, kinds) in
+one contiguous buffer per shard — a ``multiprocessing.shared_memory``
+block (``transport='shm'``) or an mmap'd ``shards/shard_NNNN.bin``
+(``transport='mmap'``, the durable fallback ``--resume`` and the service's
+resident partitions use).  Workers *attach* instead of deserializing:
+``memoryview`` casts over the buffer feed the fused kernels directly,
+so the per-event transport cost is zero regardless of worker count.
+Targets and sites are interned once into partition-wide tables (persisted
+to ``intern.bin``, and into an intern block under shm) — shard columns
+carry dense ids only, never per-batch intern deltas.
+
+Streaming stays bounded-memory: events accumulate in per-shard batches
+(:data:`BATCH_EVENTS`) that spill to scratch files, and the final buffers
+are assembled segment-by-segment once the per-shard counts are known.
+The variable hash is ``zlib.crc32`` over ``repr`` rather than builtin
+``hash`` because the latter is randomized per process: shard assignment
+must be stable across the CLI invocations of an interrupted-then-resumed
+run.
 """
 
 from __future__ import annotations
 
-import pickle
+import os
+import struct
 import zlib
 from array import array
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
+from repro.engine import transport as _transport
 from repro.engine.checkpoint import Workdir
 from repro.trace import events as ev
 from repro.trace.columnar import ColumnarTrace
 
-#: Events appended to a batch before it is pickled out (bounds memory).
+#: Events appended to a batch before it spills to scratch (bounds memory).
 BATCH_EVENTS = 8192
 
 _ACCESS_KINDS = (ev.READ, ev.WRITE)
 
-#: One shard's in-flight columnar batch: parallel lists for original trace
-#: index, kind, tid, interned target id, interned site id.
-_BatchColumns = Tuple[list, list, list, list, list]
+_FRAME_HEADER = struct.Struct("<q")
 
 
 def shard_of(target: Hashable, nshards: int) -> int:
@@ -59,13 +66,26 @@ def shard_of(target: Hashable, nshards: int) -> int:
     return zlib.crc32(repr(target).encode("utf-8")) % nshards
 
 
+def resolve_transport(transport: str) -> str:
+    """Resolve the ``auto`` transport selector against host support."""
+    if transport == "auto":
+        return "shm" if _transport.supports_shm() else "mmap"
+    if transport not in _transport.TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected 'auto' or one of "
+            f"{_transport.TRANSPORTS}"
+        )
+    return transport
+
+
 def partition_events(
     events: Iterable[ev.Event],
     workdir: Workdir,
     nshards: int,
     batch_events: int = BATCH_EVENTS,
+    transport: str = "mmap",
 ) -> Dict:
-    """Stream ``events`` into ``nshards`` columnar shard files.
+    """Stream ``events`` into ``nshards`` v3 columnar shard buffers.
 
     Targets and sites are interned into partition-wide tables (written to
     ``intern.bin`` before the metadata), so every shard's columns index
@@ -73,11 +93,25 @@ def partition_events(
     partition metadata (also persisted as ``meta.json``; its write is the
     last step, so a half-partitioned directory is recognizably incomplete
     and gets re-partitioned on resume).
+
+    ``transport`` picks the shard buffer publication: ``'shm'`` for
+    shared-memory blocks (fastest; lifetime owned by this process),
+    ``'mmap'`` for mmap-able shard files (durable across process death —
+    the default, and what resumable working directories should use), or
+    ``'auto'``.
     """
     if nshards < 1:
         raise ValueError(f"nshards must be >= 1, got {nshards}")
-    streams = [open(workdir.shard_path(s), "wb") for s in range(nshards)]
-    batches: list = [([], [], [], [], []) for _ in range(nshards)]
+    transport = resolve_transport(transport)
+    # A crashed predecessor may have left shm blocks behind at this root:
+    # release whatever the previous metadata still names before its
+    # meta.json is overwritten (the block names embed a per-partition
+    # generation token, so nothing here can collide with the new run).
+    _transport.release_blocks(workdir.read_raw_meta())
+    generation = os.urandom(4).hex()
+    spill_paths = [workdir.shard_path(s) + ".spill" for s in range(nshards)]
+    streams = [open(path, "wb") for path in spill_paths]
+    batches = [([], [], [], [], []) for _ in range(nshards)]
     shard_events = [0] * nshards
     total = reads = writes = 0
     targets: list = []
@@ -88,17 +122,13 @@ def partition_events(
     def flush(shard: int) -> None:
         b_idx, b_kind, b_tid, b_target, b_site = batches[shard]
         if b_idx:
-            pickle.dump(
-                (
-                    array("q", b_idx),
-                    bytes(b_kind),
-                    array("q", b_tid),
-                    array("q", b_target),
-                    array("q", b_site),
-                ),
-                streams[shard],
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            stream = streams[shard]
+            stream.write(_FRAME_HEADER.pack(len(b_idx)))
+            stream.write(array("q", b_idx).tobytes())
+            stream.write(bytes(b_kind))
+            stream.write(array("q", b_tid).tobytes())
+            stream.write(array("q", b_target).tobytes())
+            stream.write(array("q", b_site).tobytes())
             for column in batches[shard]:
                 column.clear()
 
@@ -114,44 +144,56 @@ def partition_events(
         if len(b_idx) >= batch_events:
             flush(shard)
 
+    assembler = _transport.ShardAssembler(workdir, transport, generation)
     try:
-        for index, event in enumerate(events):
-            kind = event.kind
-            target = event.target
-            target_id = target_index.get(target)
-            if target_id is None:
-                target_id = len(targets)
-                target_index[target] = target_id
-                targets.append(target)
-            site = event.site
-            if site is None:
-                site_id = -1
-            else:
-                site_id = site_index.get(site)
-                if site_id is None:
-                    site_id = len(sites)
-                    site_index[site] = site_id
-                    sites.append(site)
-            if kind in _ACCESS_KINDS:
-                shard = shard_of(target, nshards)
-                append(shard, index, kind, event.tid, target_id, site_id)
-                if kind == ev.READ:
-                    reads += 1
+        try:
+            for index, event in enumerate(events):
+                kind = event.kind
+                target = event.target
+                target_id = target_index.get(target)
+                if target_id is None:
+                    target_id = len(targets)
+                    target_index[target] = target_id
+                    targets.append(target)
+                site = event.site
+                if site is None:
+                    site_id = -1
                 else:
-                    writes += 1
-            else:
-                # Sync / boundary event: every shard needs the full
-                # synchronization order to keep its vector clocks exact.
-                for shard in range(nshards):
+                    site_id = site_index.get(site)
+                    if site_id is None:
+                        site_id = len(sites)
+                        site_index[site] = site_id
+                        sites.append(site)
+                if kind in _ACCESS_KINDS:
+                    shard = shard_of(target, nshards)
                     append(shard, index, kind, event.tid, target_id, site_id)
-            total += 1
+                    if kind == ev.READ:
+                        reads += 1
+                    else:
+                        writes += 1
+                else:
+                    # Sync / boundary event: every shard needs the full
+                    # synchronization order to keep its vector clocks exact.
+                    for shard in range(nshards):
+                        append(shard, index, kind, event.tid,
+                               target_id, site_id)
+                total += 1
+            for shard in range(nshards):
+                flush(shard)
+        finally:
+            for stream in streams:
+                stream.close()
         for shard in range(nshards):
-            flush(shard)
-    finally:
-        for stream in streams:
-            stream.close()
-
-    workdir.write_intern(targets, sites)
+            assembler.assemble(shard, spill_paths[shard], shard_events[shard])
+        workdir.write_intern(targets, sites)
+        intern_block = assembler.write_intern_block(targets, sites)
+    except BaseException:
+        assembler.abort()
+        for path in spill_paths:
+            if os.path.exists(path):
+                os.unlink(path)
+        raise
+    shard_bytes = list(assembler.shard_bytes)
     meta = {
         "nshards": nshards,
         "events": total,
@@ -161,69 +203,79 @@ def partition_events(
         "shard_events": shard_events,
         "targets": len(targets),
         "sites": len(sites),
+        "transport": transport,
+        "generation": generation,
+        "shard_bytes": shard_bytes,
+        "blocks": {
+            "shards": list(assembler.block_names),
+            "intern": intern_block,
+        },
     }
     workdir.write_meta(meta)
+    from repro import obs
+
+    obs.record_shard_bytes(sum(shard_bytes), transport=transport)
     return meta
 
 
-def iter_shard_batches(
-    workdir: Workdir, shard: int
-) -> Iterator[Tuple[array, bytes, array, array, array]]:
-    """Yield a shard's raw columnar batches
-    ``(indices, kinds, tids, target_ids, site_ids)`` in order."""
-    with open(workdir.shard_path(shard), "rb") as stream:
-        while True:
-            try:
-                yield pickle.load(stream)
-            except EOFError:
-                return
+def attach_shard(
+    workdir: Workdir, shard: int, meta: Optional[Dict] = None
+) -> _transport.ShardView:
+    """Attach one shard's transport buffer (see
+    :class:`repro.engine.transport.ShardView`); close it when done."""
+    if meta is None:
+        meta = workdir.read_meta()
+        if meta is None:
+            raise FileNotFoundError(
+                f"no complete v3 partition at {workdir.root!r}"
+            )
+    return _transport.attach_view(workdir, meta, shard)
 
 
 def load_shard_columns(
     workdir: Workdir,
     shard: int,
     intern: Optional[Tuple[list, list]] = None,
-) -> Tuple[ColumnarTrace, array]:
-    """Load one shard as ``(columns, original_indices)``.
+) -> Tuple[ColumnarTrace, "memoryview"]:
+    """Load one shard as ``(columns, original_indices)`` — zero-copy.
 
-    The returned :class:`~repro.trace.columnar.ColumnarTrace` shares the
+    The returned :class:`~repro.trace.columnar.ColumnarTrace` wraps
+    ``memoryview`` casts over the shard's transport buffer and shares the
     partition-wide intern tables (pass ``intern`` to reuse an already
-    loaded copy across shards), so fused kernels can run on it directly;
+    loaded copy across shards), so fused kernels run on it directly;
     ``original_indices[i]`` is the trace position of the shard's ``i``-th
-    event, for single-threaded-identical warning indices.
+    event, for single-threaded-identical warning indices.  The mapping
+    stays alive as long as the returned trace does (it pins the view);
+    workers that churn through many shards should use
+    :func:`attach_shard` and close explicitly.
     """
+    meta = workdir.read_meta()
+    if meta is None:
+        raise FileNotFoundError(
+            f"no complete v3 partition at {workdir.root!r}"
+        )
     if intern is None:
-        intern = workdir.read_intern()
-    targets, sites = intern
-    indices = array("q")
-    kinds = array("b")
-    tids = array("q")
-    target_ids = array("q")
-    site_ids = array("q")
-    for b_idx, b_kinds, b_tids, b_targets, b_sites in iter_shard_batches(
-        workdir, shard
-    ):
-        indices.extend(b_idx)
-        kinds.frombytes(b_kinds)
-        tids.extend(b_tids)
-        target_ids.extend(b_targets)
-        site_ids.extend(b_sites)
-    columns = ColumnarTrace.from_columns(
-        kinds, tids, target_ids, site_ids, targets, sites
-    )
-    return columns, indices
+        intern = _transport.load_intern(workdir, meta)
+    view = _transport.attach_view(workdir, meta, shard)
+    return view.columns(intern)
 
 
 def iter_shard(workdir: Workdir, shard: int) -> Iterable[Tuple[int, ev.Event]]:
     """Yield a shard's ``(original_index, event)`` pairs in order,
     reconstructing :class:`Event` objects for the generic object path."""
-    targets, sites = workdir.read_intern()
-    Event = ev.Event
-    for b_idx, b_kinds, b_tids, b_targets, b_sites in iter_shard_batches(
-        workdir, shard
-    ):
+    meta = workdir.read_meta()
+    if meta is None:
+        raise FileNotFoundError(
+            f"no complete v3 partition at {workdir.root!r}"
+        )
+    targets, sites = _transport.load_intern(workdir, meta)
+    view = _transport.attach_view(workdir, meta, shard)
+    try:
+        columns, indices = view.columns((targets, sites))
+        Event = ev.Event
         for index, kind, tid, target_id, site_id in zip(
-            b_idx, b_kinds, b_tids, b_targets, b_sites
+            indices, columns.kinds, columns.tids,
+            columns.target_ids, columns.site_ids,
         ):
             yield index, Event(
                 kind,
@@ -231,3 +283,5 @@ def iter_shard(workdir: Workdir, shard: int) -> Iterable[Tuple[int, ev.Event]]:
                 targets[target_id],
                 sites[site_id] if site_id >= 0 else None,
             )
+    finally:
+        view.close()

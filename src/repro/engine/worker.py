@@ -1,22 +1,27 @@
 """Shard workers: full-precision detection over one shard's sub-stream.
 
-A worker replays its shard file — the complete synchronization order plus
-the accesses of the variables hashed to this shard — through a fresh
-detector instance from :mod:`repro.detectors.registry`.  Each event is fed
-with its *original* trace index, so the warnings a worker records are
+A worker replays its shard — the complete synchronization order plus the
+accesses of the variables hashed to this shard — through a fresh detector
+instance from :mod:`repro.detectors.registry`.  Each event is fed with its
+*original* trace index, so the warnings a worker records are
 field-for-field identical to the ones a single-threaded run reports for the
 same variables (same ``event_index``, same ``prior`` description — the
 per-variable shadow state evolves identically because the sync order is
 complete).
 
-Kernel-equipped tools (``repro.kernels.KERNEL_TOOLS``) skip ``Event``
-reconstruction entirely: the shard's columnar batches are concatenated by
-:func:`~repro.engine.partition.load_shard_columns` and handed to the fused
-kernel together with the original-index column.  ``kernel='auto'`` (the
-default) picks the kernel when one exists and falls back to the object
-path otherwise; ``'fused'`` demands one; ``'generic'`` forces the object
-path.  Either way the payload is bit-identical — the kernels' equivalence
-contract plus the shard replay argument compose.
+The shard arrives through the v3 zero-copy transport
+(:mod:`repro.engine.transport`): the worker *attaches* the shard's
+shared-memory block or mmap'd buffer and wraps it with ``memoryview``
+casts — no pickle framing, no per-event deserialization, no per-batch
+intern deltas.  Kernel-equipped tools (``repro.kernels.KERNEL_TOOLS``)
+run their fused loop directly over those casts; the generic object path
+reconstructs ``Event`` objects lazily from the same casts.
+``kernel='auto'`` (the default) picks the kernel when one exists and
+falls back to the object path otherwise; ``'fused'`` demands one;
+``'generic'`` forces the object path.  Either way the payload is
+bit-identical — the kernels' equivalence contract plus the shard replay
+argument compose.  The view is closed at the shard boundary so pooled
+workers never accumulate mappings.
 
 The worker's result — warnings, detector cost stats, optional
 sharing-classifier counts — is checkpointed as JSON through
@@ -37,8 +42,8 @@ from typing import Dict, List, Optional
 from repro import faults
 from repro.core.detector import CostStats, Detector
 from repro.detectors.registry import make_detector
+from repro.engine import transport as _transport
 from repro.engine.checkpoint import Workdir
-from repro.engine.partition import iter_shard, load_shard_columns
 from repro.kernels import has_kernel, run_kernel
 from repro.report import (
     classifier_counts,
@@ -205,42 +210,68 @@ def analyze_shard(
         from repro.detectors.classifier import SharingClassifier
 
         classifier = SharingClassifier()
-    if use_fused:
-        try:
-            columns, indices = load_shard_columns(workdir, shard)
-            run_kernel(tool, columns, indices=indices, detector=detector)
-        except Exception as error:
-            # Fused-path failure degrades, it does not fail the shard:
-            # rebuild the detector (the kernel may have half-advanced its
-            # shadow state) and redo this shard on the generic object
-            # path, whose output is bit-identical by the equivalence
-            # contract.
-            from repro import obs
+    # Attach the shard's transport buffer.  This — plus the cached intern
+    # load — is the *entire* per-shard transport cost under v3, and the
+    # payload times it separately so the stage breakdown in
+    # BENCH_engine.json can show the serialization tax is gone.
+    meta = workdir.read_meta()
+    if meta is None:
+        raise FileNotFoundError(
+            f"no complete v3 partition at {workdir.root!r}"
+        )
+    intern = _transport.load_intern(workdir, meta)
+    view = _transport.attach_view(workdir, meta, shard)
+    transport_s = time.monotonic() - started_monotonic
+    try:
+        columns, indices = view.columns(intern)
+        events_seen = len(columns)
+        if use_fused:
+            try:
+                run_kernel(tool, columns, indices=indices, detector=detector)
+            except Exception as error:
+                # Fused-path failure degrades, it does not fail the shard:
+                # rebuild the detector (the kernel may have half-advanced
+                # its shadow state) and redo this shard on the generic
+                # object path, whose output is bit-identical by the
+                # equivalence contract.
+                from repro import obs
 
-            obs.record_degraded(
-                "kernel_fallback", tool=tool, shard=shard, error=str(error)
-            )
-            detector = make_detector(tool, **(tool_kwargs or {}))
-            use_fused = False
-        else:
-            events_seen = len(columns)
-            if classifier is not None:
-                # The classifier has no fused form; replay the shard's
-                # events for it alone (the detector's pass stays columnar).
-                for event in columns.iter_events():
+                obs.record_degraded(
+                    "kernel_fallback", tool=tool, shard=shard,
+                    error=str(error),
+                )
+                detector = make_detector(tool, **(tool_kwargs or {}))
+                use_fused = False
+            else:
+                if classifier is not None:
+                    # The classifier has no fused form; replay the shard's
+                    # events for it alone (the detector's pass stays
+                    # columnar).
+                    for event in columns.iter_events():
+                        classifier.handle(event)
+        if not use_fused:
+            kind_counts: Dict[int, int] = {}
+            handle = detector.handle
+            targets, sites = intern
+            Event = ev.Event
+            for index, kind, tid, target_id, site_id in zip(
+                indices, columns.kinds, columns.tids,
+                columns.target_ids, columns.site_ids,
+            ):
+                event = Event(
+                    kind,
+                    tid,
+                    targets[target_id],
+                    sites[site_id] if site_id >= 0 else None,
+                )
+                handle(event, index=index)
+                if classifier is not None:
                     classifier.handle(event)
-    if not use_fused:
-        kind_counts: Dict[int, int] = {}
-        events_seen = 0
-        handle = detector.handle
-        for index, event in iter_shard(workdir, shard):
-            handle(event, index=index)
-            if classifier is not None:
-                classifier.handle(event)
-            kind = event.kind
-            kind_counts[kind] = kind_counts.get(kind, 0) + 1
-            events_seen += 1
-        _tally_kinds(detector.stats, kind_counts)
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            _tally_kinds(detector.stats, kind_counts)
+    finally:
+        columns = indices = None
+        view.close()
 
     classifier_payload = (
         classifier_counts(classifier) if classifier is not None else None
@@ -254,6 +285,7 @@ def analyze_shard(
         "tool": tool,
         "events": events_seen,
         "kernel": "fused" if use_fused else "generic",
+        "transport": meta.get("transport", "mmap"),
         "warnings": [warning_to_json(w) for w in detector.warnings],
         "suppressed": detector.suppressed_warnings,
         "stats": stats_to_json(detector.stats),
@@ -262,6 +294,7 @@ def analyze_shard(
             "started": started_monotonic,
             "wall_s": ended_monotonic - started_monotonic,
             "cpu_s": time.process_time() - started_cpu,
+            "transport_s": transport_s,
         },
     }
     workdir.write_result(tool, shard, payload)

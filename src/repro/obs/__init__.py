@@ -42,7 +42,9 @@ from repro.obs.metrics import (
 from repro.obs.health import (
     DEGRADED_COUNTER,
     DEGRADED_REASONS,
+    SHARD_BYTES_COUNTER,
     record_degraded,
+    record_shard_bytes,
 )
 from repro.obs.profile import render_profile
 from repro.obs.rules import (
@@ -84,6 +86,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "RULE_COUNTER",
+    "SHARD_BYTES_COUNTER",
     "SPANS_FILENAME",
     "Span",
     "Telemetry",
@@ -98,6 +101,7 @@ __all__ = [
     "read_spans",
     "record_degraded",
     "record_rule_counts",
+    "record_shard_bytes",
     "record_rules",
     "render_profile",
     "reset_default_registry",

@@ -10,13 +10,26 @@ Architecture (stdlib only)::
                               with one *persistent* ProcessPoolExecutor
                               shared by every job (``--engine-jobs N``)
 
-Durability: a job's trace, record, and engine working directory live in
-the store, so per-shard checkpoints survive a daemon kill; on restart
-every accepted-but-unfinished job is re-enqueued and the engine skips
-the shards that already checkpointed.  On SIGTERM the daemon stops
+Durability: a job's trace and record live in the store, and its engine
+working directory is a *resident partition* — one per distinct (trace
+digest, format, shard count) under ``STORE/partitions/`` — so per-shard
+checkpoints survive a daemon kill; on restart every
+accepted-but-unfinished job is re-enqueued and the engine skips the
+shards that already checkpointed.  On SIGTERM the daemon stops
 accepting work (503), asks the engine to drain (in-flight shards finish
 and checkpoint — see :mod:`repro.engine.worker`), and exits; nothing is
 lost.
+
+Resident partitions exist because partitioning is the per-job cost that
+does not parallelize: N tools on one trace, or M resubmissions of the
+same trace, used to re-spool and re-partition N×M times.  Now the first
+job to see a trace digest partitions it once — v3 columnar buffers via
+the **mmap transport**, so the files are durable across restarts and
+every attaching worker shares one page-cache copy — and every later
+job/tool attaches to the same buffers (``repro_partitions_total``
+counts created vs reused).  A per-key lock serializes creation only;
+analysis runs concurrently.  Live analyses pin their partition against
+the TTL evictor via refcounts.
 
 Results use the canonical ``repro.result/1`` schema of
 :mod:`repro.report` — a single-tool job's ``/result`` body is
@@ -49,7 +62,13 @@ from repro.service.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 from repro.service.routes import Router
 from repro.service.store import JobStore
-from repro.trace.serialize import TraceParseError, dumps_jsonl, event_from_json
+from repro.trace.serialize import (
+    TraceParseError,
+    dumps_jsonl,
+    event_from_json,
+    iter_load,
+    iter_load_jsonl,
+)
 
 #: Upload formats the daemon accepts, and the content types that imply them.
 TRACE_FORMATS = ("text", "jsonl")
@@ -143,6 +162,14 @@ class RaceService:
         self._threads: List[threading.Thread] = []
         self._stop_event = threading.Event()
         self._executor_lock = threading.Lock()
+        # Resident-partition bookkeeping: _partition_locks serializes
+        # *creation* per key (concurrent jobs on the same trace wait for
+        # one partitioner, then analyze in parallel); _partition_users
+        # refcounts live analyses so the evictor never reaps a partition
+        # mid-run.  _partition_guard protects both dicts.
+        self._partition_guard = threading.Lock()
+        self._partition_locks: Dict[str, threading.Lock] = {}
+        self._partition_users: Dict[str, int] = {}
 
         metric = self.metrics
         self.m_submitted = metric.counter(
@@ -176,6 +203,10 @@ class RaceService:
         self.m_engine_seconds = metric.counter(
             "repro_engine_seconds_total",
             "Wall-clock seconds spent in engine runs, per tool",
+        )
+        self.m_partitions = metric.counter(
+            "repro_partitions_total",
+            "Resident trace partitions, by outcome (created/reused)",
         )
         self.m_requests = metric.counter(
             "repro_http_requests_total", "HTTP requests by route and status"
@@ -423,17 +454,101 @@ class RaceService:
             job=job_id,
         )
 
+    # -- resident partitions -------------------------------------------------
+
+    def _partition_lock(self, key: str) -> threading.Lock:
+        with self._partition_guard:
+            return self._partition_locks.setdefault(key, threading.Lock())
+
+    def _pin_partition(self, key: str) -> None:
+        with self._partition_guard:
+            self._partition_users[key] = self._partition_users.get(key, 0) + 1
+
+    def _unpin_partition(self, key: str) -> None:
+        with self._partition_guard:
+            count = self._partition_users.get(key, 0) - 1
+            if count > 0:
+                self._partition_users[key] = count
+            else:
+                self._partition_users.pop(key, None)
+
+    def _pinned_partitions(self) -> set:
+        with self._partition_guard:
+            return set(self._partition_users)
+
+    def _ensure_partition(self, job_id: str, record: Dict) -> str:
+        """Attach the job to its resident partition, creating it if this
+        trace digest has never been partitioned (or was evicted).
+
+        Creation streams the spooled trace through the v3 partitioner
+        with the **mmap** transport — the buffers must outlive this
+        process for restart recovery, and file-backed mmap lets every
+        concurrent job share one page-cache copy.  Only creation holds
+        the per-key lock; reuse is a metadata read.  Returns the key.
+        """
+        fmt = record["format"]
+        shards = record["shards"]
+        key = record.get("partition")
+        if not key:
+            key = self.store.partition_key(job_id, fmt, shards)
+            self.store.update(job_id, partition=key)
+        pdir = self.store.partition_dir(key)
+        with self._partition_lock(key):
+            wd = Workdir(pdir)
+            meta = wd.read_meta()
+            if meta is not None and meta.get("nshards") == shards:
+                self.m_partitions.inc(outcome="reused")
+            else:
+                os.makedirs(pdir, exist_ok=True)
+
+                def events():
+                    trace = self.store.trace_path(job_id, fmt)
+                    with open(trace, "r", encoding="utf-8") as stream:
+                        if fmt == "jsonl":
+                            yield from iter_load_jsonl(stream)
+                        else:
+                            yield from iter_load(stream)
+
+                engine.partition_events(
+                    events(), wd, shards, transport="mmap"
+                )
+                self.m_partitions.inc(outcome="created")
+            self.store.touch_partition(key)
+        return key
+
     def _analyze(self, job_id: str, record: Dict) -> Dict:
         tools = record["tools"]
         fmt = record["format"]
         shards = record["shards"]
         trace_path = self.store.trace_path(job_id, fmt)
-        workdir = self.store.workdir(job_id)
         deadline = (
             time.monotonic() + self.config.job_timeout
             if self.config.job_timeout
             else None
         )
+        key = self._ensure_partition(job_id, record)
+        workdir = self.store.partition_dir(key)
+        self._pin_partition(key)
+        try:
+            return self._analyze_tools(
+                job_id, record, tools, fmt, shards, trace_path, workdir,
+                deadline,
+            )
+        finally:
+            self._unpin_partition(key)
+            self.store.touch_partition(key)
+
+    def _analyze_tools(
+        self,
+        job_id: str,
+        record: Dict,
+        tools: List[str],
+        fmt: str,
+        shards: int,
+        trace_path: str,
+        workdir: str,
+        deadline: Optional[float],
+    ) -> Dict:
         results: Dict[str, Dict] = {}
         for position, tool in enumerate(tools):
             kernel = record["kernel"]
@@ -462,6 +577,7 @@ class RaceService:
                 kernel=kernel,
                 executor=self._ensure_executor(),
                 policy=policy,
+                transport="mmap",
             )
             elapsed = time.monotonic() - started
             results[tool] = report.to_json()
@@ -489,6 +605,7 @@ class RaceService:
         interval = max(1.0, self.config.eviction_interval)
         while not self._stop_event.wait(interval):
             self.store.evict_expired()
+            self.store.evict_partitions(self._pinned_partitions())
 
     # -- read-side accessors -------------------------------------------------
 
@@ -497,7 +614,14 @@ class RaceService:
         if record is None:
             return None
         progress = dict(record.get("progress") or {})
-        workdir = self.store.workdir(job_id)
+        key = record.get("partition")
+        workdir = (
+            self.store.partition_dir(key)
+            if key
+            # Jobs recovered from a pre-resident-partition store carry no
+            # partition key; their legacy per-job work/ dir still applies.
+            else self.store.workdir(job_id)
+        )
         if os.path.isdir(workdir):
             wd = Workdir(workdir)
             meta = wd.read_meta()

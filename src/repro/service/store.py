@@ -5,9 +5,18 @@ Layout, one directory per job under the store root::
     STORE/jobs/<id>/
       job.json          the job record (state machine below); atomic writes
       trace.text        the spooled upload (``trace.jsonl`` for JSONL)
-      work/             the engine working directory — per-shard checkpoints
-                        live here, so a killed daemon resumes mid-job
+      work/             legacy per-job engine working directory (kept for
+                        jobs recovered from a pre-resident-partition store)
       result.json       the final result document (terminal jobs only)
+    STORE/partitions/<digest>-<fmt>-s<shards>/
+                        one *resident partition* per distinct (trace
+                        content, format, shard count): the engine working
+                        directory — v3 mmap shard buffers, intern tables,
+                        per-(tool, shard) checkpoints — shared by every
+                        job whose trace hashes to the same digest, so N
+                        tools × M resubmissions partition the trace once.
+                        ``.last_used`` tracks TTL eviction; in-use
+                        partitions are pinned by the daemon's refcounts.
 
 Job states: ``queued → running → done | failed``.  A daemon restart
 re-enqueues every ``queued``/``running`` job it finds (the engine skips
@@ -30,13 +39,14 @@ recorded as ``repro_degraded_total{reason="store_quarantined"}``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 import tempfile
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro import faults
 
@@ -76,6 +86,7 @@ class JobStore:
         self.root = root
         self.ttl_seconds = ttl_seconds
         self.jobs_dir = os.path.join(root, "jobs")
+        self.partitions_dir = os.path.join(root, "partitions")
         self.quarantine_dir = os.path.join(root, "quarantine")
         os.makedirs(self.jobs_dir, exist_ok=True)
         self._lock = threading.Lock()
@@ -97,6 +108,68 @@ class JobStore:
 
     def result_path(self, job_id: str) -> str:
         return os.path.join(self.job_dir(job_id), "result.json")
+
+    # -- resident partitions -------------------------------------------------
+
+    def partition_key(self, job_id: str, fmt: str, shards: int) -> str:
+        """The resident-partition identity for a job's trace.
+
+        The key is content-addressed — a streamed SHA-256 of the spooled
+        trace bytes — plus the format and shard count (different shard
+        counts are different partitions), so two jobs submitting the
+        same trace land on the same engine working directory no matter
+        when or by whom they were submitted.
+        """
+        digest = hashlib.sha256()
+        with open(self.trace_path(job_id, fmt), "rb") as stream:
+            for chunk in iter(lambda: stream.read(1 << 20), b""):
+                digest.update(chunk)
+        return f"{digest.hexdigest()[:16]}-{fmt}-s{shards}"
+
+    def partition_dir(self, key: str) -> str:
+        return os.path.join(self.partitions_dir, key)
+
+    def touch_partition(self, key: str) -> None:
+        """Refresh a partition's ``.last_used`` stamp (TTL bookkeeping)."""
+        path = self.partition_dir(key)
+        os.makedirs(path, exist_ok=True)
+        stamp = os.path.join(path, ".last_used")
+        with open(stamp, "a", encoding="utf-8"):
+            pass
+        os.utime(stamp)
+
+    def evict_partitions(
+        self,
+        in_use: Set[str],
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Remove resident partitions idle past the TTL; returns the keys.
+
+        ``in_use`` pins partitions with a live analysis (the daemon
+        passes its refcounted key set) — they are never evicted
+        regardless of stamp age.
+        """
+        now = time.time() if now is None else now
+        evicted: List[str] = []
+        try:
+            names = sorted(os.listdir(self.partitions_dir))
+        except OSError:
+            return evicted
+        for name in names:
+            if name in in_use:
+                continue
+            path = os.path.join(self.partitions_dir, name)
+            if not os.path.isdir(path):
+                continue
+            stamp = os.path.join(path, ".last_used")
+            try:
+                last_used = os.stat(stamp).st_mtime
+            except OSError:
+                last_used = 0.0
+            if now - last_used >= self.ttl_seconds:
+                shutil.rmtree(path, ignore_errors=True)
+                evicted.append(name)
+        return evicted
 
     # -- lifecycle -----------------------------------------------------------
 

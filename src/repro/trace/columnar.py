@@ -49,6 +49,7 @@ class ColumnarTrace:
         "_target_index",
         "_site_index",
         "_max_tid",
+        "_buffer_owner",
     )
 
     def __init__(self) -> None:
@@ -61,6 +62,7 @@ class ColumnarTrace:
         self._target_index: Dict[Hashable, int] = {}
         self._site_index: Dict[Hashable, int] = {}
         self._max_tid = -1
+        self._buffer_owner = None
 
     # -- building -----------------------------------------------------------
 
@@ -159,6 +161,33 @@ class ColumnarTrace:
         trace._target_index = {}
         trace._site_index = {}
         trace._max_tid = max(tids, default=-1)
+        trace._buffer_owner = None
+        return trace
+
+    @classmethod
+    def from_buffers(
+        cls,
+        kinds,
+        tids,
+        target_ids,
+        site_ids,
+        targets: List[Hashable],
+        sites: List[Hashable],
+        owner=None,
+    ) -> "ColumnarTrace":
+        """Wrap zero-copy buffer views (``memoryview`` casts) as columns.
+
+        The engine's v3 shard transport uses this: the columns index
+        straight into a shared-memory block or an mmap'd shard file, so
+        constructing the trace copies nothing.  ``owner`` is whatever
+        object keeps the underlying mapping alive (the transport's
+        :class:`~repro.engine.transport.ShardView`); it is pinned on the
+        trace so the buffers outlive every reader.
+        """
+        trace = cls.from_columns(
+            kinds, tids, target_ids, site_ids, targets, sites
+        )
+        trace._buffer_owner = owner
         return trace
 
     # -- sequence protocol --------------------------------------------------
@@ -168,6 +197,24 @@ class ColumnarTrace:
         """The largest acting tid in the trace (-1 when empty or
         barrier-only) — kernels size their dense thread tables with it."""
         return self._max_tid
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the four columns (33 per event).
+
+        Works for both storage forms: ``array`` columns report
+        ``len * itemsize``, buffer-backed columns report the underlying
+        view's ``nbytes`` — either way this is the shard transport's
+        per-shard payload size, surfaced as ``repro_shard_bytes_total``.
+        """
+        total = 0
+        for column in (self.kinds, self.tids, self.target_ids,
+                       self.site_ids):
+            nbytes = getattr(column, "nbytes", None)
+            if nbytes is None:
+                nbytes = len(column) * column.itemsize
+            total += nbytes
+        return total
 
     def __len__(self) -> int:
         return len(self.kinds)

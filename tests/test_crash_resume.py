@@ -211,8 +211,24 @@ def test_daemon_sigterm_checkpoints_and_restart_completes(
     first, client = _start_daemon(store, _free_port())
     try:
         job = client.submit(path=big_trace_path, shards=NSHARDS)
+        # The daemon analyzes inside a resident partition keyed by the
+        # trace digest; the key lands on the job record when the runner
+        # picks the job up.
+        job_json = os.path.join(store, "jobs", job["id"], "job.json")
+        deadline = time.monotonic() + 60.0
+        partition = None
+        while partition is None:
+            try:
+                with open(job_json) as stream:
+                    partition = json.load(stream).get("partition")
+            except (OSError, json.JSONDecodeError):
+                pass
+            if partition is None:
+                assert first.poll() is None, "daemon died before analysis"
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.05)
         results_dir = os.path.join(
-            store, "jobs", job["id"], "work", "results", "FastTrack"
+            store, "partitions", partition, "results", "FastTrack"
         )
         _wait_for_checkpoints(results_dir, 2, first)
     finally:

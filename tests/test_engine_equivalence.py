@@ -10,12 +10,16 @@ feasible traces spanning the paper's sharing idioms (disciplined,
 semi-disciplined, and chaotic), at 1, 2, and 4 shards.
 """
 
+import json
 import random
 
 import pytest
 
 from repro import engine
 from repro.detectors import DETECTORS, make_detector
+from repro.engine import transport as shard_transport
+from repro.engine.checkpoint import CheckpointError, Workdir
+from repro.report import dumps_result
 from repro.trace.generators import GeneratorConfig, random_feasible_trace
 
 #: The tools the issue calls out, spanning precise VC tools and Eraser.
@@ -171,3 +175,116 @@ def test_cross_shard_site_dedup_matches_single_threaded():
     assert single.warning_count == 1  # the premise: site dedup fired
     assert report.warnings == single.warnings
     assert report.suppressed_warnings == single.suppressed_warnings == 1
+
+
+# -- transport equivalence: shm and mmap publish the same bytes ---------------
+
+
+def _reference_trace():
+    rng = random.Random(4242)
+    return random_feasible_trace(
+        rng,
+        GeneratorConfig(
+            max_events=600,
+            max_threads=5,
+            n_vars=14,
+            n_locks=2,
+            discipline=0.3,
+            p_fork=0.1,
+            p_volatile=0.05,
+        ),
+    )
+
+
+_TRANSPORTS = ("mmap",) + (
+    ("shm",) if shard_transport.supports_shm() else ()
+)
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+def test_all_tools_bit_identical_across_transports(tmp_path, nshards):
+    """For every registered tool and shard count, the canonical
+    ``repro.result/1`` bytes must not depend on how shard buffers
+    travel — shm blocks and mmap files are views over the same columns.
+    """
+    trace = _reference_trace()
+    for tool in DETECTORS:
+        kwargs = _tool_kwargs(tool)
+        documents = {}
+        for transport in _TRANSPORTS:
+            workdir = tmp_path / f"{tool}-{nshards}-{transport}"
+            report = engine.check_events(
+                trace.events,
+                tool=tool,
+                nshards=nshards,
+                workdir=str(workdir),
+                tool_kwargs=kwargs,
+                transport=transport,
+            )
+            documents[transport] = dumps_result(report.to_json())
+            assert report.timings is not None
+            assert report.timings["transport"] == transport
+            # Caller-provided workdirs are the caller's to sweep (the
+            # engine only tears down directories it created itself).
+            Workdir(str(workdir)).release_blocks()
+        assert len(set(documents.values())) == 1, (tool, nshards)
+    assert shard_transport.leaked_blocks() == []
+
+
+def test_crash_resume_over_v3_partition(tmp_path):
+    """A resumed run over a v3 partition reuses checkpoints: delete one
+    shard's result, resume, and the bytes match the uninterrupted run."""
+    trace = _reference_trace()
+    workdir = tmp_path / "resume"
+    kwargs = _tool_kwargs("FastTrack")
+
+    def run():
+        return engine.check_events(
+            trace.events,
+            tool="FastTrack",
+            nshards=4,
+            workdir=str(workdir),
+            resume=True,
+            tool_kwargs=kwargs,
+            transport="mmap",
+        )
+
+    full = dumps_result(run().to_json())
+    wd = Workdir(str(workdir))
+    meta = wd.read_meta()
+    assert meta is not None and meta["format_version"] == 3
+    assert meta["transport"] == "mmap"
+    # Simulate a crash that lost one shard's checkpoint mid-run: the
+    # partition and the other three checkpoints survive on disk.
+    import os
+
+    os.unlink(wd.result_path("FastTrack", 2))
+    assert sorted(wd.completed_shards("FastTrack", 4)) == [0, 1, 3]
+    assert dumps_result(run().to_json()) == full
+    assert sorted(wd.completed_shards("FastTrack", 4)) == [0, 1, 2, 3]
+
+
+def test_v2_workdir_rejected_with_version_error(tmp_path):
+    """Resuming against a pickle-era (v2) partition must fail fast and
+    name both versions — never silently re-partition over it."""
+    trace = _reference_trace()
+    workdir = tmp_path / "v2"
+    workdir.mkdir()
+    (workdir / "meta.json").write_text(json.dumps({
+        "format_version": 2,
+        "nshards": 4,
+        "events": len(trace),
+        "batches": {"0": 1, "1": 1, "2": 1, "3": 1},
+    }))
+    with pytest.raises(CheckpointError) as exc:
+        engine.check_events(
+            trace.events,
+            tool="FastTrack",
+            nshards=4,
+            workdir=str(workdir),
+            resume=True,
+            transport="mmap",
+        )
+    message = str(exc.value)
+    assert "v2" in message and "v3" in message
+    assert "fresh directory" in message

@@ -304,6 +304,65 @@ def test_all_shards_poisoned_fails_explicitly(tmp_path):
     assert output == ""  # no fabricated result document
 
 
+# -- shm transport lifecycle: /dev/shm must end empty, whatever happens -------
+
+
+from repro.engine import transport as shm_transport  # noqa: E402
+
+needs_shm = pytest.mark.skipif(
+    not shm_transport.supports_shm(),
+    reason="POSIX shared memory is unavailable on this host",
+)
+
+
+@needs_shm
+def test_shm_clean_run_sweeps_every_block(baseline):
+    # The result bytes are transport-independent, and the engine's
+    # teardown sweep releases every block it published.
+    code, output = _check([TRACE, "--shards", "4", "--transport", "shm",
+                           "--json"])
+    assert (code, output) == baseline
+    assert shm_transport.leaked_blocks() == []
+
+
+@needs_shm
+def test_shm_kill_storm_leaves_no_blocks(tmp_path, baseline):
+    # A storm of hard worker exits (os._exit mid-shard, pool rebuilds)
+    # plus one permanently poisoned shard: whatever the run's verdict —
+    # healed clean or explicitly degraded — no shard buffer survives in
+    # /dev/shm.  Workers attach *untracked* and the parent owns every
+    # block, so no worker death path can leak one (docs/ENGINE.md).
+    plan = _plan_file(tmp_path, [
+        {"point": "worker.crash", "action": "exit",
+         "match": {"attempt": 0}, "times": 4},
+        {"point": "worker.crash", "match": {"shard": 2}, "times": 99},
+    ])
+    code, output = _check([
+        TRACE, "--shards", "4", "--jobs", "2", "--transport", "shm",
+        "--json", "--faults", plan,
+    ])
+    assert code in (0, 1, 4)  # healed or explicitly degraded, never wedged
+    if code == 4 and output:
+        assert json.loads(output)["degraded"]["shards_total"] == 4
+    assert shm_transport.leaked_blocks() == []
+
+
+@needs_shm
+def test_shm_torn_checkpoint_storm_leaves_no_blocks(tmp_path, baseline):
+    # Torn checkpoints force quarantine-and-recompute churn over live
+    # shm attachments; the sweep still runs on the way out.
+    plan = _plan_file(tmp_path, [
+        {"point": "checkpoint.write", "action": "torn",
+         "match": {"attempt": 0}, "times": 4},
+    ])
+    code, output = _check([
+        TRACE, "--shards", "4", "--transport", "shm", "--json",
+        "--faults", plan,
+    ])
+    assert (code, output) == baseline
+    assert shm_transport.leaked_blocks() == []
+
+
 def test_corrupt_trace_bytes_exit_2(tmp_path, capsys):
     # The corrupt line must surface as a clean parse error (exit 2 with
     # the line number), never a traceback from deep inside the engine.
