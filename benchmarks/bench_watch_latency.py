@@ -1,0 +1,117 @@
+"""Live-monitor cost: streaming throughput and event→warning latency.
+
+``repro watch`` trades the fused columnar kernels for per-event
+dispatch, because a live stream cannot be batched without delaying
+warnings.  This benchmark quantifies that trade on two workloads:
+
+* **eclipse-import** — the paper's largest evaluation program (§5.3),
+  streamed through FastTrack the way ``repro watch --tool FastTrack``
+  drives it;
+* **task-pool** — the async-finish model program at benchmark scale,
+  streamed through the task-aware AsyncFinish detector.
+
+Two measurements per workload, interleaved best-of rounds:
+
+* **throughput** — one untimed-per-event ``drain`` over the whole
+  stream, wall-clocked as events/second;
+* **latency** — per-event ``feed`` durations (the time from an event
+  being available to its warnings being rendered, which is exactly the
+  monitor's event→warning latency), reported as p50/p95/max.
+
+Results go to the session recorder that ``benchmarks/conftest.py``
+serializes to ``benchmarks/BENCH_watch.json``.
+
+Tunables: ``BENCH_WATCH_SCALE`` (eclipse import scale, default 2000)
+and ``BENCH_WATCH_ROUNDS`` (default 5, best kept).
+"""
+
+import gc
+import os
+import time
+
+from repro.bench.eclipse import import_program
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.scheduler import run_program
+from repro.trace.generators import task_pool_trace
+from repro.watch import WatchMonitor
+
+WATCH_SCALE = int(os.environ.get("BENCH_WATCH_SCALE", "2000"))
+ROUNDS = int(os.environ.get("BENCH_WATCH_ROUNDS", "5"))
+
+
+def _workloads():
+    eclipse = list(run_program(import_program(WATCH_SCALE), seed=0).events)
+    pool = list(
+        task_pool_trace(
+            tasks=48, items=max(10, WATCH_SCALE // 100), racy=True, seed=0
+        ).events
+    )
+    return (
+        ("eclipse-import", "FastTrack", eclipse),
+        ("task-pool", "AsyncFinish", pool),
+    )
+
+
+def _percentile(sorted_values, fraction):
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _throughput_round(tool, events):
+    monitor = WatchMonitor(tool, registry=MetricsRegistry())
+    gc.collect()
+    start = time.perf_counter()
+    warnings = sum(1 for _ in monitor.drain(iter(events)))
+    elapsed = time.perf_counter() - start
+    return elapsed, warnings
+
+
+def _latency_round(tool, events):
+    monitor = WatchMonitor(tool, registry=MetricsRegistry())
+    timings = []
+    gc.collect()
+    clock = time.perf_counter
+    for event in events:
+        start = clock()
+        monitor.feed(event)
+        timings.append(clock() - start)
+    timings.sort()
+    return timings
+
+
+def test_watch_latency(watch_bench_recorder):
+    for workload, tool, events in _workloads():
+        n = len(events)
+        best_elapsed = float("inf")
+        best_timings = None
+        warnings = 0
+        for _ in range(ROUNDS):
+            elapsed, warnings = _throughput_round(tool, events)
+            best_elapsed = min(best_elapsed, elapsed)
+            timings = _latency_round(tool, events)
+            if best_timings is None or timings[-1] < best_timings[-1]:
+                best_timings = timings
+        result = {
+            "workload": workload,
+            "tool": tool,
+            "events": n,
+            "warnings": warnings,
+            "rounds": ROUNDS,
+            "cpus": os.cpu_count(),
+            "seconds": best_elapsed,
+            "events_per_sec": n / best_elapsed,
+            "latency_p50_seconds": _percentile(best_timings, 0.50),
+            "latency_p95_seconds": _percentile(best_timings, 0.95),
+            "latency_max_seconds": best_timings[-1],
+        }
+        watch_bench_recorder[f"watch_{workload}"] = result
+        print(
+            f"\n{workload}/{tool}: {n / best_elapsed:,.0f} ev/s, "
+            f"p95 event→warning latency "
+            f"{result['latency_p95_seconds'] * 1e6:,.1f} µs "
+            f"({warnings} warning(s) over {n:,} events)"
+        )
+        assert result["events_per_sec"] > 0
+        assert result["latency_p95_seconds"] >= result["latency_p50_seconds"]

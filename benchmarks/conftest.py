@@ -36,6 +36,9 @@ FAULTS_BENCH_RESULTS = {}
 #: And for the predictive-detector overhead sweep → BENCH_predict.json.
 PREDICT_BENCH_RESULTS = {}
 
+#: And for the live-monitor throughput/latency run → BENCH_watch.json.
+WATCH_BENCH_RESULTS = {}
+
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _BENCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_engine.json")
 _KERNEL_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_kernels.json")
@@ -43,6 +46,7 @@ _SERVICE_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
 _OBS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_obs.json")
 _FAULTS_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_faults.json")
 _PREDICT_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_predict.json")
+_WATCH_JSON_PATH = os.path.join(_BENCH_DIR, "BENCH_watch.json")
 
 
 @pytest.fixture(scope="session")
@@ -86,6 +90,12 @@ def predict_bench_recorder():
     return PREDICT_BENCH_RESULTS
 
 
+@pytest.fixture(scope="session")
+def watch_bench_recorder():
+    """Session-wide dict for live-monitor numbers (→ BENCH_watch.json)."""
+    return WATCH_BENCH_RESULTS
+
+
 def pytest_collection_modifyitems(config, items):
     # Keep a stable, table-like ordering in the benchmark report.
     items.sort(key=lambda item: item.nodeid)
@@ -99,6 +109,7 @@ def pytest_sessionfinish(session, exitstatus):
         (OBS_BENCH_RESULTS, _OBS_JSON_PATH),
         (FAULTS_BENCH_RESULTS, _FAULTS_JSON_PATH),
         (PREDICT_BENCH_RESULTS, _PREDICT_JSON_PATH),
+        (WATCH_BENCH_RESULTS, _WATCH_JSON_PATH),
     ):
         if not results:
             continue

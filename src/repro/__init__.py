@@ -41,6 +41,7 @@ from repro.core import (
 from repro.detectors import (
     DETECTORS,
     PRECISE_DETECTORS,
+    AsyncFinishDetector,
     BasicVC,
     DJITPlus,
     Empty,
@@ -95,6 +96,7 @@ __all__ = [
     "Goldilocks",
     "BasicVC",
     "DJITPlus",
+    "AsyncFinishDetector",
     "DETECTORS",
     "PRECISE_DETECTORS",
     "make_detector",

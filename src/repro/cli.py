@@ -93,6 +93,7 @@ def cmd_tools(_args) -> int:
         "DJIT+": "epoch-fast-pathed vector clocks [30]",
         "FastTrack": "adaptive epochs (this paper)",
         "WCP": "weak-causally-precedes, predictive (repro predict)",
+        "AsyncFinish": "FastTrack + async-finish task scopes (alias: async)",
     }
     for name, cls in DETECTORS.items():
         flag = "yes" if cls.precise else "no"
@@ -516,6 +517,83 @@ def cmd_profile(args) -> int:
     else:
         shutil.rmtree(directory, ignore_errors=True)
     return 0
+
+
+def cmd_watch(args) -> int:
+    """Run a detector incrementally over a live stream (docs/WATCH.md).
+
+    Emits one ``repro.warning/1`` JSON line per warning to stdout, the
+    moment the completing access is analyzed.  Exit codes match ``repro
+    check``: 0 clean, 1 warnings streamed, 2 input/parse errors.
+    """
+    from repro import obs
+    from repro.watch import TailReader, WatchMonitor, stdin_lines
+
+    telemetry = _enable_telemetry(args)
+    reader = None
+    try:
+        if args.trace == "-":
+            lines = stdin_lines()
+        else:
+            if not os.path.exists(args.trace):
+                print(
+                    f"error: {args.trace}: no such file", file=sys.stderr
+                )
+                return 2
+            # Without --follow the whole point is draining the file, so
+            # --from-start is implied; with --follow the default is to
+            # start at the current end (new events only).
+            reader = TailReader(
+                args.trace,
+                from_start=args.from_start or not args.follow,
+                follow=args.follow,
+                poll_interval=args.poll_interval,
+                idle_timeout=args.idle_timeout,
+            )
+            lines = reader.lines()
+        parse = (
+            serialize.iter_parse_jsonl
+            if args.format == "jsonl"
+            else serialize.iter_parse
+        )
+        monitor = WatchMonitor(args.tool, compact_every=args.compact_every)
+        arrival = (
+            (lambda: reader.last_read_at) if reader is not None else None
+        )
+        try:
+            with obs.span(
+                "watch.run", tool=monitor.tool, trace=args.trace
+            ) as span:
+                for record in monitor.drain(parse(lines), arrival=arrival):
+                    print(record, flush=True)
+                summary = monitor.finish()
+                span.set(
+                    events=summary["events"], warnings=summary["warnings"]
+                )
+        except serialize.TraceParseError as error:
+            monitor.finish()
+            _print_parse_error(args.trace, error)
+            return 2
+        except OSError as error:
+            print(
+                f"error: {args.trace}: {error.strerror or error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"watched {summary['events']} event(s): "
+            f"{summary['warnings']} warning(s)"
+            + (
+                f", {summary['compactions']} compaction(s)"
+                if summary["compactions"]
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 1 if summary["warnings"] else 0
+    finally:
+        if telemetry:
+            obs.disable()
 
 
 def cmd_classify(args) -> int:
@@ -954,6 +1032,64 @@ def build_parser() -> argparse.ArgumentParser:
         "discarding them after the report",
     )
     profile.set_defaults(func=cmd_profile)
+
+    watch = sub.add_parser(
+        "watch",
+        help="incrementally monitor a live trace stream, emitting "
+        "repro.warning/1 JSON lines as races fire (docs/WATCH.md)",
+    )
+    watch.add_argument("trace", help="trace file to tail, or - for stdin")
+    watch.add_argument(
+        "--tool",
+        default="FastTrack",
+        type=resolve_tool_name,
+        choices=list(DETECTORS),
+    )
+    watch.add_argument(
+        "--format", choices=("text", "jsonl"), default="jsonl"
+    )
+    watch.add_argument(
+        "--from-start",
+        action="store_true",
+        help="with --follow, analyze the file's existing contents before "
+        "tailing (implied when --follow is absent)",
+    )
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing for new events after reaching end of file",
+    )
+    watch.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --follow, stop after this long with no new bytes "
+        "(default: follow forever)",
+    )
+    watch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="how often --follow polls the file for growth",
+    )
+    watch.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run warning-preserving shadow-state compaction every N "
+        "events (0 = never); bounds memory on unbounded streams",
+    )
+    watch.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write structured telemetry (spans.jsonl + metrics.json, "
+        "including repro_watch_* metrics) to DIR",
+    )
+    watch.set_defaults(func=cmd_watch)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived race-checking daemon"

@@ -167,6 +167,10 @@ class Detector:
             ev.BARRIER_RELEASE: self.on_barrier_release,
             ev.ENTER: self.on_enter,
             ev.EXIT: self.on_exit,
+            ev.TASK_SPAWN: self.on_task_spawn,
+            ev.TASK_AWAIT: self.on_task_await,
+            ev.FINISH_BEGIN: self.on_finish_begin,
+            ev.FINISH_END: self.on_finish_end,
         }
 
     # -- driving ------------------------------------------------------------
@@ -290,6 +294,20 @@ class Detector:
         """Current shadow-state footprint in words; overridden by tools."""
         return 0
 
+    def compact(self) -> int:
+        """Drop shadow state that can no longer change the warning stream.
+
+        The incremental monitor (:mod:`repro.watch`) calls this
+        periodically so an unbounded live stream does not grow detector
+        memory without bound.  Implementations must be *warning
+        preserving*: after a compaction, the sequence of warnings emitted
+        for any continuation of the stream is identical to what an
+        uncompacted detector would emit.  Returns the number of shadow
+        entries released; the base implementation keeps everything and
+        returns 0, which is always sound.
+        """
+        return 0
+
     # -- event hooks (default: ignore) ----------------------------------------
 
     def on_read(self, event: ev.Event) -> None:  # pragma: no cover - trivial
@@ -323,4 +341,16 @@ class Detector:
         pass
 
     def on_exit(self, event: ev.Event) -> None:  # pragma: no cover
+        pass
+
+    def on_task_spawn(self, event: ev.Event) -> None:  # pragma: no cover
+        pass
+
+    def on_task_await(self, event: ev.Event) -> None:  # pragma: no cover
+        pass
+
+    def on_finish_begin(self, event: ev.Event) -> None:  # pragma: no cover
+        pass
+
+    def on_finish_end(self, event: ev.Event) -> None:  # pragma: no cover
         pass

@@ -210,3 +210,22 @@ class FastTrack(VCSyncDetector):
         for x in self.vars.values():
             words += x.shadow_words()
         return words
+
+    # -- compaction (repro.watch) ----------------------------------------------
+
+    def compact(self) -> int:
+        """Release the shadow state of variables that already warned.
+
+        Warning preserving (the :meth:`Detector.compact` contract): once a
+        shadow key is in ``_warned_keys``, every future :meth:`report` on
+        it is suppressed — it can neither emit a warning nor touch the
+        site-dedup set — so however a recreated, bottom-initialized
+        ``VarState`` evolves, the emitted warning stream is unchanged.
+        Rule/op *statistics* for re-accessed warned variables may differ
+        from an uncompacted run; only the warnings are guaranteed.
+        """
+        released = 0
+        for key in self._warned_keys:
+            if self.vars.pop(key, None) is not None:
+                released += 1
+        return released

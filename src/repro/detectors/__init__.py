@@ -14,6 +14,7 @@ BasicVC         yes        read + write vector clock per location
 DJIT+           yes        epoch-optimized vector clocks [30]
 FastTrack       yes        this paper
 WCP             no*        weak-causally-precedes (predictive; repro.predict)
+AsyncFinish     yes        FastTrack + async-finish task scopes (PAPERS.md)
 ==============  =========  ====================================================
 
 (* WCP's extra reports are candidates made precise by vindication —
@@ -35,6 +36,7 @@ from repro.detectors.djit import DJITPlus
 from repro.detectors.multirace import MultiRace
 from repro.detectors.goldilocks import Goldilocks
 from repro.detectors.classifier import SharingClassifier
+from repro.detectors.asyncfinish import AsyncFinishDetector
 from repro.core.fasttrack import FastTrack
 from repro.detectors.registry import (
     DETECTORS,
@@ -60,6 +62,7 @@ __all__ = [
     "Goldilocks",
     "FastTrack",
     "WCPDetector",
+    "AsyncFinishDetector",
     "SharingClassifier",
     "DETECTORS",
     "PRECISE_DETECTORS",

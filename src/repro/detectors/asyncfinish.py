@@ -1,0 +1,155 @@
+"""Async-finish race detection with vector clocks (PAPERS.md).
+
+"Efficient Data Race Detection of Async-Finish Programs Using Vector
+Clocks" extends FastTrack-style analysis to task-parallel programs: a
+task may ``async``-spawn child tasks, ``await`` one explicitly, or wrap
+a region in a ``finish`` scope that blocks until every task spawned
+(transitively) inside it has completed.  The trace vocabulary
+(:mod:`repro.trace.events`) models these as::
+
+    task_spawn(t, u)     # like fork(t, u), plus scope registration
+    task_await(t, u)     # like join(t, u)
+    finish_begin(t, f)   # open finish scope f
+    finish_end(t, f)     # close f: join every task spawned under it
+
+The vector-clock rules (tasks share the thread-id namespace, so the
+Figure 3 machinery carries over unchanged):
+
+========================  ===================================================
+[AF SPAWN]                ``C_u := C_u ⊔ C_t;  C_t := inc_t(C_t)`` and ``u``
+                          is registered with ``t``'s innermost *visible*
+                          finish scope (inherited from ``t``'s spawner when
+                          ``t`` has not opened one itself)
+[AF AWAIT]                ``C_t := C_t ⊔ C_u;  C_u := inc_u(C_u)``
+[AF FINISH BEGIN]         push a fresh scope; no clock movement
+[AF FINISH END]           ``C_t := C_t ⊔ C_u`` for every ``u`` registered
+                          with the scope (spawn order), then pop
+========================  ===================================================
+
+Transitive joining falls out of scope *inheritance by reference*: a
+child spawned under scope ``S`` registers its own spawns with the same
+``S`` object unless it opens a nested scope — whose ``finish_end`` is an
+operation of the child, so ``S``'s closing join transitively covers the
+nested tasks through the child's clock.
+
+The detector subclasses :class:`~repro.core.fasttrack.FastTrack`, so all
+access handling (epochs, adaptive read representation, Theorem 1
+precision, warning dedup) is FastTrack's own; on traces with no task
+events it is behaviorally identical to FastTrack.  Like every
+``VCSyncDetector`` it is shard-safe: task events are synchronization, so
+the engine broadcasts them to every shard and each shard sees the full
+scope structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.fasttrack import FastTrack
+from repro.trace import events as ev
+
+
+class _FinishScope:
+    """One open ``finish`` scope: the tasks registered for its closing join."""
+
+    __slots__ = ("label", "parent", "tasks")
+
+    def __init__(
+        self, label: Hashable, parent: Optional["_FinishScope"]
+    ) -> None:
+        self.label = label
+        self.parent = parent
+        self.tasks: List[int] = []
+
+
+class AsyncFinishDetector(FastTrack):
+    """FastTrack extended with async-finish task parallelism."""
+
+    name = "AsyncFinish"
+    precise = True
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: tid → the innermost finish scope governing its spawns (its own
+        #: latest open scope, else the one inherited from its spawner).
+        self._visible: Dict[int, Optional[_FinishScope]] = {}
+        #: tid → scopes the task itself opened and has not yet closed.
+        self._open_scopes: Dict[int, List[_FinishScope]] = {}
+        #: Tasks known to have completed (awaited or finish-joined); their
+        #: clocks are dead weight on feasible traces — see :meth:`compact`.
+        self._terminated: Set[int] = set()
+
+    # -- task rules -----------------------------------------------------------
+
+    def on_task_spawn(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        u = self.thread(event.target)
+        u.vc.join(t.vc)
+        self.stats.vc_ops += 1
+        u.refresh_epoch()
+        t.vc.inc(t.tid)
+        t.refresh_epoch()
+        self.stats.rule("AF SPAWN")
+        scope = self._visible.get(event.tid)
+        # The child inherits the spawner's scope *by reference*: its own
+        # spawns register with the same scope unless it opens a nested one.
+        self._visible[event.target] = scope
+        if scope is not None:
+            scope.tasks.append(event.target)
+
+    def on_task_await(self, event: ev.Event) -> None:
+        t = self.thread(event.tid)
+        u = self.thread(event.target)
+        t.vc.join(u.vc)
+        self.stats.vc_ops += 1
+        t.refresh_epoch()
+        u.vc.inc(u.tid)
+        u.refresh_epoch()
+        self._terminated.add(event.target)
+        self.stats.rule("AF AWAIT")
+
+    def on_finish_begin(self, event: ev.Event) -> None:
+        scope = _FinishScope(event.target, self._visible.get(event.tid))
+        self._open_scopes.setdefault(event.tid, []).append(scope)
+        self._visible[event.tid] = scope
+        self.stats.rule("AF FINISH BEGIN")
+
+    def on_finish_end(self, event: ev.Event) -> None:
+        stack = self._open_scopes.get(event.tid)
+        if not stack:
+            # Unmatched finish_end: no scope to close.  The feasibility
+            # checker flags this; the online analysis just moves on.
+            return
+        scope = stack.pop()
+        self._visible[event.tid] = scope.parent
+        t = self.thread(event.tid)
+        for utid in scope.tasks:
+            if utid in self._terminated:
+                continue  # already awaited explicitly
+            u = self.thread(utid)
+            t.vc.join(u.vc)
+            self.stats.vc_ops += 1
+            u.vc.inc(u.tid)
+            u.refresh_epoch()
+            self._terminated.add(utid)
+        t.refresh_epoch()
+        self.stats.rule("AF FINISH END")
+
+    # -- compaction (repro.watch) ----------------------------------------------
+
+    def compact(self) -> int:
+        """FastTrack's compaction plus the clocks of completed tasks.
+
+        A terminated task never acts again on a feasible trace and its
+        closing join already flowed into its awaiter, so its
+        ``ThreadState`` cannot influence any future warning.  Assumes
+        task ids are not reused after termination.
+        """
+        released = super().compact()
+        for tid in self._terminated:
+            if self.threads.pop(tid, None) is not None:
+                released += 1
+            self._visible.pop(tid, None)
+            self._open_scopes.pop(tid, None)
+        self._terminated.clear()
+        return released

@@ -1,5 +1,6 @@
 """Registry of the tools: the paper's seven (Table 1 column order) plus
-the predictive family (``repro.predict``)."""
+the predictive family (``repro.predict``) and the async-finish detector
+(``repro.detectors.asyncfinish``)."""
 
 from __future__ import annotations
 
@@ -7,6 +8,7 @@ from typing import Dict, Type
 
 from repro.core.detector import Detector
 from repro.core.fasttrack import FastTrack
+from repro.detectors.asyncfinish import AsyncFinishDetector
 from repro.detectors.basicvc import BasicVC
 from repro.detectors.djit import DJITPlus
 from repro.detectors.empty import Empty
@@ -24,29 +26,40 @@ DETECTORS: Dict[str, Type[Detector]] = {
     "DJIT+": DJITPlus,
     "FastTrack": FastTrack,
     "WCP": WCPDetector,
+    "AsyncFinish": AsyncFinishDetector,
 }
 
 #: The tools that never report false alarms (Theorem 1 and its analogues).
 #: WCP is deliberately absent: its extra reports are *candidates* made
 #: precise by vindication (repro.predict), not by the observed order.
-PRECISE_DETECTORS = ("Goldilocks", "BasicVC", "DJIT+", "FastTrack")
+PRECISE_DETECTORS = ("Goldilocks", "BasicVC", "DJIT+", "FastTrack", "AsyncFinish")
 
 _CANONICAL = {name.lower(): name for name in DETECTORS}
+
+#: Convenience spellings accepted everywhere a tool name is (CLI flags,
+#: service job submissions): ``--tool async`` reads better than
+#: ``--tool asyncfinish`` in the task-parallel workflows.
+_ALIASES = {"async": "AsyncFinish"}
 
 
 def resolve_tool_name(name: str) -> str:
     """Canonicalize a tool name, case-insensitively (``wcp`` → ``WCP``,
-    ``fasttrack`` → ``FastTrack``).  Unknown names pass through unchanged
-    so the caller's own unknown-tool error fires with the original text."""
-    return _CANONICAL.get(name.strip().lower(), name)
+    ``fasttrack`` → ``FastTrack``, alias ``async`` → ``AsyncFinish``).
+    Unknown names pass through unchanged so the caller's own unknown-tool
+    error fires with the original text."""
+    token = name.strip().lower()
+    token = _ALIASES.get(token, token)
+    return _CANONICAL.get(token.lower(), name)
 
 
 def default_tool_kwargs(name: str) -> Dict[str, object]:
     """The constructor kwargs every result-emitting surface (CLI ``check``,
     the engine path, the ``repro serve`` daemon) applies by default, so
-    their outputs stay comparable: FastTrack tracks source sites to name
-    both sides of a race."""
-    return {"track_sites": True} if name == "FastTrack" else {}
+    their outputs stay comparable: FastTrack (and its async-finish
+    extension) tracks source sites to name both sides of a race."""
+    if name in ("FastTrack", "AsyncFinish"):
+        return {"track_sites": True}
+    return {}
 
 
 def make_detector(name: str, **kwargs) -> Detector:

@@ -54,7 +54,9 @@ def derived_rule_counts(tool: str, stats: CostStats) -> Dict[str, int]:
     so every surface lists rules in the same order.
     """
     counts: Dict[str, int] = dict(stats.rules)
-    if tool == "FastTrack":
+    if tool in ("FastTrack", "AsyncFinish"):
+        # AsyncFinish inherits FastTrack's counter-free same-epoch fast
+        # paths unchanged (the task rules only touch sync events).
         counts["FT READ SAME EPOCH"] = stats.reads - sum(
             counts.get(rule, 0) for rule in _FT_READ_SLOW
         )

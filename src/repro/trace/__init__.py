@@ -17,11 +17,16 @@ from repro.trace.events import (
     BARRIER_RELEASE,
     ENTER,
     EXIT,
+    FINISH_BEGIN,
+    FINISH_END,
     FORK,
     JOIN,
     READ,
     RELEASE,
     SYNC_KINDS,
+    TASK_AWAIT,
+    TASK_KINDS,
+    TASK_SPAWN,
     VOLATILE_READ,
     VOLATILE_WRITE,
     WRITE,
@@ -30,10 +35,14 @@ from repro.trace.events import (
     barrier_rel,
     enter,
     exit_,
+    finish_begin,
+    finish_end,
     fork,
     join,
     rd,
     rel,
+    task_await,
+    task_spawn,
     vol_rd,
     vol_wr,
     wr,
@@ -67,6 +76,10 @@ __all__ = [
     "barrier_rel",
     "enter",
     "exit_",
+    "task_spawn",
+    "task_await",
+    "finish_begin",
+    "finish_end",
     "READ",
     "WRITE",
     "ACQUIRE",
@@ -78,8 +91,13 @@ __all__ = [
     "BARRIER_RELEASE",
     "ENTER",
     "EXIT",
+    "TASK_SPAWN",
+    "TASK_AWAIT",
+    "FINISH_BEGIN",
+    "FINISH_END",
     "ACCESS_KINDS",
     "SYNC_KINDS",
+    "TASK_KINDS",
     "FeasibilityError",
     "check_feasible",
     "is_feasible",

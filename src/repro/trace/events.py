@@ -34,6 +34,10 @@ VOLATILE_WRITE = 7  #: vol_wr(t, vx)
 BARRIER_RELEASE = 8  #: barrier_rel(T) — target is a tuple of released tids
 ENTER = 9  #: txn/method entry (for atomicity and determinism checkers)
 EXIT = 10  #: txn/method exit
+TASK_SPAWN = 11  #: task_spawn(t, u) — task t spawns async task u
+TASK_AWAIT = 12  #: task_await(t, u) — task t awaits task u's completion
+FINISH_BEGIN = 13  #: finish_begin(t, f) — task t opens finish scope f
+FINISH_END = 14  #: finish_end(t, f) — t closes f, joining every task spawned in it
 
 KIND_NAMES = {
     READ: "rd",
@@ -47,6 +51,10 @@ KIND_NAMES = {
     BARRIER_RELEASE: "barrier_rel",
     ENTER: "enter",
     EXIT: "exit",
+    TASK_SPAWN: "task_spawn",
+    TASK_AWAIT: "task_await",
+    FINISH_BEGIN: "finish_begin",
+    FINISH_END: "finish_end",
 }
 
 #: Kinds that access a data variable (the 96%+ of operations the fast paths
@@ -55,8 +63,27 @@ ACCESS_KINDS = frozenset({READ, WRITE})
 
 #: Kinds that induce happens-before edges between threads.
 SYNC_KINDS = frozenset(
-    {ACQUIRE, RELEASE, FORK, JOIN, VOLATILE_READ, VOLATILE_WRITE, BARRIER_RELEASE}
+    {
+        ACQUIRE,
+        RELEASE,
+        FORK,
+        JOIN,
+        VOLATILE_READ,
+        VOLATILE_WRITE,
+        BARRIER_RELEASE,
+        TASK_SPAWN,
+        TASK_AWAIT,
+        FINISH_BEGIN,
+        FINISH_END,
+    }
 )
+
+#: The async-finish task-parallel extension (PAPERS.md: "Efficient Data
+#: Race Detection of Async-Finish Programs Using Vector Clocks").  Tasks
+#: share the thread-id namespace: ``task_spawn``/``task_await`` mirror
+#: fork/join, and a finish scope transitively joins every task spawned
+#: (directly or by descendants) while it was the innermost open scope.
+TASK_KINDS = frozenset({TASK_SPAWN, TASK_AWAIT, FINISH_BEGIN, FINISH_END})
 
 
 class Event:
@@ -165,3 +192,30 @@ def enter(t: int, label: Hashable) -> Event:
 def exit_(t: int, label: Hashable) -> Event:
     """Transaction (method) exit for the Section 5.2 checkers."""
     return Event(EXIT, t, label)
+
+
+def task_spawn(t: int, u: int) -> Event:
+    """``task_spawn(t, u)`` — task ``t`` spawns async task ``u``.
+
+    Like :func:`fork`, but ``u`` is additionally registered with ``t``'s
+    innermost open finish scope (inherited from the spawner if ``t`` has
+    not opened one itself), so the matching ``finish_end`` joins it.
+    """
+    return Event(TASK_SPAWN, t, u)
+
+
+def task_await(t: int, u: int) -> Event:
+    """``task_await(t, u)`` — task ``t`` blocks until task ``u`` completes
+    (an explicit join edge, e.g. ``await fut`` on a single future)."""
+    return Event(TASK_AWAIT, t, u)
+
+
+def finish_begin(t: int, f: Hashable) -> Event:
+    """``finish_begin(t, f)`` — task ``t`` opens finish scope ``f``."""
+    return Event(FINISH_BEGIN, t, f)
+
+
+def finish_end(t: int, f: Hashable) -> Event:
+    """``finish_end(t, f)`` — task ``t`` closes finish scope ``f``,
+    joining every task transitively spawned under it."""
+    return Event(FINISH_END, t, f)

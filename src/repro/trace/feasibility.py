@@ -16,6 +16,14 @@ once, and a barrier release only names live threads.  Threads that appear
 without a fork are treated as initial threads (the paper's traces start with
 a running thread 0 and often more).
 
+The async-finish extension carries the analogous constraints: tasks share
+the thread-id namespace (``task_spawn``/``task_await`` mirror fork/join
+exactly), ``finish_end(t, f)`` must close a scope ``f`` that ``t`` itself
+opened (properly nested, matching labels), a task spawned under a finish
+scope performs no operations after the scope's ``finish_end``, and a task
+still holding an open finish scope at its last operation is simply a task
+whose spawns are never joined (allowed — an unclosed scope joins nothing).
+
 :func:`check_feasible` returns the list of violations (empty = feasible);
 :func:`is_feasible` is the boolean view.  The simulated runtime produces
 feasible traces *by construction* and the property tests assert that.
@@ -37,9 +45,14 @@ def check_feasible(trace: Iterable[ev.Event]) -> List[str]:
     violations: List[str] = []
     lock_holder: Dict[Hashable, int] = {}
     started: Set[int] = set()  # threads that have performed an op
-    forked: Set[int] = set()  # threads created by a fork
-    joined: Set[int] = set()  # threads already joined
+    forked: Set[int] = set()  # threads created by a fork or task_spawn
+    joined: Set[int] = set()  # threads already joined/awaited/finish-joined
     fork_pending: Set[int] = set()  # forked but no op yet
+    # Async-finish scopes: visible[t] is the member list of t's innermost
+    # open scope (inherited from the spawner by reference), open_scopes[t]
+    # the (label, parent, members) stack of scopes t itself opened.
+    visible: Dict[int, List[int]] = {}
+    open_scopes: Dict[int, List] = {}
 
     for index, event in enumerate(trace):
         kind = event.kind
@@ -80,7 +93,7 @@ def check_feasible(trace: Iterable[ev.Event]) -> List[str]:
                 )
             else:
                 del lock_holder[event.target]
-        elif kind == ev.FORK:
+        elif kind in (ev.FORK, ev.TASK_SPAWN):
             child = event.target
             if child == tid:
                 violations.append(f"#{index}: {event!r} — thread forks itself")
@@ -92,7 +105,12 @@ def check_feasible(trace: Iterable[ev.Event]) -> List[str]:
                 )
             forked.add(child)
             fork_pending.add(child)
-        elif kind == ev.JOIN:
+            if kind == ev.TASK_SPAWN:
+                scope = visible.get(tid)
+                if scope is not None:
+                    scope.append(child)
+                    visible[child] = scope
+        elif kind in (ev.JOIN, ev.TASK_AWAIT):
             child = event.target
             if child == tid:
                 violations.append(f"#{index}: {event!r} — thread joins itself")
@@ -105,6 +123,33 @@ def check_feasible(trace: Iterable[ev.Event]) -> List[str]:
                     f"#{index}: {event!r} — joined thread has no operations"
                 )
             joined.add(child)
+        elif kind == ev.FINISH_BEGIN:
+            members: List[int] = []
+            open_scopes.setdefault(tid, []).append(
+                (event.target, visible.get(tid), members)
+            )
+            visible[tid] = members
+        elif kind == ev.FINISH_END:
+            stack = open_scopes.get(tid)
+            if not stack:
+                violations.append(
+                    f"#{index}: {event!r} — finish_end without matching"
+                    f" finish_begin"
+                )
+            else:
+                label, parent, members = stack.pop()
+                if label != event.target:
+                    violations.append(
+                        f"#{index}: {event!r} — closes scope {label!r}"
+                        f" (finish scopes must nest properly)"
+                    )
+                if parent is None:
+                    visible.pop(tid, None)
+                else:
+                    visible[tid] = parent
+                # The closing join terminates every member not already
+                # awaited: any later operation of one is a violation.
+                joined.update(members)
 
     return violations
 

@@ -237,6 +237,139 @@ else:  # pragma: no cover
         raise RuntimeError("hypothesis is not installed")
 
 
+# -- async-finish model programs (PAPERS.md task-parallel extension) ---------------
+
+
+def task_pool_trace(
+    tasks: int = 4,
+    items: int = 2,
+    racy: bool = True,
+    seed: int = 0,
+) -> Trace:
+    """An asyncio-style worker pool under one ``finish`` scope.
+
+    The root task writes shared configuration, opens ``finish(pool)``,
+    and spawns ``tasks`` workers with a seeded interleaving.  Each worker
+    reads the configuration, updates its own slot ``items`` times, and
+    bumps a shared completion counter; after ``finish_end`` the root
+    verifies the counter and collects every slot.
+
+    The **seeded race** is the counter: in the ``racy`` variant workers
+    increment it with a bare read+write (classic lost update), so
+    ``counter`` is the exactly-one racy variable.  With ``racy=False``
+    the increment happens under a lock and the whole trace is race-free
+    — per-task slots and the read-shared configuration are ordered by
+    the spawn and finish edges by construction.
+    """
+    rng = random.Random(seed)
+    out: List[ev.Event] = [
+        ev.wr(0, "config", site="pool.init"),
+        ev.finish_begin(0, "pool"),
+    ]
+    workers = list(range(1, max(1, tasks) + 1))
+
+    def worker_ops(w: int) -> List[ev.Event]:
+        ops: List[ev.Event] = [ev.rd(w, "config", site="pool.read_config")]
+        for _ in range(max(1, items)):
+            ops.append(ev.rd(w, ("slot", w), site="pool.slot_rd"))
+            ops.append(ev.wr(w, ("slot", w), site="pool.slot_wr"))
+        if racy:
+            ops.append(ev.rd(w, "counter", site="pool.counter_rd"))
+            ops.append(ev.wr(w, "counter", site="pool.counter_wr"))
+        else:
+            ops.append(ev.acq(w, "counter_lock"))
+            ops.append(ev.rd(w, "counter", site="pool.counter_rd"))
+            ops.append(ev.wr(w, "counter", site="pool.counter_wr"))
+            ops.append(ev.rel(w, "counter_lock"))
+        return ops
+
+    # Seeded scheduler: spawn the next worker or run a spawned one.  The
+    # counter_lock critical section is emitted atomically, so feasibility
+    # (one holder at a time) holds for any interleaving.
+    to_spawn = list(workers)
+    queues: Dict[int, List[ev.Event]] = {}
+    while to_spawn or any(queues.values()):
+        ready = [w for w, queue in queues.items() if queue]
+        if to_spawn and (not ready or rng.random() < 0.4):
+            w = to_spawn.pop(0)
+            out.append(ev.task_spawn(0, w))
+            queues[w] = worker_ops(w)
+            continue
+        w = rng.choice(ready)
+        queue = queues[w]
+        if not racy and queue[0].kind == ev.ACQUIRE:
+            while queue:  # the locked increment, uninterleaved
+                out.append(queue.pop(0))
+        else:
+            out.append(queue.pop(0))
+    out.append(ev.finish_end(0, "pool"))
+    out.append(ev.rd(0, "counter", site="pool.verify"))
+    for w in workers:
+        out.append(ev.rd(0, ("slot", w), site="pool.collect"))
+    return Trace(out)
+
+
+def async_pipeline_trace(
+    stages: int = 3,
+    width: int = 2,
+    racy: bool = True,
+    seed: int = 0,
+) -> Trace:
+    """A staged async pipeline with nested finish scopes and awaits.
+
+    The root runs ``stages`` sequential stages, each under its own
+    ``finish`` scope: ``width`` tasks per stage read the previous stage's
+    buffers and write their own ``(buf, stage, i)``.  Mid-stage, the root
+    peeks at the first task's buffer; in the race-free variant it
+    ``task_await``\\ s that task first (an explicit join edge), while the
+    ``racy`` variant skips the await — seeding exactly one write-read
+    race per stage, on ``(buf, s, 0)``.
+    """
+    rng = random.Random(seed)
+    out: List[ev.Event] = []
+    next_tid = 1
+    for s in range(max(1, stages)):
+        scope = f"stage{s}"
+        out.append(ev.finish_begin(0, scope))
+        members = list(range(next_tid, next_tid + max(1, width)))
+        next_tid += len(members)
+
+        def stage_ops(w: int, position: int) -> List[ev.Event]:
+            ops: List[ev.Event] = []
+            if s > 0:
+                for j in range(max(1, width)):
+                    ops.append(
+                        ev.rd(w, ("buf", s - 1, j), site=f"pipeline.pull_s{s}")
+                    )
+            ops.append(
+                ev.wr(w, ("buf", s, position), site=f"pipeline.push_s{s}")
+            )
+            return ops
+
+        queues: Dict[int, List[ev.Event]] = {}
+        to_spawn = list(members)
+        while to_spawn or any(queues.values()):
+            ready = [w for w, queue in queues.items() if queue]
+            if to_spawn and (not ready or rng.random() < 0.5):
+                w = to_spawn.pop(0)
+                out.append(ev.task_spawn(0, w))
+                queues[w] = stage_ops(w, members.index(w))
+                continue
+            w = rng.choice(ready)
+            out.append(queues[w].pop(0))
+        # The mid-stage peek: ordered by an await in the race-free
+        # variant, unordered (a seeded race) in the racy one.
+        if not racy:
+            out.append(ev.task_await(0, members[0]))
+        out.append(ev.rd(0, ("buf", s, 0), site=f"pipeline.peek_s{s}"))
+        out.append(ev.finish_end(0, scope))
+    for j in range(max(1, width)):
+        out.append(
+            ev.rd(0, ("buf", max(1, stages) - 1, j), site="pipeline.drain")
+        )
+    return Trace(out)
+
+
 # -- the paper's worked examples ------------------------------------------------------
 
 

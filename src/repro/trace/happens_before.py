@@ -35,6 +35,10 @@ Edge construction
 * **Barriers** — a ``barrier_rel(T)`` node links from the previous operation
   of every member and becomes the program-order predecessor of each member's
   next operation.
+* **Async-finish tasks** — ``task_spawn(t,u)`` / ``task_await(t,u)`` edge
+  like fork/join; ``finish_end(t,f)`` links from the last operation of every
+  task spawned while ``f`` was the innermost open scope of its spawner
+  (children inherit their spawner's scope, so registration is transitive).
 """
 
 from __future__ import annotations
@@ -56,6 +60,12 @@ def _predecessor_lists(events: Sequence[ev.Event]):
     """
     last_op: Dict[int, int] = {}
     last_lock_op: Dict[Hashable, int] = {}
+    # Async-finish scope bookkeeping: ``visible[t]`` is the innermost open
+    # finish scope governing t's spawns (inherited from t's spawner unless
+    # t opened one itself); each scope is a mutable list of member tids
+    # shared by reference, so registration is transitive.
+    visible: Dict[int, Optional[List[int]]] = {}
+    open_scopes: Dict[int, List[Tuple[Hashable, Optional[List[int]], List[int]]]] = {}
     preds_per_event: List[List[int]] = []
     for index, event in enumerate(events):
         kind = event.kind
@@ -76,14 +86,34 @@ def _predecessor_lists(events: Sequence[ev.Event]):
                 if prev_lock is not None:
                     preds.append(prev_lock)
                 last_lock_op[event.target] = index
-            elif kind == ev.JOIN:
+            elif kind in (ev.JOIN, ev.TASK_AWAIT):
                 prev_child = last_op.get(event.target)
                 if prev_child is not None:
                     preds.append(prev_child)
+            elif kind == ev.FINISH_BEGIN:
+                scope: List[int] = []
+                open_scopes.setdefault(event.tid, []).append(
+                    (event.target, visible.get(event.tid), scope)
+                )
+                visible[event.tid] = scope
+            elif kind == ev.FINISH_END:
+                stack = open_scopes.get(event.tid)
+                if stack:
+                    _, parent, scope = stack.pop()
+                    visible[event.tid] = parent
+                    for member in scope:
+                        prev_member = last_op.get(member)
+                        if prev_member is not None:
+                            preds.append(prev_member)
             last_op[event.tid] = index
-            if kind == ev.FORK:
-                # The child's first op will chain from the fork.
+            if kind in (ev.FORK, ev.TASK_SPAWN):
+                # The child's first op will chain from the fork/spawn.
                 last_op[event.target] = index
+                if kind == ev.TASK_SPAWN:
+                    scope = visible.get(event.tid)
+                    visible[event.target] = scope
+                    if scope is not None:
+                        scope.append(event.target)
         preds_per_event.append(preds)
     return preds_per_event
 

@@ -54,8 +54,15 @@ _NAME_BY_KIND = {
     ev.BARRIER_RELEASE: "barrier_rel",
     ev.ENTER: "enter",
     ev.EXIT: "exit",
+    ev.TASK_SPAWN: "task_spawn",
+    ev.TASK_AWAIT: "task_await",
+    ev.FINISH_BEGIN: "finish_begin",
+    ev.FINISH_END: "finish_end",
 }
 _KIND_BY_NAME = {name: kind for kind, name in _NAME_BY_KIND.items()}
+
+#: Kinds whose target is another task/thread id (must parse to an int).
+_TID_TARGET_KINDS = (ev.FORK, ev.JOIN, ev.TASK_SPAWN, ev.TASK_AWAIT)
 
 _LINE = re.compile(
     r"^(?P<op>\w+)\s*\(\s*(?P<args>[^)]*)\s*\)\s*(?:@\s*(?P<site>\S+))?$"
@@ -127,7 +134,7 @@ def format_event(event: ev.Event) -> str:
     if event.kind == ev.BARRIER_RELEASE:
         inner = ", ".join(str(tid) for tid in event.target)
         return f"{name}({inner})"
-    if event.kind in (ev.FORK, ev.JOIN):
+    if event.kind in _TID_TARGET_KINDS:
         body = f"{name}({event.tid}, {event.target})"
     else:
         body = f"{name}({event.tid}, {format_target(event.target)})"
@@ -165,11 +172,13 @@ def parse_event_parts(line: str) -> Tuple[int, int, Hashable, Optional[str]]:
         tid = int(args[0])
     except ValueError:
         raise TraceParseError(f"thread id must be an integer: {line!r}")
-    if kind in (ev.FORK, ev.JOIN):
+    if kind in _TID_TARGET_KINDS:
         try:
             target: Hashable = int(args[1])
         except ValueError:
-            raise TraceParseError(f"fork/join target must be a tid: {line!r}")
+            raise TraceParseError(
+                f"{_NAME_BY_KIND[kind]} target must be a tid: {line!r}"
+            )
     else:
         target = parse_target(args[1])
     return kind, tid, target, site
@@ -224,8 +233,31 @@ def _numbered_lines(lines: Iterable[str]) -> Iterator[Tuple[int, str]]:
             ) from None
         spec = faults.fire("trace.read", lineno=lineno)
         if spec is not None and spec.action == "corrupt":
-            raw_line = "\x00<injected corrupt bytes>\x00"
+            # Keep the terminator: injected corruption must parse-fail
+            # even when it lands on the file's final line (a missing
+            # newline there reads as an in-flight write, which the JSONL
+            # parsers deliberately tolerate).
+            raw_line = "\x00<injected corrupt bytes>\x00\n"
         yield lineno, raw_line
+
+
+def _flagged_lines(lines: Iterable[str]) -> Iterator[Tuple[int, str, bool]]:
+    """Number a line stream and flag the unterminated tail.
+
+    Yields ``(lineno, raw_line, is_unterminated_tail)`` where the flag is
+    True only when the line lacks a newline terminator — the signature of
+    a line still being written by a live producer.  In any real line
+    stream only the *final* line can be unterminated, so the flag never
+    needs lookahead: holding a line back to learn whether another follows
+    would delay every event by one line, which for a live monitor means
+    a warning whose racy access is the newest line written would not
+    fire until the producer wrote something else.  Callers must keep
+    terminators (all the file parsers and :class:`repro.watch` readers
+    do; ``str.splitlines()`` without ``keepends`` would mark every line
+    as a tolerated tail).
+    """
+    for lineno, raw_line in _numbered_lines(lines):
+        yield lineno, raw_line, not raw_line.endswith(("\n", "\r"))
 
 
 def iter_parse_parts(
@@ -346,13 +378,18 @@ def iter_parse_parts_jsonl(
     lines: Iterable[str],
 ) -> Iterator[Tuple[int, int, Hashable, Optional[Hashable]]]:
     """Stream-parse JSON lines to ``(kind, tid, target, site)`` tuples."""
-    for lineno, raw_line in _numbered_lines(lines):
+    for lineno, raw_line, unterminated in _flagged_lines(lines):
         line = raw_line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            if unterminated:
+                # The live-tail case: the final line has no newline yet,
+                # so a producer is (or was) mid-write.  Stop cleanly; a
+                # resumed read re-delivers the completed line.
+                return
             raise TraceParseError(
                 f"invalid JSON ({error.msg})", lineno=lineno, line=line
             ) from None
@@ -369,14 +406,23 @@ def dumps_jsonl(trace: Iterable[ev.Event]) -> str:
 
 
 def iter_parse_jsonl(lines: Iterable[str]) -> Iterator[ev.Event]:
-    """Stream-parse JSON lines; errors carry the line number and text."""
-    for lineno, raw_line in _numbered_lines(lines):
+    """Stream-parse JSON lines; errors carry the line number and text.
+
+    A final line that fails to parse as JSON *and* lacks a newline
+    terminator is treated as a partially-written tail (the live-tail
+    case: ``repro watch`` follows files while a producer appends) and is
+    silently buffered out — iteration ends cleanly instead of raising.
+    Newline-terminated garbage still raises wherever it appears.
+    """
+    for lineno, raw_line, unterminated in _flagged_lines(lines):
         line = raw_line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            if unterminated:
+                return
             raise TraceParseError(
                 f"invalid JSON ({error.msg})", lineno=lineno, line=line
             ) from None
@@ -392,7 +438,9 @@ def iter_load_jsonl(stream: Iterable[str]) -> Iterator[ev.Event]:
 
 
 def loads_jsonl(text: str) -> Trace:
-    return Trace(iter_parse_jsonl(text.splitlines()))
+    # keepends so the tail-tolerance rule of iter_parse_jsonl sees real
+    # terminators: a newline-terminated garbage line still raises.
+    return Trace(iter_parse_jsonl(text.splitlines(keepends=True)))
 
 
 def load_jsonl(stream: TextIO) -> Trace:

@@ -51,8 +51,8 @@ class Trace:
     # -- queries ----------------------------------------------------------------
 
     def threads(self) -> Set[int]:
-        """Every thread id appearing in the trace (acting or as a target of
-        fork/join/barrier)."""
+        """Every thread/task id appearing in the trace (acting or as a
+        target of fork/join/task_spawn/task_await/barrier)."""
         tids: Set[int] = set()
         for event in self.events:
             kind = event.kind
@@ -60,7 +60,7 @@ class Trace:
                 tids.update(event.target)
                 continue
             tids.add(event.tid)
-            if kind in (ev.FORK, ev.JOIN):
+            if kind in (ev.FORK, ev.JOIN, ev.TASK_SPAWN, ev.TASK_AWAIT):
                 tids.add(event.target)
         tids.discard(-1)
         return tids

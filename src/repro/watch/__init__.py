@@ -1,0 +1,38 @@
+"""``repro.watch`` — the streaming live monitor (docs/WATCH.md).
+
+Runs any registered detector *incrementally* over a live event stream:
+a growing trace file (tailed), a completed file, or stdin.  Warnings
+are emitted as ``repro.warning/1`` JSON lines the moment the completing
+access is analyzed, not at end of trace — the online deployment mode
+the batch ``repro check`` pipeline cannot offer.
+
+The differential guarantee (asserted per golden trace by the test
+suite): over a completed file, the warning objects streamed by ``repro
+watch --from-start --tool T`` are byte-identical, in order, to the
+``warnings`` array of ``repro check --tool T --json`` on the same
+trace.  Periodic shadow-state compaction (``Detector.compact``) bounds
+memory on unbounded streams without breaking that guarantee.
+"""
+
+from repro.watch.monitor import (
+    FLUSH_EVERY,
+    WARNING_SCHEMA,
+    WATCH_COMPACTIONS_COUNTER,
+    WATCH_EVENTS_COUNTER,
+    WATCH_LAG_GAUGE,
+    WATCH_WARNINGS_COUNTER,
+    WatchMonitor,
+)
+from repro.watch.stream import TailReader, stdin_lines
+
+__all__ = [
+    "FLUSH_EVERY",
+    "WARNING_SCHEMA",
+    "WATCH_COMPACTIONS_COUNTER",
+    "WATCH_EVENTS_COUNTER",
+    "WATCH_LAG_GAUGE",
+    "WATCH_WARNINGS_COUNTER",
+    "WatchMonitor",
+    "TailReader",
+    "stdin_lines",
+]

@@ -1,0 +1,171 @@
+"""The incremental monitor: any registered detector, one event at a time.
+
+:class:`WatchMonitor` wraps a detector built exactly the way ``repro
+check`` builds it (``resolve_tool_name`` + ``default_tool_kwargs``) and
+drives it through :meth:`Detector.handle`, surfacing each new warning
+the moment the event that completes the race is fed.  Warning records
+are ``repro.warning/1`` JSON lines::
+
+    {"schema": "repro.warning/1", "tool": "FastTrack",
+     "warning": { ...repro.result/1 warning object... }}
+
+The embedded ``warning`` object is byte-for-byte the corresponding entry
+of ``repro check --json``'s ``warnings`` array (same encoder, sorted
+keys), which is the differential guarantee docs/WATCH.md states: over a
+completed file, streaming and batch report the identical warning set.
+
+Memory is bounded for unbounded streams via :meth:`Detector.compact`
+every ``compact_every`` events — warning preserving by contract, so the
+guarantee survives compaction (only rule/op statistics may drift).
+
+Metrics (all on the default registry, rendered by any ``/metrics`` or
+``--telemetry`` surface):
+
+* ``repro_watch_events_total{tool}`` — events analyzed (batched handle,
+  flushed every ``FLUSH_EVERY`` events and at :meth:`finish`);
+* ``repro_watch_warnings_total{tool}`` — warnings streamed;
+* ``repro_watch_lag_seconds{tool}`` — now minus the arrival timestamp
+  of the event most recently analyzed (how far behind live data the
+  analysis is running);
+* ``repro_watch_compactions_total{tool}`` — compaction passes run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterable, List, Optional
+
+from repro.detectors import (
+    default_tool_kwargs,
+    make_detector,
+    resolve_tool_name,
+)
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.report import warning_to_json
+from repro.trace import events as ev
+
+#: Schema tag on every streamed warning record.
+WARNING_SCHEMA = "repro.warning/1"
+
+WATCH_EVENTS_COUNTER = "repro_watch_events_total"
+WATCH_WARNINGS_COUNTER = "repro_watch_warnings_total"
+WATCH_LAG_GAUGE = "repro_watch_lag_seconds"
+WATCH_COMPACTIONS_COUNTER = "repro_watch_compactions_total"
+
+#: Events between flushes of the batched event counter.
+FLUSH_EVERY = 1024
+
+
+class WatchMonitor:
+    """Drive one detector incrementally and stream its warnings."""
+
+    def __init__(
+        self,
+        tool: str = "FastTrack",
+        compact_every: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        **tool_kwargs,
+    ) -> None:
+        self.tool = resolve_tool_name(tool)
+        kwargs = dict(default_tool_kwargs(self.tool))
+        kwargs.update(tool_kwargs)
+        self.detector = make_detector(self.tool, **kwargs)
+        self.compact_every = compact_every
+        self.compactions = 0
+        self.released = 0
+        self.warnings_emitted = 0
+        self._since_compact = 0
+        self._emitted_upto = 0
+        self._clock = clock
+        target = registry if registry is not None else default_registry()
+        self._events = target.counter(
+            WATCH_EVENTS_COUNTER, "Events analyzed by the live monitor."
+        ).handle(tool=self.tool)
+        self._warnings = target.counter(
+            WATCH_WARNINGS_COUNTER, "Warnings streamed by the live monitor."
+        )
+        self._lag = target.gauge(
+            WATCH_LAG_GAUGE,
+            "Seconds the analysis lags behind the newest observed data.",
+        )
+
+    # -- the event loop ----------------------------------------------------------
+
+    def feed(
+        self, event: ev.Event, arrival: Optional[float] = None
+    ) -> List[str]:
+        """Analyze one event; return the warning records it triggered,
+        already rendered as ``repro.warning/1`` JSON lines.
+
+        ``arrival`` is the monotonic timestamp at which the event's bytes
+        were read (``TailReader.last_read_at``); when given, the lag
+        gauge is updated to ``now - arrival``.
+        """
+        detector = self.detector
+        detector.handle(event)
+        self._events.inc()
+        if self._events.pending >= FLUSH_EVERY:
+            self._events.flush()
+        if arrival is not None:
+            self._lag.set(
+                max(0.0, self._clock() - arrival), tool=self.tool
+            )
+        records: List[str] = []
+        warnings = detector.warnings
+        while self._emitted_upto < len(warnings):
+            warning = warnings[self._emitted_upto]
+            self._emitted_upto += 1
+            self.warnings_emitted += 1
+            self._warnings.inc(tool=self.tool)
+            records.append(
+                json.dumps(
+                    {
+                        "schema": WARNING_SCHEMA,
+                        "tool": self.tool,
+                        "warning": warning_to_json(warning),
+                    },
+                    sort_keys=True,
+                )
+            )
+        if self.compact_every:
+            self._since_compact += 1
+            if self._since_compact >= self.compact_every:
+                self._since_compact = 0
+                self.released += self.detector.compact()
+                self.compactions += 1
+                default_registry().counter(
+                    WATCH_COMPACTIONS_COUNTER,
+                    "Shadow-state compaction passes run by the monitor.",
+                ).inc(tool=self.tool)
+        return records
+
+    def drain(
+        self, events: Iterable[ev.Event], arrival: Optional[Callable[[], float]] = None
+    ) -> Iterable[str]:
+        """Feed a whole event stream, yielding warning records as they
+        fire.  ``arrival`` is an optional callable polled per event for
+        the arrival timestamp (e.g. ``lambda: reader.last_read_at``)."""
+        for event in events:
+            stamp = arrival() if arrival is not None else None
+            for record in self.feed(event, arrival=stamp):
+                yield record
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    @property
+    def events_seen(self) -> int:
+        return self.detector.events_handled
+
+    def finish(self) -> dict:
+        """Flush batched metrics and return the run summary."""
+        self._events.flush()
+        return {
+            "tool": self.tool,
+            "events": self.events_seen,
+            "warnings": self.warnings_emitted,
+            "suppressed_warnings": self.detector.suppressed_warnings,
+            "compactions": self.compactions,
+            "released": self.released,
+        }

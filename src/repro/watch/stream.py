@@ -1,0 +1,99 @@
+"""Line sources for the live monitor: tailing files and stdin.
+
+A :class:`TailReader` turns a growing file into an iterator of complete
+text lines.  It reads bytes, not text, and only splits on ``\\n``, so a
+producer's partial write — half a JSON record, even a torn multi-byte
+character — is held in the buffer until the rest arrives.  Lines are
+yielded *with* their terminators, which is what the tail-tolerant JSONL
+parser (:func:`repro.trace.serialize.iter_parse_jsonl`) keys on: only a
+genuinely unterminated final line is treated as in-flight.
+
+In follow mode the reader polls the file for growth and keeps going
+until ``idle_timeout`` seconds pass with no new bytes (or forever when
+the timeout is ``None``).  Without follow it drains to the current end
+of file and stops — the mode the differential guarantee uses.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Callable, Iterator, Optional
+
+_CHUNK = 1 << 16
+
+
+class TailReader:
+    """Incrementally read complete lines from a (possibly growing) file.
+
+    ``last_read_at`` is the monotonic timestamp of the most recent
+    successful read of bytes from the file; the monitor uses it to
+    compute how far analysis lags behind arriving data
+    (``repro_watch_lag_seconds``).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        from_start: bool = True,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.path = path
+        self.from_start = from_start
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.clock = clock
+        self.sleep = sleep
+        self.last_read_at: float = clock()
+        self.bytes_read = 0
+
+    def lines(self) -> Iterator[str]:
+        """Yield complete lines (terminators kept); an unterminated tail
+        is yielded last, after the stream is known to have ended."""
+        with open(self.path, "rb") as handle:
+            if not self.from_start:
+                handle.seek(0, os.SEEK_END)
+            buffer = b""
+            idle_since: Optional[float] = None
+            while True:
+                chunk = handle.read(_CHUNK)
+                if chunk:
+                    self.last_read_at = self.clock()
+                    self.bytes_read += len(chunk)
+                    idle_since = None
+                    buffer += chunk
+                    while True:
+                        cut = buffer.find(b"\n")
+                        if cut < 0:
+                            break
+                        raw, buffer = buffer[: cut + 1], buffer[cut + 1 :]
+                        yield raw.decode("utf-8")
+                    continue
+                if not self.follow:
+                    break
+                now = self.clock()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    self.idle_timeout is not None
+                    and now - idle_since >= self.idle_timeout
+                ):
+                    break
+                self.sleep(self.poll_interval)
+            if buffer:
+                # The stream ended mid-line.  Decode leniently: a torn
+                # multi-byte character cannot be part of a valid record,
+                # so the replacement characters land in the same
+                # tail-tolerance path as any other partial write.
+                yield buffer.decode("utf-8", errors="replace")
+
+
+def stdin_lines() -> Iterator[str]:
+    """Lines from standard input, terminators kept (``repro watch -``)."""
+    return iter(sys.stdin)

@@ -187,6 +187,7 @@ class TestRegistry:
             "DJIT+",
             "FastTrack",
             "WCP",
+            "AsyncFinish",
         ]
 
     def test_precise_subset(self):

@@ -200,3 +200,33 @@ class TestJsonl:
     def test_unknown_op_rejected(self):
         with pytest.raises(TraceParseError):
             loads_jsonl('{"op": "nope", "tid": 0, "target": "x"}')
+
+    def test_partially_written_trailing_line_is_tolerated(self):
+        """Live-tail regression: a producer cut off mid-record leaves an
+        unterminated, non-JSON final line — parsing must stop cleanly
+        after the complete events instead of raising."""
+        complete = dumps_jsonl(SAMPLE)
+        torn = '{"op": "wr", "tid": 3, "tar'
+        events = list(iter_parse_jsonl((complete + torn).splitlines(keepends=True)))
+        assert len(events) == len(SAMPLE)
+        assert loads_jsonl(complete + torn) == SAMPLE
+
+    def test_terminated_garbage_final_line_still_raises(self):
+        # Only a *missing newline* marks a line as in-flight; committed
+        # garbage is corruption wherever it appears, end of file included.
+        text = dumps_jsonl(SAMPLE) + '{"op": "wr", "tid": 3, "tar\n'
+        with pytest.raises(TraceParseError) as excinfo:
+            loads_jsonl(text)
+        assert excinfo.value.lineno == len(SAMPLE) + 1
+
+    def test_tolerance_does_not_delay_preceding_events(self):
+        # The flag must come from the line itself, not lookahead: event N
+        # has to parse before line N+1 exists (the live-monitor case).
+        lines = dumps_jsonl(SAMPLE).splitlines(keepends=True)
+
+        def one_then_hang():
+            yield lines[0]
+            raise RuntimeError("asked for a second line too early")
+
+        stream = iter_parse_jsonl(one_then_hang())
+        assert next(stream) == SAMPLE[0]
