@@ -21,6 +21,14 @@ recorded but not gated (it is opt-in).  Results go to the session
 recorder that ``benchmarks/conftest.py`` serializes to
 ``benchmarks/BENCH_obs.json``.
 
+Since the distributed-tracing PR the file also records (not gates) the
+tracing-era costs: what a histogram observation pays for carrying an
+exemplar, how fast :func:`repro.obs.stitch_traces` +
+:func:`repro.obs.critical_path` chew through span records, and the
+end-to-end wall of a traced job through the *service* path (in-thread
+daemon, ``X-Repro-Trace-Id`` submitted, telemetry sink on) next to the
+same job with telemetry off.
+
 Tunables: ``BENCH_OBS_SCALE`` (default 4000 ≈ 96k events) and
 ``BENCH_OBS_ROUNDS`` (default 7, best kept).
 """
@@ -34,6 +42,7 @@ import time
 from repro import obs
 from repro.bench.eclipse import import_program
 from repro.kernels import run_kernel
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.scheduler import run_program
 from repro.trace.columnar import ColumnarTrace
 
@@ -125,4 +134,121 @@ def test_obs_overhead(obs_bench_recorder):
     assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
         f"telemetry-disabled overhead {disabled_overhead:+.2%} exceeds "
         f"the {MAX_DISABLED_OVERHEAD:.0%} budget"
+    )
+
+
+def test_exemplar_and_stitching_overhead(obs_bench_recorder):
+    """Document (never gate) what the tracing additions cost: exemplar
+    capture per histogram observation, and stitch/critical-path
+    throughput over a realistic span population."""
+    observations = 200_000
+    registry = MetricsRegistry()
+    plain = registry.histogram("bench_plain_seconds", "no exemplars")
+    tagged = registry.histogram("bench_tagged_seconds", "with exemplars")
+
+    gc.collect()
+    start = time.perf_counter()
+    for n in range(observations):
+        plain.observe(n * 1e-6, tool=TOOL)
+    plain_s = time.perf_counter() - start
+
+    exemplar = {"job": "bench", "trace_id": "bench-trace", "shards": 4}
+    gc.collect()
+    start = time.perf_counter()
+    for n in range(observations):
+        tagged.observe(n * 1e-6, exemplar=exemplar, tool=TOOL)
+    tagged_s = time.perf_counter() - start
+
+    # A synthetic multi-process trace: one root, a fan of shard spans
+    # with attach/kernel children — the shape real runs produce.
+    spans = [{
+        "type": "span", "id": "root", "parent": None, "name": "check",
+        "trace_id": "t", "pid": 1, "start_unix": 0.0, "wall_s": 100.0,
+        "cpu_s": 0.0, "status": "ok", "attrs": {},
+    }]
+    for shard in range(3000):
+        sid = f"s{shard}"
+        spans.append({
+            "type": "span", "id": sid, "parent": "root",
+            "name": "shard.analyze", "trace_id": "t", "pid": 2 + shard % 4,
+            "start_unix": float(shard), "wall_s": 1.0, "cpu_s": 0.0,
+            "status": "ok", "attrs": {"shard": shard},
+        })
+        for stage in ("attach", "kernel"):
+            spans.append({
+                "type": "span", "id": f"{sid}.{stage}", "parent": sid,
+                "name": f"shard.{stage}", "trace_id": "t",
+                "pid": 2 + shard % 4, "start_unix": float(shard),
+                "wall_s": 0.4, "cpu_s": 0.0, "status": "ok", "attrs": {},
+            })
+    gc.collect()
+    start = time.perf_counter()
+    stitched = obs.stitch_traces(spans)
+    path = obs.critical_path(stitched["t"]["spans"])
+    stitch_s = time.perf_counter() - start
+    assert len(path) == 3  # root -> last shard -> its last child
+
+    obs_bench_recorder["tracing_overhead"] = {
+        "observations": observations,
+        "observe_plain_seconds": plain_s,
+        "observe_exemplar_seconds": tagged_s,
+        "exemplar_ns_per_observation": (
+            (tagged_s - plain_s) / observations * 1e9
+        ),
+        "stitched_spans": len(spans),
+        "stitch_seconds": stitch_s,
+        "stitch_spans_per_sec": len(spans) / stitch_s,
+    }
+    print(
+        f"\nobserve {observations / plain_s:,.0f}/s plain, "
+        f"{observations / tagged_s:,.0f}/s with exemplar "
+        f"({(tagged_s - plain_s) / observations * 1e9:+.0f} ns each); "
+        f"stitch {len(spans) / stitch_s:,.0f} spans/s"
+    )
+
+
+def test_traced_service_job_wall(obs_bench_recorder, tmp_path):
+    """End-to-end wall of one job through the daemon, traced vs not:
+    the price of the full tracing path (header → job record → runner
+    trace scope → per-shard spans → exemplars), recorded, not gated."""
+    from repro.service.client import Client
+    from repro.service.server import ServiceConfig, start_in_thread
+    from repro.trace.serialize import dumps
+
+    trace_text = dumps(
+        list(run_program(import_program(OBS_SCALE // 4), seed=0).events)
+    )
+    trace_path = tmp_path / "bench.trace"
+    trace_path.write_text(trace_text)
+    walls = {}
+    for mode in ("untraced", "traced"):
+        telemetry = (
+            str(tmp_path / "tel") if mode == "traced" else None
+        )
+        handle = start_in_thread(ServiceConfig(
+            port=0, workers=1, store_dir=str(tmp_path / f"store-{mode}"),
+            telemetry=telemetry, default_shards=2,
+        ))
+        try:
+            client = Client(port=handle.port, timeout=120.0)
+            gc.collect()
+            start = time.perf_counter()
+            job = client.submit(
+                path=str(trace_path),
+                trace_id="bench-trace" if mode == "traced" else None,
+            )
+            client.wait(job["id"], timeout=120.0, poll=0.02)
+            walls[mode] = time.perf_counter() - start
+        finally:
+            handle.stop(grace=5.0)
+    obs_bench_recorder["traced_service_job"] = {
+        "events_scale": OBS_SCALE // 4,
+        "untraced_seconds": walls["untraced"],
+        "traced_seconds": walls["traced"],
+        "traced_over_untraced": walls["traced"] / walls["untraced"] - 1.0,
+    }
+    print(
+        f"\nservice job: untraced {walls['untraced']:.3f}s, "
+        f"traced {walls['traced']:.3f}s "
+        f"({walls['traced'] / walls['untraced'] - 1.0:+.1%})"
     )

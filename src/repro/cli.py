@@ -463,14 +463,32 @@ def cmd_profile(args) -> int:
     partition/analyze/merge stage timings); with the default ``--jobs 1``
     it runs single-shard, which keeps every rule count bit-identical to a
     plain single-threaded ``repro check`` — the Figure 2 numbers for this
-    trace, live.  ``--telemetry DIR`` keeps the raw ``spans.jsonl`` and
+    trace, live.  ``--telemetry DIR`` keeps the raw span files and
     ``metrics.json`` next to the report; otherwise they are discarded.
+
+    ``--from-telemetry DIR`` skips the run entirely: it stitches the
+    span files an earlier run (or a daemon) wrote — ``spans.jsonl`` plus
+    every worker's ``spans-<pid>.jsonl`` — into one tree per trace id
+    and prints them with the critical path starred.
     """
     import shutil
     import tempfile
 
     from repro import engine, obs
 
+    if args.from_telemetry is not None:
+        records = obs.read_all_spans(args.from_telemetry, validate=False)
+        sys.stdout.write(
+            obs.render_trace_report(records, directory=args.from_telemetry)
+        )
+        return 0
+    if args.trace is None:
+        print(
+            "error: a trace argument is required unless --from-telemetry "
+            "is given",
+            file=sys.stderr,
+        )
+        return 2
     keep = args.telemetry is not None
     directory = args.telemetry or tempfile.mkdtemp(prefix="repro-obs-")
     obs.enable(directory)
@@ -510,7 +528,9 @@ def cmd_profile(args) -> int:
         obs.disable()
         if workdir is not None:
             shutil.rmtree(workdir, ignore_errors=True)
-    spans = obs.read_spans(os.path.join(directory, obs.SPANS_FILENAME))
+    # Stitch every span file in the dir — a --jobs N run's workers wrote
+    # their own spans-<pid>.jsonl files next to the main spans.jsonl.
+    spans = obs.read_all_spans(directory, validate=False)
     sys.stdout.write(obs.render_profile(args.trace, reports, spans))
     if keep:
         print(f"telemetry written to {directory}", file=sys.stderr)
@@ -556,7 +576,13 @@ def cmd_watch(args) -> int:
             if args.format == "jsonl"
             else serialize.iter_parse
         )
-        monitor = WatchMonitor(args.tool, compact_every=args.compact_every)
+        monitor = WatchMonitor(
+            args.tool,
+            compact_every=args.compact_every,
+            # Traced runs stamp each warning record; without --telemetry
+            # the key is absent and the stream stays byte-identical.
+            trace_id=obs.current_trace_id() if telemetry else None,
+        )
         arrival = (
             (lambda: reader.last_read_at) if reader is not None else None
         )
@@ -804,6 +830,7 @@ def cmd_submit(args) -> int:
             shards=args.shards,
             kernel=args.kernel,
             fmt=args.format,
+            trace_id=args.trace_id,
         )
         if not args.wait:
             print(job["id"])
@@ -848,6 +875,46 @@ def cmd_result(args) -> int:
         return 2
     sys.stdout.write(dumps_result(document))
     return 0
+
+
+def cmd_top(args) -> int:
+    """The terminal ops view (docs/OBSERVABILITY.md): poll a daemon's
+    ``/debug`` snapshot, or summarize a local run's telemetry dir.
+    Plain-text frames — ``--once`` for one frame, else a loop."""
+    import time as _time
+
+    from repro.obs import top as obs_top
+    from repro.service.client import ServiceError
+
+    if args.telemetry is not None:
+        def frame() -> str:
+            return obs_top.render_telemetry_top(
+                obs_top.snapshot_from_telemetry(args.telemetry)
+            )
+    else:
+        client = _service_client(args)
+
+        def frame() -> str:
+            return obs_top.render_top(client.debug())
+
+    first = True
+    try:
+        while True:
+            try:
+                text = frame()
+            except (ServiceError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if not first:
+                sys.stdout.write("\n")
+            sys.stdout.write(text)
+            sys.stdout.flush()
+            first = False
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -996,12 +1063,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile a trace: rule frequencies, stage timings, shard "
         "balance (a telemetry-enabled check)",
     )
-    profile.add_argument("trace")
+    profile.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file to profile (omit with --from-telemetry)",
+    )
     profile.add_argument(
         "--tool",
         default="FastTrack",
         type=resolve_tool_name,
         choices=list(DETECTORS),
+    )
+    profile.add_argument(
+        "--from-telemetry",
+        metavar="DIR",
+        default=None,
+        help="skip the run: stitch DIR's span files (spans.jsonl + every "
+        "worker's spans-<pid>.jsonl) into per-trace trees with the "
+        "critical path starred",
     )
     profile.add_argument(
         "--all-tools", action="store_true", help="profile every detector"
@@ -1164,6 +1242,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll until the job finishes and print its result document "
         "(exit 1 when the selected tool warns, as repro check does)",
     )
+    submit.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="propagate this trace id (sent as X-Repro-Trace-Id) so the "
+        "daemon's telemetry spans for the job join the caller's trace",
+    )
     _add_service_endpoint_args(submit)
     submit.set_defaults(func=cmd_submit)
 
@@ -1171,6 +1256,32 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("job")
     _add_service_endpoint_args(status)
     status.set_defaults(func=cmd_status)
+
+    top = sub.add_parser(
+        "top",
+        help="live ops view: poll a daemon's /debug snapshot, or "
+        "summarize a local run's --telemetry dir",
+    )
+    top.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="local mode: stitch DIR's span files instead of polling a "
+        "daemon",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (the CI/scripting mode)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between frames when looping (default 2)",
+    )
+    _add_service_endpoint_args(top)
+    top.set_defaults(func=cmd_top)
 
     result = sub.add_parser(
         "result", help="fetch a daemon job's result document"

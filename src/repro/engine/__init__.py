@@ -151,6 +151,7 @@ def _run_pending(
     kernel: str,
     executor: Optional[concurrent.futures.Executor] = None,
     policy: Optional[RetryPolicy] = None,
+    trace: Optional[Dict] = None,
 ) -> List[ShardFailure]:
     """Analyze the pending shards under supervision.
 
@@ -161,14 +162,15 @@ def _run_pending(
     there; otherwise ``jobs`` decides between the in-process sequential
     loop and a supervisor-owned :class:`ProcessPoolExecutor`.  Either way
     a SIGTERM lets in-flight shards checkpoint and then raises
-    :class:`DrainRequested` instead of losing work.
+    :class:`DrainRequested` instead of losing work.  ``trace`` carries
+    the active trace context into every worker.
     """
     owns_process = executor is None
     previous = install_drain_handler() if owns_process else None
     try:
         return run_supervised(
             root, pending, tool, tool_kwargs, jobs, classify, kernel,
-            executor=executor, policy=policy,
+            executor=executor, policy=policy, trace=trace,
         )
     finally:
         if owns_process:
@@ -264,9 +266,12 @@ def _run(
             "engine.analyze",
             tool=tool, jobs=jobs, shards=count, pending=len(pending),
         ):
+            # Captured inside the span so workers parent under it; the
+            # submission timestamp rides along for queue-wait attribution.
+            trace_ctx = obs.propagation_context(submitted=submitted)
             failures = list(_run_pending(
                 root, pending, tool, tool_kwargs, jobs, classify, kernel,
-                executor=executor, policy=policy,
+                executor=executor, policy=policy, trace=trace_ctx,
             ))
         timings["analyze_s"] = time.monotonic() - submitted
         failed = {failure.shard for failure in failures}
@@ -283,6 +288,7 @@ def _run(
             failures.extend(_run_pending(
                 root, redo, tool, tool_kwargs, jobs, classify, kernel,
                 executor=executor, policy=policy,
+                trace=obs.propagation_context(submitted=time.monotonic()),
             ))
             failed = {failure.shard for failure in failures}
             survivors = set(wd.completed_shards(tool, count))
@@ -296,8 +302,6 @@ def _run(
         payloads = [
             wd.read_result(tool, shard) for shard in sorted(survivors)
         ]
-        if obs.enabled():
-            _emit_shard_spans(payloads, set(pending), tool, submitted)
         merge_started = time.monotonic()
         with obs.span("engine.merge", tool=tool, shards=count):
             report = merge_shard_results(payloads)
@@ -310,6 +314,24 @@ def _run(
             for payload in payloads
         )
         report.timings = timings
+        if obs.enabled():
+            # MergedReport.timings never reaches the result JSON (byte
+            # identity), so surface the stage breakdown as its own record:
+            # a zero-duration marker span (the ``degraded`` convention) so
+            # it never skews stage totals or the critical path.
+            obs.emit_span(
+                "engine.summary",
+                0.0,
+                tool=tool,
+                events=meta["events"],
+                shards=count,
+                partition_s=timings.get("partition_s"),
+                analyze_s=timings.get("analyze_s"),
+                merge_s=timings.get("merge_s"),
+                transport_s=timings.get("transport_s"),
+                transport=timings.get("transport"),
+                shard_bytes=timings.get("shard_bytes"),
+            )
         if quarantined:
             by_shard = {failure.shard: failure for failure in failures}
             report.degraded = {
@@ -339,35 +361,6 @@ def _run(
             except OSError:  # pragma: no cover - sweep is best-effort
                 pass
             shutil.rmtree(root, ignore_errors=True)
-
-
-def _emit_shard_spans(
-    payloads: List[Dict],
-    pending: set,
-    tool: str,
-    submitted: float,
-) -> None:
-    """Re-emit shard timings (measured inside the workers and carried in
-    the checkpoint payloads) as ``shard.analyze`` spans, including the
-    queue-wait between submission and the shard's first instruction.
-    Resumed shards keep their checkpoints but are not re-emitted: their
-    timings belong to the run that analyzed them."""
-    for payload in payloads:
-        if payload["shard"] not in pending:
-            continue
-        timing = payload.get("timing")
-        if not timing:  # checkpoint written by a pre-telemetry build
-            continue
-        obs.emit_span(
-            "shard.analyze",
-            timing["wall_s"],
-            cpu_s=timing["cpu_s"],
-            shard=payload["shard"],
-            tool=tool,
-            events=payload["events"],
-            kernel=payload["kernel"],
-            queue_wait_s=max(0.0, timing["started"] - submitted),
-        )
 
 
 def check_events(

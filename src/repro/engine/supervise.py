@@ -175,6 +175,7 @@ class _Supervisor:
         classify: bool,
         kernel: str,
         policy: RetryPolicy,
+        trace: Optional[Dict] = None,
     ) -> None:
         self.root = root
         self.pending = pending
@@ -183,6 +184,7 @@ class _Supervisor:
         self.classify = classify
         self.kernel = kernel
         self.policy = policy
+        self.trace = trace
         self.workdir = Workdir(root)
         self.completed: set = set()
         self.failures: Dict[int, ShardFailure] = {}
@@ -212,9 +214,12 @@ class _Supervisor:
         raise DrainRequested(completed=done, total=len(self.pending))
 
     def submit_args(self, shard: int, attempt: int) -> Tuple:
+        # The trailing trace context rides the same picklable tuple the
+        # worker args do — that is the whole cross-process propagation
+        # mechanism (fork, spawn, and the in-process fallback alike).
         return (
             self.root, shard, self.tool, self.tool_kwargs,
-            self.classify, self.kernel, attempt,
+            self.classify, self.kernel, attempt, self.trace,
         )
 
     def handle_failure(self, shard: int, attempt: int, error: BaseException,
@@ -478,8 +483,13 @@ def run_supervised(
     kernel: str,
     executor: Optional[concurrent.futures.Executor] = None,
     policy: Optional[RetryPolicy] = None,
+    trace: Optional[Dict] = None,
 ) -> List[ShardFailure]:
     """Analyze ``pending`` shards under supervision.
+
+    ``trace`` is the dispatcher's trace context (from
+    ``obs.propagation_context``); it is forwarded verbatim to every
+    shard attempt so worker spans join the submitting trace.
 
     Returns the quarantined shards' failures (empty on a clean run);
     raises :class:`DrainRequested` on SIGTERM drain and
@@ -489,7 +499,8 @@ def run_supervised(
     if policy is None:
         policy = RetryPolicy()
     supervisor = _Supervisor(
-        root, pending, tool, tool_kwargs, classify, kernel, policy
+        root, pending, tool, tool_kwargs, classify, kernel, policy,
+        trace=trace,
     )
     if not pending:
         return []

@@ -40,7 +40,9 @@ import time
 from typing import Dict, List, Optional
 
 from repro import faults
+from repro import obs
 from repro.core.detector import CostStats, Detector
+from repro.obs import tracecontext
 from repro.detectors.registry import make_detector
 from repro.engine import transport as _transport
 from repro.engine.checkpoint import Workdir
@@ -184,6 +186,7 @@ def analyze_shard(
     classify: bool = False,
     kernel: str = "auto",
     attempt: int = 0,
+    submitted: Optional[float] = None,
 ) -> Dict:
     """Run ``tool`` over one shard and checkpoint + return the payload.
 
@@ -192,90 +195,110 @@ def analyze_shard(
     "attempt": 0}`` hits exactly the first try, whichever worker process
     lands it) and is carried in the payload for post-mortems.
 
-    The payload carries the shard's wall/CPU timing (two clock reads per
-    shard — negligible even with telemetry off) so the parent process can
-    emit ``shard.analyze`` spans and queue-wait without any cross-process
-    telemetry plumbing; ``started``/``ended`` are ``time.monotonic()``
-    values, comparable across processes on one machine.
+    ``submitted`` is the dispatcher's ``time.monotonic()`` at submission
+    (carried in the trace context) — monotonic clocks are comparable
+    across processes on one machine, so ``start - submitted`` is this
+    shard's queue wait.  When telemetry is on the shard emits its own
+    ``shard.analyze`` span (with ``shard.attach``/``shard.kernel``
+    children) into this process's span file; the payload still carries
+    the wall/CPU timing either way, for the stage breakdown in
+    BENCH_engine.json and the merged report's ``timings``.
     """
     if faults.active():
         faults.fire("worker.crash", shard=shard, tool=tool, attempt=attempt)
         faults.fire("worker.hang", shard=shard, tool=tool, attempt=attempt)
     started_monotonic = time.monotonic()
     started_cpu = time.process_time()
-    detector: Detector = make_detector(tool, **(tool_kwargs or {}))
-    use_fused = resolve_kernel(kernel, tool)
-    classifier = None
-    if classify:
-        from repro.detectors.classifier import SharingClassifier
-
-        classifier = SharingClassifier()
-    # Attach the shard's transport buffer.  This — plus the cached intern
-    # load — is the *entire* per-shard transport cost under v3, and the
-    # payload times it separately so the stage breakdown in
-    # BENCH_engine.json can show the serialization tax is gone.
-    meta = workdir.read_meta()
-    if meta is None:
-        raise FileNotFoundError(
-            f"no complete v3 partition at {workdir.root!r}"
-        )
-    intern = _transport.load_intern(workdir, meta)
-    view = _transport.attach_view(workdir, meta, shard)
-    transport_s = time.monotonic() - started_monotonic
-    try:
-        columns, indices = view.columns(intern)
-        events_seen = len(columns)
-        if use_fused:
-            try:
-                run_kernel(tool, columns, indices=indices, detector=detector)
-            except Exception as error:
-                # Fused-path failure degrades, it does not fail the shard:
-                # rebuild the detector (the kernel may have half-advanced
-                # its shadow state) and redo this shard on the generic
-                # object path, whose output is bit-identical by the
-                # equivalence contract.
-                from repro import obs
-
-                obs.record_degraded(
-                    "kernel_fallback", tool=tool, shard=shard,
-                    error=str(error),
-                )
-                detector = make_detector(tool, **(tool_kwargs or {}))
-                use_fused = False
-            else:
-                if classifier is not None:
-                    # The classifier has no fused form; replay the shard's
-                    # events for it alone (the detector's pass stays
-                    # columnar).
-                    for event in columns.iter_events():
-                        classifier.handle(event)
-        if not use_fused:
-            kind_counts: Dict[int, int] = {}
-            handle = detector.handle
-            targets, sites = intern
-            Event = ev.Event
-            for index, kind, tid, target_id, site_id in zip(
-                indices, columns.kinds, columns.tids,
-                columns.target_ids, columns.site_ids,
-            ):
-                event = Event(
-                    kind,
-                    tid,
-                    targets[target_id],
-                    sites[site_id] if site_id >= 0 else None,
-                )
-                handle(event, index=index)
-                if classifier is not None:
-                    classifier.handle(event)
-                kind_counts[kind] = kind_counts.get(kind, 0) + 1
-            _tally_kinds(detector.stats, kind_counts)
-    finally:
-        columns = indices = None
-        view.close()
-
-    classifier_payload = (
-        classifier_counts(classifier) if classifier is not None else None
+    queue_wait_s = (
+        max(0.0, started_monotonic - submitted)
+        if submitted is not None else 0.0
     )
+    with obs.span(
+        "shard.analyze", shard=shard, tool=tool, attempt=attempt,
+        queue_wait_s=queue_wait_s,
+    ) as shard_span:
+        detector: Detector = make_detector(tool, **(tool_kwargs or {}))
+        use_fused = resolve_kernel(kernel, tool)
+        classifier = None
+        if classify:
+            from repro.detectors.classifier import SharingClassifier
+
+            classifier = SharingClassifier()
+        # Attach the shard's transport buffer.  This — plus the cached
+        # intern load — is the *entire* per-shard transport cost under v3,
+        # and the payload times it separately so the stage breakdown in
+        # BENCH_engine.json can show the serialization tax is gone.
+        with obs.span("shard.attach", shard=shard):
+            meta = workdir.read_meta()
+            if meta is None:
+                raise FileNotFoundError(
+                    f"no complete v3 partition at {workdir.root!r}"
+                )
+            intern = _transport.load_intern(workdir, meta)
+            view = _transport.attach_view(workdir, meta, shard)
+        transport_s = time.monotonic() - started_monotonic
+        try:
+            columns, indices = view.columns(intern)
+            events_seen = len(columns)
+            with obs.span("shard.kernel", shard=shard, tool=tool) as kspan:
+                if use_fused:
+                    try:
+                        run_kernel(
+                            tool, columns, indices=indices, detector=detector
+                        )
+                    except Exception as error:
+                        # Fused-path failure degrades, it does not fail the
+                        # shard: rebuild the detector (the kernel may have
+                        # half-advanced its shadow state) and redo this
+                        # shard on the generic object path, whose output is
+                        # bit-identical by the equivalence contract.
+                        obs.record_degraded(
+                            "kernel_fallback", tool=tool, shard=shard,
+                            error=str(error),
+                        )
+                        detector = make_detector(tool, **(tool_kwargs or {}))
+                        use_fused = False
+                    else:
+                        if classifier is not None:
+                            # The classifier has no fused form; replay the
+                            # shard's events for it alone (the detector's
+                            # pass stays columnar).
+                            for event in columns.iter_events():
+                                classifier.handle(event)
+                if not use_fused:
+                    kind_counts: Dict[int, int] = {}
+                    handle = detector.handle
+                    targets, sites = intern
+                    Event = ev.Event
+                    for index, kind, tid, target_id, site_id in zip(
+                        indices, columns.kinds, columns.tids,
+                        columns.target_ids, columns.site_ids,
+                    ):
+                        event = Event(
+                            kind,
+                            tid,
+                            targets[target_id],
+                            sites[site_id] if site_id >= 0 else None,
+                        )
+                        handle(event, index=index)
+                        if classifier is not None:
+                            classifier.handle(event)
+                        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+                    _tally_kinds(detector.stats, kind_counts)
+                kspan.set(
+                    events=events_seen,
+                    kernel="fused" if use_fused else "generic",
+                )
+        finally:
+            columns = indices = None
+            view.close()
+
+        classifier_payload = (
+            classifier_counts(classifier) if classifier is not None else None
+        )
+        shard_span.set(
+            events=events_seen, kernel="fused" if use_fused else "generic"
+        )
 
     ended_monotonic = time.monotonic()
     payload = {
@@ -309,6 +332,7 @@ def run_shard(
     classify: bool = False,
     kernel: str = "auto",
     attempt: int = 0,
+    trace: Optional[Dict] = None,
 ) -> int:
     """Multiprocessing entry point: picklable args, result left on disk.
 
@@ -321,12 +345,24 @@ def run_shard(
     Also adopts any ``REPRO_FAULTS`` plan on first entry, so chaos plans
     reach spawn-start workers and pool processes re-spawned mid-run, not
     just fork children.
+
+    ``trace`` is the dispatcher's trace context (see
+    :mod:`repro.obs.tracecontext`): adopting it makes this worker write
+    real span records — into its own ``spans-<pid>.jsonl`` when it is a
+    separate process — parented under the submitting ``engine.analyze``
+    span.  Spawn-start workers that were handed no context fall back to
+    the ``REPRO_TRACE`` environment export.  ``None`` with no env set
+    means telemetry is off and the analysis runs exactly as before.
     """
     faults.load_from_env_once()
     install_drain_handler()
-    analyze_shard(
-        Workdir(root), shard, tool, tool_kwargs, classify, kernel, attempt
-    )
+    if trace is None:
+        trace = tracecontext.context_from_env()
+    with tracecontext.adopt(trace):
+        analyze_shard(
+            Workdir(root), shard, tool, tool_kwargs, classify, kernel,
+            attempt, submitted=(trace or {}).get("submitted"),
+        )
     if multiprocessing.parent_process() is not None and drain_requested():
         # Pool worker: the checkpoint is on disk; exiting here refuses
         # further shards so the parent's drain can proceed.

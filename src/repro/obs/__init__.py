@@ -1,20 +1,25 @@
 """``repro.obs`` — the unified telemetry layer.
 
 One stdlib-only observability subsystem shared by every execution
-surface: the CLI (``repro check --telemetry DIR``, ``repro profile``),
-the sharded engine, the fused kernels' shard workers, and the ``repro
-serve`` daemon.  Three pillars, one module each:
+surface: the CLI (``repro check --telemetry DIR``, ``repro profile``,
+``repro top``), the sharded engine, the fused kernels' shard workers,
+and the ``repro serve`` daemon.  Four pillars, one module each:
 
-* :mod:`~repro.obs.metrics` — the Prometheus-text-format registry
-  (promoted from ``repro.service.metrics``; the service keeps a shim),
-  a process-global default registry, and :class:`BatchedCounter`
-  handles that are safe inside kernel hot loops — local adds, one lock
-  acquisition per batched flush, never one per event;
+* :mod:`~repro.obs.metrics` — the Prometheus-text-format registry, a
+  process-global default registry, :class:`BatchedCounter` handles that
+  are safe inside kernel hot loops — local adds, one lock acquisition
+  per batched flush, never one per event — and histogram *exemplars*
+  pinning outlier observations to the job/trace that caused them;
 * :mod:`~repro.obs.telemetry` — structured tracing (``obs.span(...)``
-  context managers emitting JSONL with wall + CPU time and nesting),
-  the ``--telemetry DIR`` sink (``spans.jsonl`` + ``metrics.json``),
-  and the structured logger ``obs.log`` (JSONL when a sink is active,
-  stderr otherwise);
+  context managers emitting JSONL with wall + CPU time, nesting, and a
+  ``trace_id``), the ``--telemetry DIR`` sink (``spans.jsonl`` plus
+  per-worker ``spans-<pid>.jsonl`` + ``metrics.json``), and the
+  structured logger ``obs.log`` (JSONL when a sink is active, stderr
+  otherwise);
+* :mod:`~repro.obs.tracecontext` — trace-context propagation: the
+  picklable context handed to engine workers, the ``X-Repro-Trace-Id``
+  header contract, and :func:`~repro.obs.tracecontext.adopt` binding a
+  worker to the submitting trace;
 * :mod:`~repro.obs.rules` — per-detector rule-frequency metrics
   (``repro_rule_total{detector,rule}``), same-epoch fast paths derived
   with the Figure 2 arithmetic, flushed once per run/shard.
@@ -25,7 +30,7 @@ global, and no analysis output ever changes — the differential tests
 assert ``repro check --json`` is byte-identical with telemetry on and
 off, and ``benchmarks/bench_obs_overhead.py`` holds the disabled-path
 overhead under 2%.  See docs/OBSERVABILITY.md for the metric and span
-catalog.
+catalog and the trace model.
 """
 
 from repro.obs.metrics import (
@@ -46,7 +51,13 @@ from repro.obs.health import (
     record_degraded,
     record_shard_bytes,
 )
-from repro.obs.profile import render_profile
+from repro.obs.profile import (
+    critical_path,
+    render_critical_path,
+    render_profile,
+    render_trace_report,
+    stitch_traces,
+)
 from repro.obs.rules import (
     EVENTS_COUNTER,
     RULE_COUNTER,
@@ -61,15 +72,27 @@ from repro.obs.telemetry import (
     Span,
     Telemetry,
     active,
+    current_trace_id,
     disable,
     emit_span,
     enable,
     enabled,
     log,
+    new_trace_id,
+    read_all_spans,
     read_spans,
     span,
+    span_files,
+    trace_scope,
     validate_record,
     validate_spans_file,
+    validate_telemetry_dir,
+)
+from repro.obs.tracecontext import (
+    TRACE_HEADER,
+    adopt,
+    clean_trace_id,
+    propagation_context,
 )
 
 __all__ = [
@@ -89,8 +112,13 @@ __all__ = [
     "SHARD_BYTES_COUNTER",
     "SPANS_FILENAME",
     "Span",
+    "TRACE_HEADER",
     "Telemetry",
     "active",
+    "adopt",
+    "clean_trace_id",
+    "critical_path",
+    "current_trace_id",
     "default_registry",
     "derived_rule_counts",
     "disable",
@@ -98,14 +126,23 @@ __all__ = [
     "enable",
     "enabled",
     "log",
+    "new_trace_id",
+    "propagation_context",
+    "read_all_spans",
     "read_spans",
     "record_degraded",
     "record_rule_counts",
     "record_shard_bytes",
     "record_rules",
+    "render_critical_path",
     "render_profile",
+    "render_trace_report",
     "reset_default_registry",
     "span",
+    "span_files",
+    "stitch_traces",
+    "trace_scope",
     "validate_record",
     "validate_spans_file",
+    "validate_telemetry_dir",
 ]

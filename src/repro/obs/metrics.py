@@ -1,8 +1,7 @@
 """A minimal, dependency-free Prometheus exposition-format registry.
 
-Promoted from ``repro.service.metrics`` (which remains as a re-export
-shim) so every layer — the CLI, the sharded engine, the fused-kernel
-workers, and the ``repro serve`` daemon — shares one metrics substrate:
+Every layer — the CLI, the sharded engine, the fused-kernel workers,
+and the ``repro serve`` daemon — shares this one metrics substrate:
 counters, gauges, and cumulative histograms, with labels, rendered in
 text format 0.0.4 (the format every Prometheus scraper accepts).  All
 mutation goes through one registry-wide lock — the daemon's HTTP threads
@@ -40,6 +39,7 @@ at a batch boundary (the engine flushes once per shard):
 
 from __future__ import annotations
 
+import heapq
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -205,14 +205,32 @@ class Gauge(_Metric):
 class Histogram(_Metric):
     kind = "histogram"
 
+    #: Exemplars retained per label set — always the slowest observations
+    #: seen, i.e. the population of the outlier buckets.
+    MAX_EXEMPLARS = 5
+
     def __init__(self, name, help_text, lock,
                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         super().__init__(name, help_text, lock)
         self.buckets = tuple(sorted(buckets))
         #: per-labelset: (per-bucket counts, sum, count)
         self._series: Dict[_LabelKey, Tuple[List[int], float, int]] = {}
+        #: per-labelset min-heap of (value, serial, fields) — the serial
+        #: breaks value ties so heap comparison never reaches the dict.
+        self._exemplars: Dict[_LabelKey, List[Tuple[float, int, Dict]]] = {}
+        self._exemplar_serial = 0
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(self, value: float, exemplar: Optional[Dict] = None,
+                **labels: str) -> None:
+        """Record ``value``; an optional ``exemplar`` dict (job id,
+        trace id, ...) is kept iff the value ranks among the slowest
+        :data:`MAX_EXEMPLARS` for its label set — so a latency spike in
+        the rendered histogram can be traced to the requests behind it.
+
+        Exemplars never reach the Prometheus text rendering (format
+        0.0.4 has no exemplar syntax); they surface through
+        :meth:`exemplars`, :meth:`samples`, and the ``/debug`` view.
+        """
         key = _label_key(labels)
         with self._lock:
             counts, total, count = self._series.get(
@@ -222,11 +240,44 @@ class Histogram(_Metric):
                 if value <= bound:
                     counts[index] += 1
             self._series[key] = (counts, total + value, count + 1)
+            if exemplar is not None:
+                entries = self._exemplars.setdefault(key, [])
+                self._exemplar_serial += 1
+                heapq.heappush(
+                    entries, (float(value), self._exemplar_serial, dict(exemplar))
+                )
+                if len(entries) > self.MAX_EXEMPLARS:
+                    heapq.heappop(entries)  # drop the fastest survivor
 
     def count(self, **labels: str) -> int:
         with self._lock:
             series = self._series.get(_label_key(labels))
         return series[2] if series else 0
+
+    def exemplars(self, **labels: str) -> List[Dict]:
+        """The retained outliers for one label set, slowest first, each
+        ``{"value": seconds, ...exemplar fields}``."""
+        with self._lock:
+            entries = list(self._exemplars.get(_label_key(labels), ()))
+        entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        return [
+            {"value": value, **fields} for value, _, fields in entries
+        ]
+
+    def all_exemplars(self) -> List[Dict]:
+        """Every retained outlier across label sets, slowest first, each
+        carrying its ``labels`` alongside the exemplar fields."""
+        with self._lock:
+            flat = [
+                (value, serial, dict(key), fields)
+                for key, entries in self._exemplars.items()
+                for value, serial, fields in entries
+            ]
+        flat.sort(key=lambda entry: (-entry[0], entry[1]))
+        return [
+            {"value": value, "labels": labels, **fields}
+            for value, _, labels, fields in flat
+        ]
 
     def render(self) -> List[str]:
         with self._lock:
@@ -258,15 +309,26 @@ class Histogram(_Metric):
                 (key, (list(counts), total, count))
                 for key, (counts, total, count) in self._series.items()
             )
-        return [
-            {
+        with self._lock:
+            exemplars = {
+                key: sorted(entries, key=lambda e: (-e[0], e[1]))
+                for key, entries in self._exemplars.items()
+            }
+        out = []
+        for key, (counts, total, count) in items:
+            sample = {
                 "labels": dict(key),
                 "buckets": dict(zip(map(_format_value, self.buckets), counts)),
                 "sum": total,
                 "count": count,
             }
-            for key, (counts, total, count) in items
-        ]
+            kept = exemplars.get(key)
+            if kept:
+                sample["exemplars"] = [
+                    {"value": value, **fields} for value, _, fields in kept
+                ]
+            out.append(sample)
+        return out
 
 
 class MetricsRegistry:

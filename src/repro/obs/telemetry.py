@@ -7,12 +7,13 @@ The span API is the tracing half of :mod:`repro.obs`::
     with obs.span("shard.analyze", shard=3, tool="FastTrack"):
         ...  # timed: wall clock + CPU time, nesting tracked per thread
 
-Every completed span appends one JSON line to ``DIR/spans.jsonl`` (the
-``--telemetry DIR`` sink): name, span/parent ids, start timestamp, wall
-and CPU seconds, ok/error status, and free-form attributes.  Nesting is
-per-thread (a ``threading.local`` stack), and exception safety is part
-of the contract: a span body that raises still emits its record, marked
-``status="error"`` with the exception type, and re-raises unchanged.
+Every completed span appends one JSON line to the ``--telemetry DIR``
+sink: name, span/parent ids, the owning ``trace_id``, start timestamp,
+wall and CPU seconds, ok/error status, and free-form attributes.
+Nesting is per-thread (a ``threading.local`` stack), and exception
+safety is part of the contract: a span body that raises still emits its
+record, marked ``status="error"`` with the exception type, and re-raises
+unchanged.
 
 Zero overhead when disabled — the default state.  :func:`span` returns a
 shared no-op context manager without allocating, :func:`emit_span` and
@@ -21,26 +22,34 @@ read, no file is touched.  The engine's hot loops therefore never pay
 for telemetry they did not ask for (``benchmarks/bench_obs_overhead.py``
 holds this under 2%).
 
+Distributed traces.  Span ids are globally unique strings (a per-process
+random prefix plus a counter), every record carries a ``trace_id``, and
+:meth:`Telemetry.trace_scope` rebinds the current thread to a carried
+trace/parent pair — the mechanism :mod:`repro.obs.tracecontext` uses to
+join engine workers to the submitting request.  The process that called
+:func:`enable` writes ``spans.jsonl``; any *other* pid (a forked pool
+worker, a spawned one adopting via its carried context) writes its own
+``spans-<pid>.jsonl`` in the same directory, so multi-process runs never
+interleave writes within a file.  :func:`read_all_spans` reads the whole
+sink back, and ``repro profile`` stitches it into one tree per trace.
+
 Structured logging rides the same sink: ``obs.log.warning(event, msg,
 **fields)`` writes a ``{"type": "log", ...}`` record when telemetry is
 on and falls back to plain stderr otherwise, so engine diagnostics (the
 ``--jobs auto`` oversubscription warning, drain notices) are never lost
 but become machine-readable the moment a sink exists.
-
-Forked engine workers inherit the enabled state; the sink re-opens its
-file append-only on first write from a new pid and writes whole lines
-under a lock, so records from daemon threads never interleave.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
 import sys
 import threading
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -51,8 +60,26 @@ from repro.obs.metrics import (
 SPANS_FILENAME = "spans.jsonl"
 METRICS_FILENAME = "metrics.json"
 
+#: Per-pid sink files written by worker processes: ``spans-<pid>.jsonl``.
+WORKER_SPANS_PREFIX = "spans-"
+
+#: Environment fallback for trace propagation into *spawned* workers,
+#: which share no memory with the parent (see repro.obs.tracecontext).
+TRACE_ENV = "REPRO_TRACE"
+
 #: Log severities accepted by the structured logger.
 LOG_LEVELS = ("debug", "info", "warning", "error")
+
+SpanId = Union[int, str]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (collision odds are cosmological)."""
+    return os.urandom(8).hex()
+
+
+def worker_spans_filename(pid: int) -> str:
+    return f"{WORKER_SPANS_PREFIX}{pid}.jsonl"
 
 
 class _NullSpan:
@@ -77,7 +104,7 @@ class Span:
     """One timed region; records itself on ``__exit__`` (even on error)."""
 
     __slots__ = (
-        "telemetry", "name", "attrs", "span_id", "parent_id",
+        "telemetry", "name", "attrs", "span_id", "parent_id", "trace_id",
         "_start_unix", "_start_wall", "_start_cpu",
     )
 
@@ -85,8 +112,9 @@ class Span:
         self.telemetry = telemetry
         self.name = name
         self.attrs = attrs
-        self.span_id: Optional[int] = None
-        self.parent_id: Optional[int] = None
+        self.span_id: Optional[SpanId] = None
+        self.parent_id: Optional[SpanId] = None
+        self.trace_id: Optional[str] = None
 
     def set(self, **attrs) -> "Span":
         """Attach attributes discovered mid-span (e.g. event counts)."""
@@ -96,8 +124,9 @@ class Span:
     def __enter__(self) -> "Span":
         telemetry = self.telemetry
         self.span_id = telemetry.next_id()
+        self.trace_id = telemetry.current_trace_id()
         stack = telemetry.stack()
-        self.parent_id = stack[-1] if stack else None
+        self.parent_id = stack[-1] if stack else telemetry.base_parent()
         stack.append(self.span_id)
         self._start_unix = time.time()
         self._start_cpu = time.process_time()
@@ -115,6 +144,7 @@ class Span:
             "name": self.name,
             "id": self.span_id,
             "parent": self.parent_id,
+            "trace_id": self.trace_id,
             "start_unix": self._start_unix,
             "wall_s": wall,
             "cpu_s": cpu,
@@ -128,39 +158,101 @@ class Span:
 
 
 class Telemetry:
-    """An enabled sink: a directory holding ``spans.jsonl`` and (on
+    """An enabled sink: a directory holding ``spans.jsonl`` (plus
+    ``spans-<pid>.jsonl`` per worker process) and (on
     :meth:`write_metrics`) a ``metrics.json`` registry snapshot."""
 
     def __init__(
         self,
         directory: str,
         registry: Optional[MetricsRegistry] = None,
+        trace_id: Optional[str] = None,
+        worker: bool = False,
     ) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.registry = registry if registry is not None else default_registry()
-        self.spans_path = os.path.join(directory, SPANS_FILENAME)
+        self._pid = os.getpid()
+        self.worker = worker
+        self.spans_path = os.path.join(
+            directory,
+            worker_spans_filename(self._pid) if worker else SPANS_FILENAME,
+        )
         self.metrics_path = os.path.join(directory, METRICS_FILENAME)
         self._lock = threading.Lock()
         self._stream = open(self.spans_path, "a", encoding="utf-8")
-        self._pid = os.getpid()
         self._ids = itertools.count(1)
+        self._id_prefix = os.urandom(5).hex()
         self._local = threading.local()
+        #: Run-level default; requests/jobs rebind via :meth:`trace_scope`.
+        self.trace_id = trace_id if trace_id else new_trace_id()
+
+    # -- fork safety ---------------------------------------------------------
+
+    def _ensure_pid(self) -> None:
+        """Adopt a fork-inherited sink on first use from a new pid.
+
+        A forked worker must not share the parent's stream position, its
+        (possibly held-at-fork) lock, its span-id sequence, or its
+        per-thread span stacks — so all four are replaced, and writes go
+        to this pid's own ``spans-<pid>.jsonl``.
+        """
+        if os.getpid() == self._pid:
+            return
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._id_prefix = os.urandom(5).hex()
+        self._local = threading.local()
+        self.spans_path = os.path.join(
+            self.directory, worker_spans_filename(self._pid)
+        )
+        self._stream = open(self.spans_path, "a", encoding="utf-8")
 
     # -- span plumbing -------------------------------------------------------
 
-    def next_id(self) -> int:
-        return next(self._ids)
+    def next_id(self) -> str:
+        """A globally-unique span id: process prefix + local counter."""
+        self._ensure_pid()
+        return f"{self._id_prefix}{next(self._ids):06x}"
 
-    def stack(self) -> List[int]:
+    def stack(self) -> List[SpanId]:
+        self._ensure_pid()
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
-    def current_span_id(self) -> Optional[int]:
+    def current_span_id(self) -> Optional[SpanId]:
         stack = self.stack()
         return stack[-1] if stack else None
+
+    # -- trace binding -------------------------------------------------------
+
+    def current_trace_id(self) -> str:
+        bound = getattr(self._local, "trace", None)
+        return bound[0] if bound is not None else self.trace_id
+
+    def base_parent(self) -> Optional[SpanId]:
+        """The carried remote parent, used when the local stack is empty."""
+        bound = getattr(self._local, "trace", None)
+        return bound[1] if bound is not None else None
+
+    @contextlib.contextmanager
+    def trace_scope(
+        self,
+        trace_id: Optional[str],
+        parent: Optional[SpanId] = None,
+    ) -> Iterator["Telemetry"]:
+        """Bind this thread to ``trace_id`` (and a remote ``parent`` span)
+        for the duration; top-level spans opened inside attach there."""
+        self._ensure_pid()
+        previous = getattr(self._local, "trace", None)
+        self._local.trace = (trace_id if trace_id else self.trace_id, parent)
+        try:
+            yield self
+        finally:
+            self._local.trace = previous
 
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
@@ -174,13 +266,14 @@ class Telemetry:
         status: str = "ok",
         **attrs,
     ) -> None:
-        """Record a span measured elsewhere (e.g. inside a shard worker,
-        whose timing travels back in the checkpoint payload)."""
+        """Record a span measured elsewhere (a pre-timed region that was
+        not wrapped in a live ``with obs.span(...)`` block)."""
         self.write({
             "type": "span",
             "name": name,
             "id": self.next_id(),
-            "parent": self.current_span_id(),
+            "parent": self.current_span_id() or self.base_parent(),
+            "trace_id": self.current_trace_id(),
             "start_unix": time.time() if start_unix is None else start_unix,
             "wall_s": wall_s,
             "cpu_s": cpu_s,
@@ -195,18 +288,17 @@ class Telemetry:
             "event": event,
             "message": message,
             "time_unix": time.time(),
+            "trace_id": self.current_trace_id(),
             "fields": fields,
         })
 
     # -- sink ----------------------------------------------------------------
 
     def write(self, record: Dict) -> None:
+        self._ensure_pid()
+        record.setdefault("pid", self._pid)
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
         with self._lock:
-            if os.getpid() != self._pid:
-                # Forked worker: never share the parent's stream position.
-                self._stream = open(self.spans_path, "a", encoding="utf-8")
-                self._pid = os.getpid()
             self._stream.write(line)
             self._stream.flush()
 
@@ -232,21 +324,31 @@ _ACTIVE: Optional[Telemetry] = None
 
 
 def enable(
-    directory: str, registry: Optional[MetricsRegistry] = None
+    directory: str,
+    registry: Optional[MetricsRegistry] = None,
+    trace_id: Optional[str] = None,
+    worker: bool = False,
 ) -> Telemetry:
     """Turn telemetry on, sinking to ``directory``; returns the sink.
 
     Re-enabling replaces (and closes) any previous sink.  Without an
     explicit ``registry`` the sink snapshots a *fresh* default registry,
     so one run's ``metrics.json`` never inherits a previous run's counts
-    from the same process.
+    from the same process.  Non-worker sinks also export their directory
+    and run trace id to ``REPRO_TRACE`` so spawn-started pool workers
+    (which inherit env, not memory) can find the sink; ``worker=True``
+    sinks write ``spans-<pid>.jsonl`` and leave the env alone.
     """
     global _ACTIVE
     if _ACTIVE is not None:
         _ACTIVE.close()
     if registry is None:
         registry = reset_default_registry()
-    _ACTIVE = Telemetry(directory, registry)
+    _ACTIVE = Telemetry(directory, registry, trace_id=trace_id, worker=worker)
+    if not worker:
+        os.environ[TRACE_ENV] = json.dumps(
+            {"dir": directory, "trace_id": _ACTIVE.trace_id}
+        )
     return _ACTIVE
 
 
@@ -254,6 +356,8 @@ def disable() -> None:
     """Turn telemetry off and close the sink (writing metrics.json)."""
     global _ACTIVE
     if _ACTIVE is not None:
+        if not _ACTIVE.worker:
+            os.environ.pop(TRACE_ENV, None)
         _ACTIVE.write_metrics()
         _ACTIVE.close()
         _ACTIVE = None
@@ -282,6 +386,42 @@ def emit_span(name: str, wall_s: float, cpu_s: float = 0.0,
     if telemetry is not None:
         telemetry.emit_span(name, wall_s, cpu_s=cpu_s, start_unix=start_unix,
                             status=status, **attrs)
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id spans would record right now; None when disabled."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return None
+    return telemetry.current_trace_id()
+
+
+def trace_scope(trace_id: Optional[str], parent: Optional[SpanId] = None):
+    """Bind the calling thread to ``trace_id`` while the ``with`` body
+    runs; the shared null context when telemetry is off."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.trace_scope(trace_id, parent)
+
+
+def propagation_context(**extra) -> Optional[Dict]:
+    """The picklable trace context to hand a worker (None when off).
+
+    Carries the active trace id, the would-be parent span, and the sink
+    directory; ``extra`` keys (e.g. the submission timestamp used for
+    queue-wait attribution) ride along verbatim.
+    """
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return None
+    context = {
+        "trace_id": telemetry.current_trace_id(),
+        "parent": telemetry.current_span_id() or telemetry.base_parent(),
+        "dir": telemetry.directory,
+    }
+    context.update(extra)
+    return context
 
 
 class _Log:
@@ -324,10 +464,25 @@ log = _Log()
 # -- span-file schema ----------------------------------------------------------
 
 _SPAN_KEYS = {
-    "type", "name", "id", "parent", "start_unix", "wall_s", "cpu_s",
-    "status", "attrs", "error",
+    "type", "name", "id", "parent", "trace_id", "pid", "start_unix",
+    "wall_s", "cpu_s", "status", "attrs", "error",
 }
-_LOG_KEYS = {"type", "level", "event", "message", "time_unix", "fields"}
+#: Keys a span record may omit: ``error`` (ok spans), and ``trace_id``/
+#: ``pid`` so pre-tracing span files still validate.
+_SPAN_OPTIONAL = {"error", "trace_id", "pid"}
+_LOG_KEYS = {
+    "type", "level", "event", "message", "time_unix", "trace_id", "pid",
+    "fields",
+}
+_LOG_OPTIONAL = {"trace_id", "pid"}
+
+
+def _valid_span_id(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return True  # pre-tracing sinks used per-process integers
+    return isinstance(value, str) and bool(value)
 
 
 def validate_record(record: Dict) -> None:
@@ -336,7 +491,7 @@ def validate_record(record: Dict) -> None:
         raise ValueError(f"record is not an object: {record!r}")
     kind = record.get("type")
     if kind == "span":
-        missing = (_SPAN_KEYS - {"error"}) - set(record)
+        missing = (_SPAN_KEYS - _SPAN_OPTIONAL) - set(record)
         if missing:
             raise ValueError(f"span record missing {sorted(missing)}")
         unknown = set(record) - _SPAN_KEYS
@@ -344,12 +499,20 @@ def validate_record(record: Dict) -> None:
             raise ValueError(f"span record has unknown keys {sorted(unknown)}")
         if not isinstance(record["name"], str) or not record["name"]:
             raise ValueError("span name must be a non-empty string")
-        if not isinstance(record["id"], int):
-            raise ValueError("span id must be an integer")
-        if record["parent"] is not None and not isinstance(
-            record["parent"], int
+        if not _valid_span_id(record["id"]):
+            raise ValueError("span id must be an integer or non-empty string")
+        if record["parent"] is not None and not _valid_span_id(
+            record["parent"]
         ):
-            raise ValueError("span parent must be an integer or null")
+            raise ValueError(
+                "span parent must be an id (integer or string) or null"
+            )
+        if "trace_id" in record and (
+            not isinstance(record["trace_id"], str) or not record["trace_id"]
+        ):
+            raise ValueError("span trace_id must be a non-empty string")
+        if "pid" in record and not isinstance(record["pid"], int):
+            raise ValueError("span pid must be an integer")
         for key in ("start_unix", "wall_s", "cpu_s"):
             if not isinstance(record[key], (int, float)):
                 raise ValueError(f"span {key} must be a number")
@@ -362,7 +525,7 @@ def validate_record(record: Dict) -> None:
         if not isinstance(record["attrs"], dict):
             raise ValueError("span attrs must be an object")
     elif kind == "log":
-        missing = _LOG_KEYS - set(record)
+        missing = (_LOG_KEYS - _LOG_OPTIONAL) - set(record)
         if missing:
             raise ValueError(f"log record missing {sorted(missing)}")
         if record["level"] not in LOG_LEVELS:
@@ -394,6 +557,36 @@ def read_spans(path: str, validate: bool = True) -> List[Dict]:
     return records
 
 
+def span_files(directory: str) -> List[str]:
+    """Every span file of a telemetry dir: the main ``spans.jsonl`` first,
+    then the per-pid worker files in sorted order."""
+    paths = []
+    main = os.path.join(directory, SPANS_FILENAME)
+    if os.path.exists(main):
+        paths.append(main)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if name.startswith(WORKER_SPANS_PREFIX) and name.endswith(".jsonl"):
+            paths.append(os.path.join(directory, name))
+    return paths
+
+
+def read_all_spans(directory: str, validate: bool = True) -> List[Dict]:
+    """Load every record from every span file of a telemetry dir."""
+    records: List[Dict] = []
+    for path in span_files(directory):
+        records.extend(read_spans(path, validate=validate))
+    return records
+
+
 def validate_spans_file(path: str) -> int:
     """Validate a spans.jsonl file; returns the number of records."""
     return len(read_spans(path, validate=True))
+
+
+def validate_telemetry_dir(directory: str) -> int:
+    """Validate every span file in ``directory``; returns total records."""
+    return len(read_all_spans(directory, validate=True))

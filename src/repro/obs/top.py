@@ -1,0 +1,178 @@
+"""``repro top`` — the terminal ops view, for daemons and local runs.
+
+Two sources, one habit:
+
+* **Service mode** (``repro top --url`` / ``--host/--port``): poll the
+  daemon's ``GET /debug?format=json`` snapshot (``repro.debug/1``, see
+  :mod:`repro.service.debug`) and render queue depth, in-flight jobs
+  with their current stage, resident partitions, and the slowest recent
+  jobs from the latency exemplars.
+* **Local mode** (``repro top --telemetry DIR``): no daemon — read the
+  span files a ``repro check --telemetry`` run wrote (the main
+  ``spans.jsonl`` plus every worker's ``spans-<pid>.jsonl``), stitch
+  them per trace, and show where the time went.
+
+Rendering is plain text; the CLI loops it with ``--interval`` (or emits
+one frame with ``--once``) — no curses, so output survives pipes and CI
+logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs import profile, telemetry
+
+
+def _rows(headers: List[str], rows: List[List]) -> List[str]:
+    """A fixed-width text table (headers + rows), no trailing spaces."""
+    if not rows:
+        return ["  (none)"]
+    table = [headers] + [
+        ["" if cell is None else str(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in table) for col in range(len(headers))
+    ]
+    out = []
+    for index, row in enumerate(table):
+        line = "  " + "  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        )
+        out.append(line.rstrip())
+        if index == 0:
+            out.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return out
+
+
+def render_top(snapshot: Dict) -> str:
+    """One frame of the service view from a ``repro.debug/1`` snapshot."""
+    lines = [
+        f"repro top — daemon {snapshot.get('status', '?')}, "
+        f"up {snapshot.get('uptime_seconds', 0):.0f}s, "
+        f"queue depth {snapshot.get('queue_depth', 0)}, "
+        f"{snapshot.get('quarantined', 0)} quarantined",
+    ]
+    states = snapshot.get("jobs") or {}
+    if states:
+        lines.append(
+            "jobs: " + "  ".join(
+                f"{state}={count}" for state, count in sorted(states.items())
+            )
+        )
+    lines.append("")
+    lines.append("in flight:")
+    lines.extend(_rows(
+        ["job", "stage", "in stage", "elapsed", "trace", "tools"],
+        [
+            [
+                job.get("job"), job.get("stage"),
+                f"{job.get('stage_elapsed_s', 0):.1f}s",
+                f"{job.get('elapsed_s', 0):.1f}s",
+                job.get("trace_id"),
+                ",".join(job.get("tools") or []),
+            ]
+            for job in snapshot.get("inflight") or []
+        ],
+    ))
+    lines.append("")
+    lines.append("slowest recent jobs:")
+    lines.extend(_rows(
+        ["seconds", "job", "tool", "trace", "shards"],
+        [
+            [
+                f"{row.get('seconds', 0):.3f}", row.get("job"),
+                row.get("tool"), row.get("trace_id"), row.get("shards"),
+            ]
+            for row in snapshot.get("slowest") or []
+        ],
+    ))
+    partitions = snapshot.get("partitions") or []
+    pinned = sum(1 for p in partitions if p.get("refcount"))
+    lines.append("")
+    lines.append(
+        f"partitions: {len(partitions)} resident, {pinned} pinned"
+    )
+    degraded = snapshot.get("degraded") or {}
+    if degraded:
+        lines.append(
+            "degraded: " + "  ".join(
+                f"{reason}={int(count)}"
+                for reason, count in sorted(degraded.items())
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- local (telemetry-dir) mode -----------------------------------------------
+
+
+def snapshot_from_telemetry(directory: str) -> Dict:
+    """Summarize a telemetry dir: traces, processes, slowest spans."""
+    records = telemetry.read_all_spans(directory, validate=False)
+    traces = profile.stitch_traces(records)
+    entries = []
+    for entry in sorted(
+        traces.values(), key=lambda e: (-len(e["spans"]), e["trace_id"])
+    ):
+        roots_wall = sum(root["wall_s"] for root in entry["roots"])
+        entries.append({
+            "trace_id": entry["trace_id"],
+            "spans": len(entry["spans"]),
+            "pids": len(entry["pids"]),
+            "wall_s": round(roots_wall, 6),
+            "critical_path": profile.render_critical_path(entry["spans"]),
+        })
+    spans = [r for r in records if r.get("type") == "span"]
+    slowest = sorted(spans, key=lambda s: -s["wall_s"])[:10]
+    return {
+        "schema": "repro.top.telemetry/1",
+        "directory": directory,
+        "files": len(telemetry.span_files(directory)),
+        "traces": entries,
+        "slowest": [
+            {
+                "name": profile._span_label(span),
+                "wall_s": round(span["wall_s"], 6),
+                "trace_id": span.get("trace_id"),
+                "pid": span.get("pid"),
+            }
+            for span in slowest
+        ],
+    }
+
+
+def render_telemetry_top(snapshot: Dict) -> str:
+    """One frame of the local view from a telemetry-dir snapshot."""
+    lines = [
+        f"repro top — telemetry {snapshot['directory']} "
+        f"({snapshot['files']} span file(s))",
+        "",
+        "traces:",
+    ]
+    lines.extend(_rows(
+        ["trace", "spans", "procs", "wall"],
+        [
+            [
+                entry["trace_id"], entry["spans"], entry["pids"],
+                f"{entry['wall_s']:.3f}s",
+            ]
+            for entry in snapshot["traces"]
+        ],
+    ))
+    for entry in snapshot["traces"]:
+        if entry["critical_path"]:
+            lines.append(f"  [{entry['trace_id']}] {entry['critical_path']}")
+    lines.append("")
+    lines.append("slowest spans:")
+    lines.extend(_rows(
+        ["wall", "span", "trace", "pid"],
+        [
+            [
+                f"{span['wall_s'] * 1e3:.1f}ms", span["name"],
+                span.get("trace_id"), span.get("pid"),
+            ]
+            for span in snapshot["slowest"]
+        ],
+    ))
+    return "\n".join(lines) + "\n"

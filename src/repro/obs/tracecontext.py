@@ -1,0 +1,113 @@
+"""Trace-context propagation across process and machine boundaries.
+
+A *trace context* is the small picklable dict that carries "which trace
+is this work part of, and which span submitted it" from the place a job
+is dispatched to the place it runs::
+
+    {"trace_id": "6f1c...", "parent": "a3e09c1b000004",
+     "dir": "/tmp/telemetry", "submitted": 12.345}
+
+Producers call :func:`repro.obs.propagation_context` (None when
+telemetry is off); consumers wrap their work in :func:`adopt`.  The
+engine threads the context through its worker submit args — so fork *and*
+spawn pool workers, and the in-process sequential fallback, all attribute
+their spans to the submitting trace — and the service maps the
+``X-Repro-Trace-Id`` request header onto each job so the chain reaches
+back to the client.  Spawned workers that receive no per-task context
+can still recover one from the ``REPRO_TRACE`` environment variable,
+which :func:`repro.obs.enable` exports (env crosses exec boundaries;
+memory does not).
+
+Adoption is cheap and idempotent: if the current process already sinks
+to the context's directory the existing sink is reused; otherwise a
+*worker* sink is enabled there (writing ``spans-<pid>.jsonl``).  Either
+way the calling thread is bound to the carried trace id and parent for
+the duration, so spans opened inside land in the right tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+from typing import Dict, Iterator, Optional
+
+from repro.obs import telemetry as _telemetry
+
+#: The HTTP request header a client uses to name (or propagate) a trace.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Environment variable carrying ``{"dir": ..., "trace_id": ...}`` to
+#: spawned workers (exported by :func:`repro.obs.enable`).
+TRACE_ENV = _telemetry.TRACE_ENV
+
+#: Upper bound on caller-supplied trace ids (header values).
+TRACE_ID_MAX_LEN = 64
+
+new_trace_id = _telemetry.new_trace_id
+
+_TRACE_ID_RE = re.compile(r"[A-Za-z0-9._-]+\Z")
+
+
+def clean_trace_id(value: Optional[str]) -> Optional[str]:
+    """Sanitize a caller-supplied trace id; None if unusable.
+
+    Accepts 1-64 characters drawn from ``[A-Za-z0-9._-]`` — enough for
+    every mainstream trace-id format (hex, UUID, W3C traceparent ids)
+    while keeping ids safe to embed in filenames, JSON, and log lines.
+    """
+    if not value:
+        return None
+    value = value.strip()
+    if not value or len(value) > TRACE_ID_MAX_LEN:
+        return None
+    if not _TRACE_ID_RE.match(value):
+        return None
+    return value
+
+
+def propagation_context(**extra) -> Optional[Dict]:
+    """The context to hand downstream work (None when telemetry is off)."""
+    return _telemetry.propagation_context(**extra)
+
+
+def context_from_env() -> Optional[Dict]:
+    """The ``REPRO_TRACE`` fallback context, or None."""
+    raw = os.environ.get(TRACE_ENV)
+    if not raw:
+        return None
+    try:
+        context = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(context, dict) or not context.get("dir"):
+        return None
+    return context
+
+
+@contextlib.contextmanager
+def adopt(context: Optional[Dict]) -> Iterator[bool]:
+    """Bind the calling thread to a carried trace context.
+
+    Yields True when a sink is active and the binding took effect, False
+    for a null/unusable context (the body still runs — adoption never
+    makes work fail).  In a process with no sink, a *worker* sink is
+    enabled at the context's directory; it stays enabled after the block
+    so long-lived spawned workers keep their open file across tasks.
+    """
+    if not context:
+        yield False
+        return
+    directory = context.get("dir")
+    sink = _telemetry.active()
+    if sink is None or (
+        directory
+        and os.path.abspath(sink.directory) != os.path.abspath(directory)
+    ):
+        if not directory:
+            yield False
+            return
+        sink = _telemetry.enable(directory, worker=True)
+    with sink.trace_scope(context.get("trace_id"), context.get("parent")):
+        yield True

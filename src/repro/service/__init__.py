@@ -14,11 +14,10 @@ package amortizes that cost behind a stdlib-only HTTP/JSON daemon:
   checkpoints survive a daemon kill and a restart resumes mid-job;
 * :mod:`~repro.service.queue`  — the bounded FIFO between HTTP threads
   and job runners;
-* :mod:`~repro.service.metrics` — compatibility shim over
-  :mod:`repro.obs.metrics`, the Prometheus-text-format registry now
-  shared with the whole telemetry layer (job states, queue depth,
-  per-tool event throughput and rule frequencies, per-endpoint latency
-  histograms);
+* :mod:`~repro.service.debug`  — the ``/debug`` live ops surface: one
+  ``repro.debug/1`` snapshot (queue depth, in-flight jobs with their
+  current stage, resident partitions, slowest recent jobs from latency
+  exemplars) rendered as JSON for ``repro top`` or as plain HTML;
 * :mod:`~repro.service.routes` — the tiny URL router;
 * :mod:`~repro.service.client` — the stdlib client library the
   ``repro submit/status/result`` CLI verbs are built on.

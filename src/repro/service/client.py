@@ -28,6 +28,8 @@ import uuid
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import quote, urlencode
 
+from repro.obs.tracecontext import TRACE_HEADER
+
 _STREAM_CHUNK = 64 * 1024
 
 #: Statuses worth retrying: backpressure and server-side hiccups.  4xx
@@ -226,6 +228,7 @@ class Client:
         kernel: Optional[str] = None,
         fmt: Optional[str] = None,
         key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
         """Submit a job from a file (streamed), inline trace text, or a
         list of JSON event records; returns the accepted job record.
@@ -235,6 +238,12 @@ class Client:
         ones where the daemon accepted the job but the 202 was lost)
         resolve to the same job, while separate ``submit()`` calls with
         identical traces stay separate jobs.
+
+        ``trace_id`` propagates the caller's trace context: it is sent
+        as ``X-Repro-Trace-Id``, and every telemetry span the daemon
+        (and its engine workers) emit for this job joins that trace.
+        Omitted, the daemon mints one; either way the accepted record
+        echoes it back as ``trace_id``.
         """
         sources = sum(x is not None for x in (path, text, events))
         if sources != 1:
@@ -252,6 +261,7 @@ class Client:
         # form-encoded spaces.
         query = urlencode(pairs, quote_via=quote)
         url = "/v1/jobs" + (f"?{query}" if query else "")
+        extra = {TRACE_HEADER: trace_id} if trace_id else {}
         if path is not None:
             content_type = _FORMAT_CONTENT_TYPES.get(
                 fmt or "text", "application/x-repro-trace"
@@ -260,7 +270,7 @@ class Client:
                 "POST",
                 url,
                 body=lambda: _stream_file(path),
-                headers={"Content-Type": content_type},
+                headers={"Content-Type": content_type, **extra},
                 encode_chunked=True,
             )
         envelope = {"trace": text} if text is not None else {"events": events}
@@ -268,7 +278,7 @@ class Client:
             "POST",
             url,
             body=json.dumps(envelope).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **extra},
         )
 
     def status(self, job_id: str) -> Dict:
@@ -303,6 +313,12 @@ class Client:
 
     def healthz(self) -> Dict:
         return self._json("GET", "/healthz")
+
+    def debug(self) -> Dict:
+        """The live ops snapshot (``repro.debug/1``): queue depth,
+        in-flight jobs with their current stage, resident partitions,
+        slowest recent jobs, degraded counts."""
+        return self._json("GET", "/debug?format=json")
 
     def metrics(self) -> str:
         def perform() -> str:

@@ -1,0 +1,212 @@
+"""The ``/debug`` live ops surface: one snapshot of what the daemon is
+doing *right now*, rendered two ways.
+
+:func:`debug_snapshot` assembles the stable ``repro.debug/1`` document
+(``GET /debug?format=json``, the ``repro top`` poll target) from the
+daemon's in-memory state — no disk walk beyond the job/partition
+listings the read-side endpoints already do:
+
+* queue depth and job-state counts;
+* **in-flight jobs** with the stage each runner is in right now
+  (``partition`` → ``analyze:<tool>``) and how long it has been there;
+* resident partitions with live refcounts (pinned ones cannot be
+  evicted) and on-disk residency;
+* the **slowest recent jobs**, read off the ``repro_job_seconds``
+  histogram's exemplars — each one names the job, trace id, trace
+  digest, and shard count that filled an outlier bucket;
+* degraded-mode counters and the quarantine count.
+
+:func:`render_html` turns the same snapshot into a dependency-free HTML
+page (``GET /debug``) for a human with a browser and no tooling.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import time
+from typing import Dict, List
+
+from repro.obs.health import DEGRADED_COUNTER
+from repro.obs.metrics import default_registry
+
+DEBUG_SCHEMA = "repro.debug/1"
+
+
+def _job_states(service) -> Dict[str, int]:
+    states: Dict[str, int] = {}
+    for record in service.store.list_jobs():
+        state = record.get("state", "unknown")
+        states[state] = states.get(state, 0) + 1
+    return states
+
+
+def _partitions(service) -> List[Dict]:
+    refcounts = service.partition_refcounts()
+    keys = set(refcounts)
+    root = service.store.partitions_dir
+    resident = set()
+    if os.path.isdir(root):
+        resident = {
+            name for name in os.listdir(root)
+            if os.path.isdir(os.path.join(root, name))
+        }
+    keys |= resident
+    return [
+        {
+            "key": key,
+            "refcount": refcounts.get(key, 0),
+            "resident": key in resident,
+        }
+        for key in sorted(keys)
+    ]
+
+
+def _slowest(service, limit: int = 10) -> List[Dict]:
+    """The slowest recent per-tool job runs, from histogram exemplars."""
+    out: List[Dict] = []
+    for exemplar in service.m_job_seconds.all_exemplars():
+        row = {
+            key: value for key, value in exemplar.items() if key != "labels"
+        }
+        row["seconds"] = round(row.pop("value", 0.0), 6)
+        out.append(row)
+    out.sort(key=lambda row: -row["seconds"])
+    return out[:limit]
+
+
+def _degraded() -> Dict[str, float]:
+    """Degraded-mode counts by reason, off the process default registry
+    (where the engine and the daemon both record them)."""
+    entry = default_registry().snapshot().get(DEGRADED_COUNTER)
+    if not entry:
+        return {}
+    counts: Dict[str, float] = {}
+    for sample in entry["samples"]:
+        reason = sample.get("labels", {}).get("reason", "unknown")
+        counts[reason] = counts.get(reason, 0.0) + sample.get("value", 0.0)
+    return counts
+
+
+def _quarantine_count(service) -> int:
+    root = service.store.quarantine_dir
+    if not os.path.isdir(root):
+        return 0
+    return sum(
+        1 for name in os.listdir(root)
+        if os.path.isdir(os.path.join(root, name))
+    )
+
+
+def debug_snapshot(service) -> Dict:
+    """The ``repro.debug/1`` document for one instant of daemon life."""
+    return {
+        "schema": DEBUG_SCHEMA,
+        "status": "draining" if service.draining else "ok",
+        "time_unix": time.time(),
+        "uptime_seconds": round(
+            time.monotonic() - service._started_at, 3
+        ),
+        "workers": service.config.workers,
+        "engine_jobs": service.config.engine_jobs,
+        "queue_depth": service.queue.depth,
+        "jobs": _job_states(service),
+        "inflight": service.inflight_jobs(),
+        "partitions": _partitions(service),
+        "slowest": _slowest(service),
+        "degraded": _degraded(),
+        "quarantined": _quarantine_count(service),
+    }
+
+
+# -- HTML rendering -----------------------------------------------------------
+
+_STYLE = """
+body { font-family: ui-monospace, monospace; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+th, td { text-align: left; padding: 0.15em 1em 0.15em 0; }
+th { border-bottom: 1px solid #999; }
+.ok { color: #0a0; } .draining { color: #c60; }
+.empty { color: #999; }
+"""
+
+
+def _table(headers: List[str], rows: List[List]) -> List[str]:
+    if not rows:
+        return ['<p class="empty">(none)</p>']
+    out = ["<table><tr>"]
+    out.extend(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        out.extend(
+            f"<td>{html.escape('' if cell is None else str(cell))}</td>"
+            for cell in row
+        )
+        out.append("</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_html(snapshot: Dict) -> str:
+    """The snapshot as a self-contained page; stdlib only, no scripts."""
+    status = snapshot["status"]
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro serve — /debug</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>repro serve — <span class='{html.escape(status)}'>"
+        f"{html.escape(status)}</span></h1>",
+        f"<p>uptime {snapshot['uptime_seconds']:.0f}s — "
+        f"queue depth {snapshot['queue_depth']} — "
+        f"{snapshot['workers']} worker(s), "
+        f"{snapshot['engine_jobs']} engine job(s) — "
+        f"{snapshot['quarantined']} quarantined</p>",
+        "<h2>jobs</h2>",
+    ]
+    parts.extend(_table(
+        ["state", "count"],
+        [[state, count] for state, count in sorted(snapshot["jobs"].items())],
+    ))
+    parts.append("<h2>in flight</h2>")
+    parts.extend(_table(
+        ["job", "stage", "in stage", "elapsed", "trace", "tools", "shards"],
+        [
+            [
+                job["job"], job["stage"], f"{job['stage_elapsed_s']:.1f}s",
+                f"{job['elapsed_s']:.1f}s", job.get("trace_id"),
+                ",".join(job.get("tools") or []), job.get("shards"),
+            ]
+            for job in snapshot["inflight"]
+        ],
+    ))
+    parts.append("<h2>resident partitions</h2>")
+    parts.extend(_table(
+        ["key", "refcount", "resident"],
+        [
+            [p["key"], p["refcount"], "yes" if p["resident"] else "no"]
+            for p in snapshot["partitions"]
+        ],
+    ))
+    parts.append("<h2>slowest recent jobs</h2>")
+    parts.extend(_table(
+        ["seconds", "job", "tool", "trace", "digest", "shards"],
+        [
+            [
+                f"{row['seconds']:.3f}", row.get("job"), row.get("tool"),
+                row.get("trace_id"), row.get("digest"), row.get("shards"),
+            ]
+            for row in snapshot["slowest"]
+        ],
+    ))
+    parts.append("<h2>degraded</h2>")
+    parts.extend(_table(
+        ["reason", "count"],
+        [
+            [reason, int(count)]
+            for reason, count in sorted(snapshot["degraded"].items())
+        ],
+    ))
+    parts.append("</body></html>")
+    return "".join(parts)

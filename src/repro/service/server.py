@@ -56,9 +56,11 @@ from repro.detectors import DETECTORS, default_tool_kwargs, resolve_tool_name
 from repro.engine.checkpoint import Workdir
 from repro.engine.worker import KERNEL_MODES
 from repro.kernels import has_kernel
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
 from repro.obs.rules import record_rule_counts
+from repro.obs.tracecontext import TRACE_HEADER, clean_trace_id, new_trace_id
 from repro.report import dumps_result, result_set
-from repro.service.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
+from repro.service.debug import debug_snapshot, render_html
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 from repro.service.routes import Router
 from repro.service.store import JobStore
@@ -170,6 +172,11 @@ class RaceService:
         self._partition_guard = threading.Lock()
         self._partition_locks: Dict[str, threading.Lock] = {}
         self._partition_users: Dict[str, int] = {}
+        # Live ops surface: what each runner is doing *right now*, keyed
+        # by job id — stage strings move "partition" → "analyze:<tool>"
+        # as the job progresses, and /debug reads this under the lock.
+        self._inflight_lock = threading.Lock()
+        self._inflight: Dict[str, Dict] = {}
 
         metric = self.metrics
         self.m_submitted = metric.counter(
@@ -214,6 +221,53 @@ class RaceService:
         self.m_latency = metric.histogram(
             "repro_http_request_seconds", "HTTP request latency by route"
         )
+        self.m_job_seconds = metric.histogram(
+            "repro_job_seconds",
+            "Per-tool analysis wall-clock per job; outlier buckets carry "
+            "exemplars (job id, trace id, digest, shards)",
+        )
+
+    # -- live ops surface ----------------------------------------------------
+
+    def _begin_inflight(self, job_id: str, record: Dict) -> None:
+        with self._inflight_lock:
+            self._inflight[job_id] = {
+                "job": job_id,
+                "trace_id": record.get("trace_id"),
+                "tools": list(record.get("tools") or []),
+                "shards": record.get("shards"),
+                "stage": "starting",
+                "since": time.monotonic(),
+                "started_unix": time.time(),
+            }
+
+    def _set_stage(self, job_id: str, stage: str) -> None:
+        with self._inflight_lock:
+            entry = self._inflight.get(job_id)
+            if entry is not None:
+                entry["stage"] = stage
+                entry["since"] = time.monotonic()
+
+    def _end_inflight(self, job_id: str) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(job_id, None)
+
+    def inflight_jobs(self) -> List[Dict]:
+        """Running jobs with their current stage and elapsed seconds."""
+        now = time.monotonic()
+        with self._inflight_lock:
+            entries = [dict(entry) for entry in self._inflight.values()]
+        for entry in entries:
+            entry["stage_elapsed_s"] = round(now - entry.pop("since"), 3)
+            entry["elapsed_s"] = round(
+                time.time() - entry.pop("started_unix"), 3
+            )
+        entries.sort(key=lambda entry: entry["job"])
+        return entries
+
+    def partition_refcounts(self) -> Dict[str, int]:
+        with self._partition_guard:
+            return dict(self._partition_users)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -366,6 +420,19 @@ class RaceService:
         self.m_active.inc(state="running")
         started = time.time()
         self.store.update(job_id, state="running", started=started)
+        self._begin_inflight(job_id, record)
+        try:
+            # Every span this runner thread emits — and, through the
+            # engine's propagation context, every span the pool workers
+            # emit for this job — joins the trace the submitter named.
+            with obs.trace_scope(record.get("trace_id")):
+                self._process_traced(job_id, record, started)
+        finally:
+            self._end_inflight(job_id)
+
+    def _process_traced(
+        self, job_id: str, record: Dict, started: float
+    ) -> None:
         if obs.enabled():
             # Queue wait, reconstructed from the store's timestamps so it
             # also covers jobs recovered across a daemon restart.
@@ -491,8 +558,10 @@ class RaceService:
         key = record.get("partition")
         if not key:
             key = self.store.partition_key(job_id, fmt, shards)
+            record["partition"] = key  # exemplars read the live record
             self.store.update(job_id, partition=key)
         pdir = self.store.partition_dir(key)
+        self._set_stage(job_id, "partition")
         with self._partition_lock(key):
             wd = Workdir(pdir)
             meta = wd.read_meta()
@@ -509,9 +578,12 @@ class RaceService:
                         else:
                             yield from iter_load(stream)
 
-                engine.partition_events(
-                    events(), wd, shards, transport="mmap"
-                )
+                with obs.span(
+                    "engine.partition", job=job_id, shards=shards
+                ):
+                    engine.partition_events(
+                        events(), wd, shards, transport="mmap"
+                    )
                 self.m_partitions.inc(outcome="created")
             self.store.touch_partition(key)
         return key
@@ -551,6 +623,7 @@ class RaceService:
     ) -> Dict:
         results: Dict[str, Dict] = {}
         for position, tool in enumerate(tools):
+            self._set_stage(job_id, f"analyze:{tool}")
             kernel = record["kernel"]
             if kernel == "fused" and not has_kernel(tool):
                 kernel = "auto"  # companion tools fall back, as the CLI does
@@ -583,6 +656,20 @@ class RaceService:
             results[tool] = report.to_json()
             self.m_events.inc(report.events, tool=tool)
             self.m_engine_seconds.inc(elapsed, tool=tool)
+            # The latency exemplar: when this observation lands in an
+            # outlier bucket, /debug and the samples() surface can point
+            # straight at the job (and its trace) that put it there.
+            self.m_job_seconds.observe(
+                elapsed,
+                exemplar={
+                    "job": job_id,
+                    "trace_id": record.get("trace_id"),
+                    "digest": (record.get("partition") or "").split("-")[0],
+                    "shards": shards,
+                    "tool": tool,
+                },
+                tool=tool,
+            )
             # Figure 2, live: completed jobs surface their rule firing
             # counts on /metrics regardless of the telemetry sink.
             record_rule_counts(tool, report.stats, self.metrics)
@@ -705,8 +792,10 @@ def _duplicate_response(handler: "_Handler", record: Dict) -> int:
             "kernel": record.get("kernel"),
             "format": record.get("format"),
             "key": record.get("key"),
+            "trace_id": record.get("trace_id"),
             "duplicate": True,
         },
+        headers={TRACE_HEADER: record.get("trace_id") or ""},
     )
 
 
@@ -729,6 +818,12 @@ def h_submit(handler: "_Handler", service: RaceService,
     content_type = (
         (handler.headers.get("Content-Type") or "")
         .split(";")[0].strip().lower()
+    )
+    # Trace context: honor the client's X-Repro-Trace-Id (sanitized —
+    # it is echoed into telemetry and headers), else mint one.  Every
+    # span this job produces, across every process, carries this id.
+    trace_id = (
+        clean_trace_id(handler.headers.get(TRACE_HEADER)) or new_trace_id()
     )
     tools = _expand_tools(query.get("tool", []))
     shards = _query_int(query, "shards")
@@ -782,6 +877,7 @@ def h_submit(handler: "_Handler", service: RaceService,
         spec = service.build_spec(
             tools or ["FastTrack"], shards, kernel or "auto", fmt
         )
+        spec["trace_id"] = trace_id
         record = service.store.create(spec, key=key)
         try:
             with open(
@@ -801,6 +897,7 @@ def h_submit(handler: "_Handler", service: RaceService,
         spec = service.build_spec(
             tools or ["FastTrack"], shards, kernel or "auto", fmt
         )
+        spec["trace_id"] = trace_id
         record = service.store.create(spec, key=key)
         try:
             with open(service.store.trace_path(record["id"], fmt), "wb") as out:
@@ -830,7 +927,9 @@ def h_submit(handler: "_Handler", service: RaceService,
             "kernel": record["kernel"],
             "format": record["format"],
             "key": record.get("key"),
+            "trace_id": record.get("trace_id"),
         },
+        headers={TRACE_HEADER: record.get("trace_id") or ""},
     )
 
 
@@ -886,6 +985,22 @@ def h_metrics(handler: "_Handler", service: RaceService,
     return handler.send_raw(200, body, EXPOSITION_CONTENT_TYPE)
 
 
+def h_debug(handler: "_Handler", service: RaceService,
+            params: Dict[str, str], query: Dict[str, List[str]]) -> int:
+    """The live ops surface: what is the daemon doing *right now*.
+
+    ``GET /debug`` renders a stdlib HTML page for a browser;
+    ``GET /debug?format=json`` returns the same snapshot as the stable
+    ``repro.debug/1`` document that ``repro top`` polls.
+    """
+    snapshot = debug_snapshot(service)
+    if _first(query, "format") == "json":
+        return handler.send_api_json(200, snapshot)
+    return handler.send_raw(
+        200, render_html(snapshot).encode("utf-8"), "text/html; charset=utf-8"
+    )
+
+
 def build_router() -> Router:
     router = Router()
     router.add("POST", "/v1/jobs", h_submit)
@@ -894,6 +1009,7 @@ def build_router() -> Router:
     router.add("GET", "/v1/jobs/{id}/result", h_result)
     router.add("GET", "/healthz", h_healthz)
     router.add("GET", "/metrics", h_metrics)
+    router.add("GET", "/debug", h_debug)
     return router
 
 
@@ -1048,7 +1164,11 @@ class _Handler(BaseHTTPRequestHandler):
                 method=method, route=route_label, code=str(code)
             )
             service.m_latency.observe(
-                elapsed, method=method, route=route_label
+                elapsed,
+                # Exemplar: the concrete path (not the bounded pattern
+                # label) of the request that filled an outlier bucket.
+                exemplar={"path": parsed.path, "code": code},
+                method=method, route=route_label,
             )
 
 

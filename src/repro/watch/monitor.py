@@ -66,8 +66,13 @@ class WatchMonitor:
         compact_every: int = 0,
         registry: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        trace_id: Optional[str] = None,
         **tool_kwargs,
     ) -> None:
+        # Set only when the caller is tracing: the key is *absent* from
+        # warning records otherwise, so untraced output stays
+        # byte-identical to every earlier release.
+        self.trace_id = trace_id
         self.tool = resolve_tool_name(tool)
         kwargs = dict(default_tool_kwargs(self.tool))
         kwargs.update(tool_kwargs)
@@ -119,16 +124,14 @@ class WatchMonitor:
             self._emitted_upto += 1
             self.warnings_emitted += 1
             self._warnings.inc(tool=self.tool)
-            records.append(
-                json.dumps(
-                    {
-                        "schema": WARNING_SCHEMA,
-                        "tool": self.tool,
-                        "warning": warning_to_json(warning),
-                    },
-                    sort_keys=True,
-                )
-            )
+            record = {
+                "schema": WARNING_SCHEMA,
+                "tool": self.tool,
+                "warning": warning_to_json(warning),
+            }
+            if self.trace_id is not None:
+                record["trace_id"] = self.trace_id
+            records.append(json.dumps(record, sort_keys=True))
         if self.compact_every:
             self._since_compact += 1
             if self._since_compact >= self.compact_every:

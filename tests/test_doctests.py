@@ -7,14 +7,12 @@ import pytest
 import repro.core.epoch
 import repro.core.vectorclock
 import repro.obs.metrics
-import repro.service.metrics
 import repro.trace.serialize
 
 MODULES = [
     repro.core.epoch,
     repro.core.vectorclock,
     repro.obs.metrics,
-    repro.service.metrics,
     repro.trace.serialize,
 ]
 
